@@ -1,0 +1,363 @@
+//! Total deterministic automata over an explicit switch alphabet, plus
+//! Hopcroft minimization.
+//!
+//! The product graph (§4.1) needs, for every policy regex, a *total*
+//! transition function `σᵢ : Q × Σ → Q` where Σ is the set of switches in
+//! the topology. Subset construction therefore takes the alphabet as input
+//! and keeps the empty subset as an explicit **dead state** — the paper's
+//! "garbage state −". Minimization shrinks tag space (the paper's
+//! "minimizing the number of bits to represent the tags" optimization).
+
+use crate::{nfa::Nfa, regex::Regex, Sym};
+use std::collections::BTreeMap;
+
+/// A deterministic automaton with a total transition function over a fixed,
+/// sorted alphabet of switch IDs.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// Sorted alphabet; `trans` is indexed by position in this vector.
+    pub alphabet: Vec<Sym>,
+    /// Start state.
+    pub start: usize,
+    /// `accept[s]` — whether state `s` is accepting.
+    pub accept: Vec<bool>,
+    /// Dense transition table, `num_states × alphabet.len()`.
+    trans: Vec<usize>,
+    /// The dead ("garbage") state, if the automaton has one: non-accepting
+    /// with all transitions to itself.
+    pub dead: Option<usize>,
+}
+
+impl Dfa {
+    /// Builds a total DFA for `r` over `alphabet` via Thompson + subset
+    /// construction. The alphabet must be sorted and duplicate-free and must
+    /// contain every symbol mentioned by `r` (the compiler guarantees this by
+    /// using the set of topology switches).
+    pub fn from_regex(r: &Regex, alphabet: &[Sym]) -> Dfa {
+        debug_assert!(alphabet.windows(2).all(|w| w[0] < w[1]), "alphabet must be sorted+unique");
+        let nfa = Nfa::from_regex(r);
+        Self::from_nfa(&nfa, alphabet)
+    }
+
+    /// Subset construction from an NFA over an explicit alphabet.
+    pub fn from_nfa(nfa: &Nfa, alphabet: &[Sym]) -> Dfa {
+        let mut index: BTreeMap<Vec<u32>, usize> = BTreeMap::new();
+        let mut subsets: Vec<Vec<u32>> = Vec::new();
+        let mut trans: Vec<usize> = Vec::new();
+        let k = alphabet.len();
+
+        let start_set = nfa.eps_closure(&[nfa.start]);
+        index.insert(start_set.clone(), 0);
+        subsets.push(start_set);
+
+        let mut work = vec![0usize];
+        while let Some(s) = work.pop() {
+            // Ensure room for this state's row.
+            if trans.len() < (s + 1) * k {
+                trans.resize((s + 1) * k, usize::MAX);
+            }
+            for (i, &sym) in alphabet.iter().enumerate() {
+                let stepped = nfa.step(&subsets[s], sym);
+                let closed = nfa.eps_closure(&stepped);
+                let t = match index.get(&closed) {
+                    Some(&t) => t,
+                    None => {
+                        let t = subsets.len();
+                        index.insert(closed.clone(), t);
+                        subsets.push(closed);
+                        work.push(t);
+                        t
+                    }
+                };
+                trans[s * k + i] = t;
+            }
+        }
+        let n = subsets.len();
+        trans.resize(n * k, usize::MAX);
+
+        let accept: Vec<bool> = subsets
+            .iter()
+            .map(|set| set.binary_search(&nfa.accept).is_ok())
+            .collect();
+        let mut dfa = Dfa {
+            alphabet: alphabet.to_vec(),
+            start: 0,
+            accept,
+            trans,
+            dead: None,
+        };
+        dfa.dead = dfa.find_dead();
+        dfa
+    }
+
+    fn find_dead(&self) -> Option<usize> {
+        (0..self.num_states()).find(|&s| {
+            !self.accept[s]
+                && (0..self.alphabet.len()).all(|i| self.trans[s * self.alphabet.len() + i] == s)
+        })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Index of `sym` in the alphabet, if present.
+    pub fn sym_index(&self, sym: Sym) -> Option<usize> {
+        self.alphabet.binary_search(&sym).ok()
+    }
+
+    /// Total transition function. Symbols outside the alphabet go to the dead
+    /// state if one exists (and panic otherwise — the compiler always uses
+    /// the full switch alphabet, so this is a programming error).
+    pub fn step(&self, state: usize, sym: Sym) -> usize {
+        match self.sym_index(sym) {
+            Some(i) => self.trans[state * self.alphabet.len() + i],
+            None => self
+                .dead
+                .expect("symbol outside alphabet and automaton has no dead state"),
+        }
+    }
+
+    /// Runs the automaton over a whole path from the start state.
+    pub fn accepts(&self, word: &[Sym]) -> bool {
+        let mut s = self.start;
+        for &x in word {
+            s = self.step(s, x);
+        }
+        self.accept[s]
+    }
+
+    /// True if `state` is the dead/garbage state.
+    pub fn is_dead(&self, state: usize) -> bool {
+        self.dead == Some(state)
+    }
+
+    /// Hopcroft partition-refinement minimization.
+    ///
+    /// Returns the minimal automaton together with the mapping from old state
+    /// indices to new ones. The language is preserved exactly; the dead state
+    /// is re-identified on the result.
+    pub fn minimize(&self) -> (Dfa, Vec<usize>) {
+        let n = self.num_states();
+        let k = self.alphabet.len();
+        if n == 0 {
+            return (self.clone(), Vec::new());
+        }
+
+        // Pre-compute inverse transitions: inv[i][t] = states s with δ(s,i)=t.
+        let mut inv: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n]; k];
+        for s in 0..n {
+            for i in 0..k {
+                inv[i][self.trans[s * k + i]].push(s);
+            }
+        }
+
+        // Partition states into blocks; start with accept / non-accept.
+        let mut block_of: Vec<usize> = self.accept.iter().map(|&a| usize::from(a)).collect();
+        let mut blocks: Vec<Vec<usize>> = vec![Vec::new(), Vec::new()];
+        for s in 0..n {
+            blocks[block_of[s]].push(s);
+        }
+        if blocks[1].is_empty() {
+            blocks.pop();
+        } else if blocks[0].is_empty() {
+            blocks.remove(0);
+            for b in block_of.iter_mut() {
+                *b = 0;
+            }
+        }
+
+        // Hopcroft worklist of (block, symbol) splitters.
+        let mut work: Vec<(usize, usize)> = (0..blocks.len())
+            .flat_map(|b| (0..k).map(move |i| (b, i)))
+            .collect();
+
+        while let Some((b, i)) = work.pop() {
+            // X = preimage of block b under symbol i.
+            let mut touched: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for &t in &blocks[b] {
+                for &s in &inv[i][t] {
+                    touched.entry(block_of[s]).or_default().push(s);
+                }
+            }
+            for (blk, hit) in touched {
+                if hit.len() == blocks[blk].len() {
+                    continue; // no split
+                }
+                // Split blk into `hit` and the rest.
+                let new_idx = blocks.len();
+                let mut in_hit = vec![false; n];
+                for &s in &hit {
+                    in_hit[s] = true;
+                }
+                let rest: Vec<usize> = blocks[blk].iter().copied().filter(|&s| !in_hit[s]).collect();
+                let (small, large) = if hit.len() <= rest.len() {
+                    (hit, rest)
+                } else {
+                    (rest, hit)
+                };
+                for &s in &small {
+                    block_of[s] = new_idx;
+                }
+                blocks[blk] = large;
+                blocks.push(small);
+                for sym in 0..k {
+                    work.push((new_idx, sym));
+                }
+            }
+        }
+
+        // Renumber blocks so that the start state's block is first (stable,
+        // deterministic output independent of worklist order).
+        let mut order: Vec<usize> = Vec::with_capacity(blocks.len());
+        let mut seen = vec![false; blocks.len()];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(block_of[self.start]);
+        seen[block_of[self.start]] = true;
+        while let Some(b) = queue.pop_front() {
+            order.push(b);
+            let rep = blocks[b][0];
+            for i in 0..k {
+                let nb = block_of[self.trans[rep * k + i]];
+                if !seen[nb] {
+                    seen[nb] = true;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        // Unreachable blocks (possible if original had unreachable states)
+        // are dropped entirely.
+        let mut new_index = vec![usize::MAX; blocks.len()];
+        for (new, &old) in order.iter().enumerate() {
+            new_index[old] = new;
+        }
+
+        let m = order.len();
+        let mut trans = vec![0usize; m * k];
+        let mut accept = vec![false; m];
+        for (new, &old_block) in order.iter().enumerate() {
+            let rep = blocks[old_block][0];
+            accept[new] = self.accept[rep];
+            for i in 0..k {
+                trans[new * k + i] = new_index[block_of[self.trans[rep * k + i]]];
+            }
+        }
+        let mapping: Vec<usize> = (0..n).map(|s| new_index[block_of[s]]).collect();
+        let mut dfa = Dfa {
+            alphabet: self.alphabet.clone(),
+            start: new_index[block_of[self.start]],
+            accept,
+            trans,
+            dead: None,
+        };
+        dfa.dead = dfa.find_dead();
+        (dfa, mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Vec<Sym> {
+        vec![1, 2, 3]
+    }
+
+    #[test]
+    fn dfa_agrees_with_oracle() {
+        let r = Regex::cat_all([
+            Regex::any_star(),
+            Regex::alt(Regex::sym(1), Regex::seq(&[2, 3])),
+            Regex::any_star(),
+        ]);
+        let d = Dfa::from_regex(&r, &abc());
+        for word in [
+            vec![],
+            vec![1],
+            vec![2, 3],
+            vec![3, 2],
+            vec![2, 2, 3],
+            vec![3, 3, 3],
+            vec![1, 2, 3, 1],
+        ] {
+            assert_eq!(d.accepts(&word), r.matches(&word), "word {word:?}");
+        }
+    }
+
+    #[test]
+    fn dead_state_identified() {
+        // Exactly the path "1 2": any deviation lands in the garbage state.
+        let d = Dfa::from_regex(&Regex::seq(&[1, 2]), &abc());
+        let dead = d.dead.expect("must have a dead state");
+        assert!(!d.accept[dead]);
+        assert_eq!(d.step(dead, 1), dead);
+        // Deviating transition falls into dead.
+        let s1 = d.step(d.start, 3);
+        assert_eq!(s1, dead);
+    }
+
+    #[test]
+    fn minimize_preserves_language() {
+        // (1+2)* 3 — minimal form has 3 states (loop, accept, dead).
+        let r = Regex::concat(
+            Regex::star(Regex::alt(Regex::sym(1), Regex::sym(2))),
+            Regex::sym(3),
+        );
+        let d = Dfa::from_regex(&r, &abc());
+        let (m, mapping) = d.minimize();
+        assert!(m.num_states() <= d.num_states());
+        assert_eq!(mapping.len(), d.num_states());
+        for word in [
+            vec![],
+            vec![3],
+            vec![1, 2, 1, 3],
+            vec![3, 3],
+            vec![1, 3, 1],
+            vec![2, 2],
+        ] {
+            assert_eq!(m.accepts(&word), d.accepts(&word), "word {word:?}");
+        }
+        assert_eq!(m.num_states(), 3);
+    }
+
+    #[test]
+    fn minimize_maps_states_consistently() {
+        let r = Regex::cat_all([Regex::any_star(), Regex::sym(2), Regex::any_star()]);
+        let d = Dfa::from_regex(&r, &abc());
+        let (m, mapping) = d.minimize();
+        // Running both automata in lock-step stays within the mapping.
+        let word = [1, 3, 2, 1, 1];
+        let (mut s, mut t) = (d.start, m.start);
+        for &x in &word {
+            s = d.step(s, x);
+            t = m.step(t, x);
+            assert_eq!(mapping[s], t);
+        }
+    }
+
+    #[test]
+    fn universal_automaton_minimizes_to_one_state() {
+        let d = Dfa::from_regex(&Regex::any_star(), &abc());
+        let (m, _) = d.minimize();
+        assert_eq!(m.num_states(), 1);
+        assert!(m.accept[m.start]);
+        assert!(m.dead.is_none());
+    }
+
+    #[test]
+    fn empty_language_minimizes_to_dead_only() {
+        let d = Dfa::from_regex(&Regex::Empty, &abc());
+        let (m, _) = d.minimize();
+        assert_eq!(m.num_states(), 1);
+        assert!(!m.accept[m.start]);
+        assert_eq!(m.dead, Some(m.start));
+    }
+
+    #[test]
+    fn step_outside_alphabet_goes_dead() {
+        let d = Dfa::from_regex(&Regex::seq(&[1]), &abc());
+        let dead = d.dead.unwrap();
+        assert_eq!(d.step(d.start, 99), dead);
+    }
+}

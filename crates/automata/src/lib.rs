@@ -1,0 +1,32 @@
+//! Finite automata over switch-ID alphabets.
+//!
+//! Contra policies classify *network paths* with regular expressions whose
+//! alphabet is the set of switch identifiers, not characters — so this crate
+//! implements its own small automata toolkit instead of pulling in a text
+//! regex engine:
+//!
+//! * [`Regex`] — the regular-expression AST used by the policy language,
+//!   including [`Regex::reverse`] (probes travel opposite to traffic, §4.1 of
+//!   the paper) and Brzozowski-derivative matching used as a test oracle.
+//! * [`Nfa`] — Thompson construction with epsilon transitions.
+//! * [`Dfa`] — subset construction over an explicit, finite alphabet with a
+//!   *total* transition function (the paper's "garbage state −" is the dead
+//!   state), plus Hopcroft minimization.
+//!
+//! The compiler reverses each policy regex, determinizes and minimizes it,
+//! and then forms the product of all automata with the topology (the
+//! *product graph*, built in `contra-core`).
+
+pub mod dfa;
+pub mod nfa;
+pub mod regex;
+
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+pub use regex::Regex;
+
+/// A symbol of the path alphabet: a switch identifier.
+///
+/// Kept as a bare `u32` so that automata do not depend on the topology crate;
+/// `contra-core` maps topology node IDs onto symbols.
+pub type Sym = u32;

@@ -1,0 +1,226 @@
+//! ECMP and static shortest-path forwarding.
+//!
+//! ECMP hashes each flow onto one of the equal-cost shortest-path next
+//! hops, oblivious to load — the paper's primary datacenter baseline. Our
+//! ECMP is granted an idealized local repair: next hops whose link is down
+//! are skipped (the paper's asymmetric experiment has ECMP functional but
+//! congested, so it must survive the failure). Shortest-path routing (SP,
+//! used on Abilene in §6.4) always uses one deterministic lowest-cost next
+//! hop and adapts to nothing.
+
+use contra_sim::{Packet, SwitchCtx, SwitchLogic};
+use contra_topology::{paths, NodeId, Topology};
+use std::collections::BTreeMap;
+
+/// Load-oblivious hash-based multipath over shortest paths.
+pub struct EcmpSwitch {
+    /// Per destination switch: all shortest-path next hops.
+    next_hops: BTreeMap<NodeId, Vec<NodeId>>,
+}
+
+impl EcmpSwitch {
+    /// Precomputes shortest-path next-hop sets for `switch`.
+    pub fn new(topo: &Topology, switch: NodeId) -> EcmpSwitch {
+        let mut next_hops = BTreeMap::new();
+        for dst in topo.switches() {
+            if dst == switch {
+                continue;
+            }
+            let sets = paths::ecmp_next_hops(topo, dst);
+            let hops = sets[switch.0 as usize].clone();
+            if !hops.is_empty() {
+                next_hops.insert(dst, hops);
+            }
+        }
+        EcmpSwitch { next_hops }
+    }
+
+    /// Next-hop sets computed on the topology with the given cables
+    /// removed — modelling a control plane that has already reconverged
+    /// around known failures. The paper's asymmetric experiment (Fig 12)
+    /// assumes exactly this: ECMP still delivers, just congested.
+    pub fn new_reconverged(
+        topo: &Topology,
+        switch: NodeId,
+        failed: &[(NodeId, NodeId)],
+    ) -> EcmpSwitch {
+        Self::new(&topo.without_cables(failed), switch)
+    }
+}
+
+impl SwitchLogic for EcmpSwitch {
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: Packet, _from: NodeId) {
+        if pkt.dst_switch == ctx.switch {
+            let host = pkt.dst_host;
+            ctx.send(host, pkt);
+            return;
+        }
+        let Some(hops) = self.next_hops.get(&pkt.dst_switch) else {
+            ctx.drop_no_route(pkt);
+            return;
+        };
+        // Idealized repair: hash over the *live* subset.
+        let live: Vec<NodeId> = hops.iter().copied().filter(|&h| ctx.link_up(h)).collect();
+        if live.is_empty() {
+            ctx.drop_no_route(pkt);
+            return;
+        }
+        let pick = live[(pkt.flow_hash % live.len() as u64) as usize];
+        ctx.send(pick, pkt);
+    }
+}
+
+/// Single static shortest path; no load awareness, no failure awareness.
+pub struct SpSwitch {
+    next_hop: BTreeMap<NodeId, NodeId>,
+}
+
+impl SpSwitch {
+    /// Precomputes the deterministic shortest-path next hop per
+    /// destination.
+    pub fn new(topo: &Topology, switch: NodeId) -> SpSwitch {
+        let mut next_hop = BTreeMap::new();
+        for dst in topo.switches() {
+            if dst == switch {
+                continue;
+            }
+            if let Some(p) = paths::shortest_path(topo, switch, dst) {
+                next_hop.insert(dst, p[1]);
+            }
+        }
+        SpSwitch { next_hop }
+    }
+}
+
+impl SwitchLogic for SpSwitch {
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: Packet, _from: NodeId) {
+        if pkt.dst_switch == ctx.switch {
+            let host = pkt.dst_host;
+            ctx.send(host, pkt);
+            return;
+        }
+        match self.next_hop.get(&pkt.dst_switch) {
+            Some(&nh) => ctx.send(nh, pkt),
+            None => ctx.drop_no_route(pkt),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contra_sim::{FlowSpec, SimConfig, Simulator, Time};
+    use contra_topology::generators;
+
+    fn leaf_spine() -> contra_topology::Topology {
+        generators::leaf_spine(
+            2,
+            2,
+            2,
+            generators::LinkSpec::default(),
+            generators::LinkSpec::default(),
+        )
+    }
+
+    #[test]
+    fn ecmp_spreads_flows_across_spines() {
+        let topo = leaf_spine();
+        let mut sim = Simulator::new(
+            topo.clone(),
+            SimConfig {
+                stop_at: Time::ms(20),
+                trace_paths: true,
+                ..SimConfig::default()
+            },
+        );
+        for sw in topo.switches() {
+            sim.install(sw, Box::new(EcmpSwitch::new(&topo, sw)));
+        }
+        let hosts = topo.hosts();
+        for i in 0..16 {
+            sim.add_flow(FlowSpec::Tcp {
+                src: hosts[i % 2],
+                dst: hosts[2 + (i % 2)],
+                bytes: 30_000,
+                start: Time::us(10 * i as u64),
+            });
+        }
+        let (stats, traces) = sim.run_traced();
+        assert_eq!(stats.completion_rate(), 1.0);
+        // With 16 flows both spines must be exercised.
+        let spines_used: std::collections::BTreeSet<NodeId> =
+            traces.iter().map(|(_, t)| t[1]).collect();
+        assert_eq!(spines_used.len(), 2, "ECMP must use both spines");
+        assert_eq!(stats.looped_packets, 0);
+    }
+
+    #[test]
+    fn ecmp_skips_failed_links() {
+        let topo = leaf_spine();
+        let leaf0 = topo.find("leaf0").unwrap();
+        let spine0 = topo.find("spine0").unwrap();
+        let spine1 = topo.find("spine1").unwrap();
+        let mut sim = Simulator::new(
+            topo.clone(),
+            SimConfig {
+                stop_at: Time::ms(20),
+                trace_paths: true,
+                ..SimConfig::default()
+            },
+        );
+        // Reconverged tables: remote switches also avoid paths through the
+        // dead cable (plain local filtering cannot save traffic that a
+        // spine would have to deliver over it).
+        for sw in topo.switches() {
+            sim.install(
+                sw,
+                Box::new(EcmpSwitch::new_reconverged(&topo, sw, &[(leaf0, spine0)])),
+            );
+        }
+        sim.fail_link_at(leaf0, spine0, Time::ZERO);
+        let hosts = topo.hosts();
+        for i in 0..8 {
+            sim.add_flow(FlowSpec::Tcp {
+                src: hosts[0],
+                dst: hosts[2],
+                bytes: 30_000,
+                start: Time::us(100 + 10 * i),
+            });
+        }
+        let (stats, traces) = sim.run_traced();
+        assert_eq!(stats.completion_rate(), 1.0);
+        for (_, t) in &traces {
+            assert_eq!(t[1], spine1, "all traffic must avoid the dead spine: {t:?}");
+        }
+    }
+
+    #[test]
+    fn sp_uses_one_path_only() {
+        let topo = leaf_spine();
+        let mut sim = Simulator::new(
+            topo.clone(),
+            SimConfig {
+                stop_at: Time::ms(20),
+                trace_paths: true,
+                ..SimConfig::default()
+            },
+        );
+        for sw in topo.switches() {
+            sim.install(sw, Box::new(SpSwitch::new(&topo, sw)));
+        }
+        let hosts = topo.hosts();
+        for i in 0..8 {
+            sim.add_flow(FlowSpec::Tcp {
+                src: hosts[i % 2],
+                dst: hosts[2 + (i % 2)],
+                bytes: 30_000,
+                start: Time::us(10 * i as u64),
+            });
+        }
+        let (stats, traces) = sim.run_traced();
+        assert_eq!(stats.completion_rate(), 1.0);
+        let spines_used: std::collections::BTreeSet<NodeId> =
+            traces.iter().map(|(_, t)| t[1]).collect();
+        assert_eq!(spines_used.len(), 1, "SP must pin everything to one spine");
+    }
+}

@@ -1,0 +1,442 @@
+//! Hula (SOSR'16): utilization-aware load balancing specialized to
+//! two-tier leaf-spine fabrics — the hand-crafted system Contra is
+//! benchmarked against in §6.3.
+//!
+//! Each ToR (leaf) originates a probe per period. Probes flow "up" from
+//! the origin leaf to every spine, and each spine replicates them "down"
+//! to every other leaf — the topology's tree-ness is what makes this
+//! hard-coded scheme loop-free, and exactly what Contra generalizes away.
+//! Every switch keeps, per destination ToR, the best path utilization and
+//! the next hop that provided it; flowlets pin forwarding decisions
+//! between updates.
+//!
+//! Faithfulness notes: the "probe from the current best next hop always
+//! refreshes" rule (so a worsening best path is re-learned), aging of best
+//! entries, and flowlet expiry through silent next hops all follow the
+//! Hula paper; the probe period, flowlet timeout and failure window are
+//! shared with Contra's configuration for an apples-to-apples comparison.
+
+use contra_sim::{
+    Packet, PacketKind, Probe, SwitchCtx, SwitchLogic, Time, INITIAL_TTL, PROBE_BASE_BYTES,
+};
+use contra_topology::{NodeId, Topology};
+use std::collections::{BTreeMap, HashMap};
+
+/// Position of a switch in the two-tier fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HulaRole {
+    /// Top-of-rack switch (has hosts; originates probes).
+    Leaf,
+    /// Spine switch (replicates probes downward).
+    Spine,
+}
+
+/// Infers leaf/spine roles: switches with attached hosts are leaves.
+pub fn infer_roles(topo: &Topology) -> BTreeMap<NodeId, HulaRole> {
+    topo.switches()
+        .into_iter()
+        .map(|s| {
+            let role = if topo.hosts_of(s).is_empty() {
+                HulaRole::Spine
+            } else {
+                HulaRole::Leaf
+            };
+            (s, role)
+        })
+        .collect()
+}
+
+/// Hula tunables (shared defaults with the Contra dataplane).
+#[derive(Debug, Clone)]
+pub struct HulaConfig {
+    /// Probe origination period (256 µs in §6.3).
+    pub probe_period: Time,
+    /// Flowlet idle timeout (200 µs in §6.3).
+    pub flowlet_timeout: Time,
+    /// Next hop considered failed after this many silent periods.
+    pub failure_periods: u32,
+    /// Best-path entries older than this many periods are stale.
+    pub expiry_periods: u32,
+}
+
+impl Default for HulaConfig {
+    fn default() -> Self {
+        HulaConfig {
+            probe_period: Time::us(256),
+            flowlet_timeout: Time::us(200),
+            failure_periods: 3,
+            expiry_periods: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BestEntry {
+    util: f64,
+    nhop: NodeId,
+    updated: Time,
+}
+
+#[derive(Debug, Clone)]
+struct FlowletEntry {
+    nhop: NodeId,
+    last: Time,
+}
+
+/// One switch running Hula.
+pub struct HulaSwitch {
+    switch: NodeId,
+    role: HulaRole,
+    cfg: HulaConfig,
+    /// Best known path per destination ToR.
+    best: BTreeMap<NodeId, BestEntry>,
+    /// Flowlet pins per (dst guaranteed by fid? Hula keys on fid only).
+    flowlets: HashMap<u64, FlowletEntry>,
+    last_probe_from: BTreeMap<NodeId, Time>,
+    /// Leaf neighbors (down-links) and spine neighbors (up-links).
+    up_neighbors: Vec<NodeId>,
+    down_neighbors: Vec<NodeId>,
+}
+
+impl HulaSwitch {
+    /// Builds the Hula program for `switch`. Panics if the topology is not
+    /// two-tier (a leaf adjacent to a leaf, say) — Hula simply does not
+    /// support such networks, which is the paper's point.
+    pub fn new(topo: &Topology, switch: NodeId, cfg: HulaConfig) -> HulaSwitch {
+        let roles = infer_roles(topo);
+        let role = roles[&switch];
+        let mut up = Vec::new();
+        let mut down = Vec::new();
+        for n in topo.switch_neighbors(switch) {
+            match (role, roles[&n]) {
+                (HulaRole::Leaf, HulaRole::Spine) => up.push(n),
+                (HulaRole::Spine, HulaRole::Leaf) => down.push(n),
+                (a, b) => panic!(
+                    "Hula requires a two-tier leaf-spine fabric; {switch} ({a:?}) is adjacent to {n} ({b:?})"
+                ),
+            }
+        }
+        HulaSwitch {
+            switch,
+            role,
+            cfg,
+            best: BTreeMap::new(),
+            flowlets: HashMap::new(),
+            last_probe_from: BTreeMap::new(),
+            up_neighbors: up,
+            down_neighbors: down,
+        }
+    }
+
+    fn nhop_failed(&self, nhop: NodeId, now: Time) -> bool {
+        let last = self
+            .last_probe_from
+            .get(&nhop)
+            .copied()
+            .unwrap_or(Time::ZERO);
+        now.saturating_sub(last) > Time(self.cfg.probe_period.0 * self.cfg.failure_periods as u64)
+    }
+
+    fn entry_valid(&self, e: &BestEntry, now: Time) -> bool {
+        now.saturating_sub(e.updated)
+            <= Time(self.cfg.probe_period.0 * self.cfg.expiry_periods as u64)
+            && !self.nhop_failed(e.nhop, now)
+    }
+
+    fn mk_probe(&self, origin: NodeId, util: f64, to: NodeId, now: Time) -> Packet {
+        Packet {
+            id: 0,
+            kind: PacketKind::Probe(Probe {
+                origin,
+                pid: 0,
+                version: 0,
+                tag: 0,
+                mv: [util, 0.0, 0.0],
+            }),
+            src_host: self.switch,
+            dst_host: to,
+            dst_switch: to,
+            flow: contra_sim::FlowId(u32::MAX),
+            seq: 0,
+            size_bytes: PROBE_BASE_BYTES + 4,
+            sent_at: now,
+            tag: 0,
+            pid: 0,
+            ttl: INITIAL_TTL,
+            flow_hash: 0,
+            trace: Vec::new(),
+            looped: false,
+        }
+    }
+
+    fn process_probe(&mut self, ctx: &mut SwitchCtx<'_>, p: Probe, from: NodeId) {
+        let now = ctx.now;
+        self.last_probe_from.insert(from, now);
+        if p.origin == self.switch {
+            return;
+        }
+        let util = p.mv[0].max(ctx.util_to(from));
+        let accept = match self.best.get(&p.origin) {
+            None => true,
+            Some(e) => {
+                // Better path, refresh from the incumbent next hop, or
+                // stale incumbent.
+                util < e.util || e.nhop == from || !self.entry_valid(e, now)
+            }
+        };
+        if !accept {
+            return;
+        }
+        self.best.insert(
+            p.origin,
+            BestEntry {
+                util,
+                nhop: from,
+                updated: now,
+            },
+        );
+        // Replication discipline: spines received from a leaf replicate to
+        // every *other* leaf; leaves do not propagate further (two tiers).
+        if self.role == HulaRole::Spine {
+            let targets: Vec<NodeId> = self
+                .down_neighbors
+                .iter()
+                .copied()
+                .filter(|&l| l != from && l != p.origin)
+                .collect();
+            for t in targets {
+                let probe = self.mk_probe(p.origin, util, t, now);
+                ctx.send(t, probe);
+            }
+        }
+    }
+
+    fn forward(&mut self, ctx: &mut SwitchCtx<'_>, mut pkt: Packet, _from: NodeId) {
+        let now = ctx.now;
+        if pkt.dst_switch == ctx.switch {
+            let host = pkt.dst_host;
+            ctx.send(host, pkt);
+            return;
+        }
+        // Flowlet fast path.
+        if let Some(e) = self.flowlets.get(&pkt.flow_hash).cloned() {
+            if now.saturating_sub(e.last) <= self.cfg.flowlet_timeout
+                && !self.nhop_failed(e.nhop, now)
+            {
+                self.flowlets.insert(
+                    pkt.flow_hash,
+                    FlowletEntry {
+                        nhop: e.nhop,
+                        last: now,
+                    },
+                );
+                pkt.tag = 0;
+                ctx.send(e.nhop, pkt);
+                return;
+            }
+            self.flowlets.remove(&pkt.flow_hash);
+        }
+        match self.best.get(&pkt.dst_switch) {
+            Some(e) if self.entry_valid(e, now) => {
+                let nhop = e.nhop;
+                self.flowlets
+                    .insert(pkt.flow_hash, FlowletEntry { nhop, last: now });
+                ctx.send(nhop, pkt);
+            }
+            _ => ctx.drop_no_route(pkt),
+        }
+    }
+
+    /// Current best-table size (state accounting in tests).
+    pub fn best_entries(&self) -> usize {
+        self.best.len()
+    }
+}
+
+impl SwitchLogic for HulaSwitch {
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: Packet, from: NodeId) {
+        match pkt.kind.clone() {
+            PacketKind::Probe(p) => self.process_probe(ctx, p, from),
+            _ => self.forward(ctx, pkt, from),
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut SwitchCtx<'_>) {
+        if self.role != HulaRole::Leaf {
+            return;
+        }
+        let now = ctx.now;
+        for &up in &self.up_neighbors.clone() {
+            let probe = self.mk_probe(self.switch, 0.0, up, now);
+            ctx.send(up, probe);
+        }
+    }
+
+    fn tick_interval(&self) -> Option<Time> {
+        Some(self.cfg.probe_period)
+    }
+}
+
+/// Installs Hula on every switch of a leaf-spine simulator.
+pub fn install_hula(sim: &mut contra_sim::Simulator, cfg: &HulaConfig) {
+    let topo = sim.topology().clone();
+    for sw in topo.switches() {
+        sim.install(sw, Box::new(HulaSwitch::new(&topo, sw, cfg.clone())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contra_sim::{FlowSpec, SimConfig, Simulator};
+    use contra_topology::generators;
+
+    fn leaf_spine() -> Topology {
+        generators::leaf_spine(
+            2,
+            2,
+            2,
+            generators::LinkSpec::default(),
+            generators::LinkSpec::default(),
+        )
+    }
+
+    #[test]
+    fn roles_inferred_from_hosts() {
+        let topo = leaf_spine();
+        let roles = infer_roles(&topo);
+        assert_eq!(roles[&topo.find("leaf0").unwrap()], HulaRole::Leaf);
+        assert_eq!(roles[&topo.find("spine1").unwrap()], HulaRole::Spine);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-tier")]
+    fn rejects_non_leaf_spine_topologies() {
+        // Abilene has no hosts → all switches are "spines" adjacent to
+        // each other: not a two-tier fabric.
+        let topo = generators::with_hosts(
+            &generators::abilene(40e9),
+            1,
+            generators::LinkSpec::default(),
+        );
+        let any = topo.find("Denver").unwrap();
+        let _ = HulaSwitch::new(&topo, any, HulaConfig::default());
+    }
+
+    #[test]
+    fn flows_complete_and_probes_flow() {
+        let topo = leaf_spine();
+        let mut sim = Simulator::new(
+            topo.clone(),
+            SimConfig {
+                stop_at: Time::ms(30),
+                trace_paths: true,
+                ..SimConfig::default()
+            },
+        );
+        install_hula(&mut sim, &HulaConfig::default());
+        let hosts = topo.hosts();
+        for i in 0..6 {
+            sim.add_flow(FlowSpec::Tcp {
+                src: hosts[i % 2],
+                dst: hosts[2 + (i % 2)],
+                bytes: 200_000,
+                start: Time::us(600 + 30 * i as u64),
+            });
+        }
+        let (stats, traces) = sim.run_traced();
+        assert_eq!(stats.completion_rate(), 1.0);
+        assert!(stats.wire_bytes[&contra_sim::TrafficKind::Probe] > 0);
+        for (_, t) in &traces {
+            assert_eq!(t.len(), 3, "leaf-spine-leaf only: {t:?}");
+        }
+        assert_eq!(stats.looped_packets, 0);
+    }
+
+    #[test]
+    fn hula_avoids_congested_spine() {
+        let topo = leaf_spine();
+        let spine0 = topo.find("spine0").unwrap();
+        let mut sim = Simulator::new(
+            topo.clone(),
+            SimConfig {
+                stop_at: Time::ms(40),
+                trace_paths: true,
+                ..SimConfig::default()
+            },
+        );
+        install_hula(&mut sim, &HulaConfig::default());
+        let hosts = topo.hosts();
+        // Elephant UDP flow pinned by steady transmission through one
+        // spine; then short flows should prefer the other spine.
+        sim.add_flow(FlowSpec::Udp {
+            src: hosts[0],
+            dst: hosts[2],
+            rate_bps: 8e9,
+            start: Time::ZERO,
+            stop: Time::ms(40),
+        });
+        for i in 0..8 {
+            sim.add_flow(FlowSpec::Tcp {
+                src: hosts[1],
+                dst: hosts[3],
+                bytes: 100_000,
+                start: Time::ms(5) + Time::us(200 * i),
+            });
+        }
+        let (stats, traces) = sim.run_traced();
+        assert!(stats.completion_rate() > 0.99);
+        // The elephant grabs one spine; count how much of the mice traffic
+        // shares it. With utilization-aware routing the mice should
+        // overwhelmingly use the other spine.
+        let elephant = contra_sim::FlowId(0);
+        let elephant_spine = traces
+            .iter()
+            .find(|(f, _)| *f == elephant)
+            .expect("elephant delivers")
+            .1[1];
+        let mice_on_elephant = traces
+            .iter()
+            .filter(|(f, t)| *f != elephant && t.len() > 1 && t[1] == elephant_spine)
+            .count();
+        let mice_total = traces.iter().filter(|(f, _)| *f != elephant).count();
+        assert!(
+            (mice_on_elephant as f64) < 0.5 * mice_total as f64,
+            "{mice_on_elephant}/{mice_total} mice packets shared spine {spine0}"
+        );
+    }
+
+    #[test]
+    fn hula_reroutes_after_link_failure() {
+        let topo = leaf_spine();
+        let leaf0 = topo.find("leaf0").unwrap();
+        let spine0 = topo.find("spine0").unwrap();
+        let spine1 = topo.find("spine1").unwrap();
+        let mut sim = Simulator::new(
+            topo.clone(),
+            SimConfig {
+                stop_at: Time::ms(40),
+                trace_paths: true,
+                ..SimConfig::default()
+            },
+        );
+        install_hula(&mut sim, &HulaConfig::default());
+        let hosts = topo.hosts();
+        sim.fail_link_at(leaf0, spine0, Time::ms(1));
+        for i in 0..10 {
+            sim.add_flow(FlowSpec::Tcp {
+                src: hosts[0],
+                dst: hosts[2],
+                bytes: 50_000,
+                // Flows start well after detection (3 periods ≈ 0.77 ms
+                // past the failure).
+                start: Time::ms(4) + Time::us(300 * i),
+            });
+        }
+        let (stats, traces) = sim.run_traced();
+        assert_eq!(stats.completion_rate(), 1.0);
+        for (_, t) in &traces {
+            assert_eq!(t[1], spine1, "traffic must avoid the dead uplink: {t:?}");
+        }
+    }
+}

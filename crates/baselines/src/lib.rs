@@ -1,0 +1,43 @@
+//! # contra-baselines — the systems Contra is evaluated against
+//!
+//! All four baselines of §6, each as a `contra_sim::SwitchLogic`:
+//!
+//! * [`EcmpSwitch`] — per-flow hashing over equal-cost shortest paths; the
+//!   standard datacenter default (Figs 11–13, 16).
+//! * [`SpSwitch`] — one static shortest path; the weakest WAN baseline
+//!   (Fig 15).
+//! * [`HulaSwitch`] — Hula (SOSR'16), the hand-crafted utilization-aware
+//!   load balancer for leaf-spine fabrics that Contra matches while being
+//!   topology- and policy-generic (Figs 11, 12, 14, 16).
+//! * [`SpainSwitch`] — SPAIN (NSDI'10), static low-overlap multipath for
+//!   arbitrary graphs (Fig 15).
+//!
+//! Installation helpers ([`install_ecmp`], [`install_sp`],
+//! [`install_hula`], [`install_spain`]) wire a whole simulator in one
+//! call.
+
+pub mod ecmp;
+pub mod hula;
+pub mod spain;
+
+pub use ecmp::{EcmpSwitch, SpSwitch};
+pub use hula::{infer_roles, install_hula, HulaConfig, HulaRole, HulaSwitch};
+pub use spain::{install_spain, SpainPaths, SpainSwitch};
+
+use contra_sim::Simulator;
+
+/// Installs ECMP on every switch.
+pub fn install_ecmp(sim: &mut Simulator) {
+    let topo = sim.topology().clone();
+    for sw in topo.switches() {
+        sim.install(sw, Box::new(EcmpSwitch::new(&topo, sw)));
+    }
+}
+
+/// Installs static shortest-path routing on every switch.
+pub fn install_sp(sim: &mut Simulator) {
+    let topo = sim.topology().clone();
+    for sw in topo.switches() {
+        sim.install(sw, Box::new(SpSwitch::new(&topo, sw)));
+    }
+}

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks for the compiler pipeline (the quantity
+//! behind Fig 9, measured precisely): full compilation for the three §6.2
+//! policies at two fabric sizes, plus the automata stage in isolation, and
+//! an ablation of the optimization flags.
+
+use contra_automata::{Dfa, Regex};
+use contra_core::{Compiler, CompilerOptions};
+use contra_topology::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn policies(topo: &contra_topology::Topology) -> Vec<(&'static str, String)> {
+    let s = topo.switches();
+    let f1 = topo.node(s[0]).name.clone();
+    let f2 = topo.node(s[1]).name.clone();
+    vec![
+        ("MU", contra_core::policies::min_util()),
+        ("WP", contra_core::policies::waypoint(&f1, &f2)),
+        ("CA", contra_core::policies::congestion_aware()),
+    ]
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_fat_tree");
+    group.sample_size(10);
+    for k in [4usize, 10] {
+        let topo = generators::fat_tree(k, 0, generators::LinkSpec::default());
+        for (name, policy) in policies(&topo) {
+            group.bench_with_input(
+                BenchmarkId::new(name, topo.num_switches()),
+                &policy,
+                |b, policy| {
+                    b.iter(|| {
+                        let cp = Compiler::new(&topo).compile_str(policy).unwrap();
+                        black_box(cp.total_tags())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_compile_ablation(c: &mut Criterion) {
+    // How much do DFA minimization and PG pruning buy? (DESIGN.md calls
+    // these the tag-minimization optimizations.)
+    let topo = generators::fat_tree(8, 0, generators::LinkSpec::default());
+    let s = topo.switches();
+    let policy = contra_core::policies::waypoint(&topo.node(s[0]).name, &topo.node(s[1]).name);
+    let mut group = c.benchmark_group("compile_ablation_wp_ft8");
+    group.sample_size(10);
+    for (label, minimize, prune) in [
+        ("full", true, true),
+        ("no-minimize", false, true),
+        ("no-prune", true, false),
+        ("neither", false, false),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let opts = CompilerOptions {
+                    minimize_automata: minimize,
+                    prune_pg: prune,
+                    ..CompilerOptions::default()
+                };
+                let cp = Compiler::with_options(&topo, opts)
+                    .compile_str(&policy)
+                    .unwrap();
+                black_box(cp.total_tags())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_automata(c: &mut Criterion) {
+    // Reversed waypoint regex over a 125-symbol alphabet.
+    let alphabet: Vec<u32> = (0..125).collect();
+    let regex = Regex::cat_all([
+        Regex::any_star(),
+        Regex::alt(Regex::sym(3), Regex::sym(7)),
+        Regex::any_star(),
+    ]);
+    c.bench_function("dfa_build_waypoint_125", |b| {
+        b.iter(|| {
+            let d = Dfa::from_regex(black_box(&regex.reverse()), &alphabet);
+            black_box(d.minimize().0.num_states())
+        })
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_compile_ablation, bench_automata);
+criterion_main!(benches);

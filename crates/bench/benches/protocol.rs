@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the runtime: probe-round convergence in
+//! the protocol harness, and packet-level simulation throughput.
+
+use contra_bench::{DcExperiment, SystemKind, WorkloadKind};
+use contra_core::Compiler;
+use contra_dataplane::{DataplaneConfig, ProtocolHarness};
+use contra_sim::Time;
+use contra_topology::generators;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn bench_probe_rounds(c: &mut Criterion) {
+    let topo = generators::fat_tree(4, 0, generators::LinkSpec::default());
+    let cp = Rc::new(
+        Compiler::new(&topo)
+            .compile_str("minimize(path.util)")
+            .unwrap(),
+    );
+    c.bench_function("probe_round_fat_tree_k4_mu", |b| {
+        b.iter(|| {
+            let mut h = ProtocolHarness::new(&topo, cp.clone(), DataplaneConfig::default());
+            h.run_rounds(2);
+            black_box(h.probes_delivered)
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_sim_5ms_30pct");
+    group.sample_size(10);
+    for system in [SystemKind::Ecmp, SystemKind::contra_mu(), SystemKind::Hula] {
+        group.bench_function(system.label(), |b| {
+            b.iter(|| {
+                let exp = DcExperiment {
+                    leaves: 2,
+                    spines: 2,
+                    hosts_per_leaf: 4,
+                    load: 0.3,
+                    workload: WorkloadKind::Cache,
+                    duration: Time::ms(5),
+                    warmup: Time::ms(1),
+                    drain: Time::ms(5),
+                    ..DcExperiment::default()
+                };
+                let stats = exp.run(&system);
+                black_box(stats.delivered_packets)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_rounds, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! `contra-compile` — the command-line compiler: policy + topology in,
+//! per-switch P4₁₆ programs out.
+//!
+//! ```text
+//! contra_compile --topology fat-tree:4 --policy 'minimize(path.util)' --out /tmp/p4
+//! contra_compile --topology abilene --policy 'minimize(if .* Denver .* then path.util else inf)'
+//! contra_compile --topology zoo:Aarnet.graphml --policy 'minimize(path.len)'
+//! ```
+//!
+//! Without `--out`, prints a compilation report (tags, pids, state model,
+//! warnings) instead of writing files.
+
+use contra_core::Compiler;
+use contra_p4gen::{emit_switch_program, max_switch_state_kb, switch_state, validate};
+use contra_topology::{generators, zoo, Topology};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: contra_compile --topology <fat-tree:K|leaf-spine:L,S,H|abilene|random:N|zoo:FILE> \\\n\
+         \t--policy '<minimize(...)>' [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_topology(spec: &str) -> Topology {
+    let default = generators::LinkSpec::default();
+    if let Some(k) = spec.strip_prefix("fat-tree:") {
+        let k: usize = k.parse().expect("fat-tree arity");
+        generators::fat_tree(k, 0, default)
+    } else if let Some(rest) = spec.strip_prefix("leaf-spine:") {
+        let parts: Vec<usize> = rest.split(',').map(|p| p.parse().expect("number")).collect();
+        assert_eq!(parts.len(), 3, "leaf-spine:LEAVES,SPINES,HOSTS_PER_LEAF");
+        generators::leaf_spine(parts[0], parts[1], parts[2], default, default)
+    } else if spec == "abilene" {
+        generators::abilene(40e9)
+    } else if let Some(n) = spec.strip_prefix("random:") {
+        let n: usize = n.parse().expect("node count");
+        generators::random_connected(n, 2 * n, default, 42)
+    } else if let Some(path) = spec.strip_prefix("zoo:") {
+        let text = std::fs::read_to_string(path).expect("read GraphML file");
+        zoo::parse_graphml(&text, 10e9, 1_000_000).expect("parse GraphML")
+    } else {
+        usage()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut topology = None;
+    let mut policy = None;
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--topology" => {
+                topology = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--policy" => {
+                policy = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).cloned();
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(tspec), Some(policy)) = (topology, policy) else { usage() };
+    let topo = parse_topology(&tspec);
+    eprintln!(
+        "topology: {} switches, {} directed links",
+        topo.num_switches(),
+        topo.num_links()
+    );
+
+    let started = std::time::Instant::now();
+    let cp = match Compiler::new(&topo).compile(&match contra_core::parse_policy(&policy) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(1);
+        }
+    }) {
+        Ok(cp) => cp,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("compiled in {:.3}s", started.elapsed().as_secs_f64());
+    eprintln!(
+        "probe subpolicies (pids): {}; product-graph vnodes: {}; max tags/switch: {}",
+        cp.num_pids(),
+        cp.total_tags(),
+        cp.pg.max_tags_per_switch()
+    );
+    eprintln!(
+        "metric basis: {:?}; probe period floor: {} ns",
+        cp.basis.attrs(),
+        cp.min_probe_period_ns
+    );
+    for w in &cp.warnings {
+        eprintln!("warning: {w}");
+    }
+    eprintln!("max switch state: {:.1} kB", max_switch_state_kb(&cp));
+
+    match out {
+        Some(dir) => {
+            std::fs::create_dir_all(&dir).expect("create output dir");
+            let mut total = 0usize;
+            for &sw in cp.programs.keys() {
+                let p4 = emit_switch_program(&cp, sw);
+                let errs = validate(&p4);
+                assert!(errs.is_empty(), "emitted P4 failed validation: {errs:?}");
+                let name = topo.node(sw).name.replace('/', "_");
+                let path = format!("{dir}/{name}.p4");
+                std::fs::write(&path, &p4).expect("write program");
+                total += p4.len();
+            }
+            eprintln!(
+                "wrote {} programs ({} bytes of P4) to {dir}",
+                cp.programs.len(),
+                total
+            );
+        }
+        None => {
+            // Report mode: summarize the largest switch program.
+            let (&sw, _) = cp
+                .programs
+                .iter()
+                .max_by_key(|(_, p)| p.tags.len())
+                .expect("programs exist");
+            let st = switch_state(&cp, sw);
+            eprintln!(
+                "largest program: {} — {} tags, FwdT {} B, BestT {} B, flowlets {} B, total {:.1} kB",
+                topo.node(sw).name,
+                cp.programs[&sw].tags.len(),
+                st.fwdt_bytes,
+                st.best_bytes,
+                st.flowlet_bytes,
+                st.total_kb()
+            );
+        }
+    }
+}

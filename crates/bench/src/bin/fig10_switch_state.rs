@@ -1,0 +1,56 @@
+//! Figure 10: switch state (kB) of the generated programs vs topology
+//! size, for MU/WP/CA on fat-trees and random networks.
+//!
+//! Paper shape to reproduce: WP and CA need more state than MU (tags and
+//! pids respectively); everything stays well under ~100 kB.
+//!
+//! Output: CSV `fig,series,size,kB` on stdout.
+
+use contra_bench::{csv_row, fast_mode};
+use contra_core::Compiler;
+use contra_p4gen::max_switch_state_kb;
+use contra_topology::{generators, Topology};
+
+fn policies(topo: &Topology) -> Vec<(&'static str, String)> {
+    let s = topo.switches();
+    let f1 = topo.node(s[0]).name.clone();
+    let f2 = topo.node(s[1]).name.clone();
+    vec![
+        ("MU", contra_core::policies::min_util()),
+        ("WP", contra_core::policies::waypoint(&f1, &f2)),
+        ("CA", contra_core::policies::congestion_aware()),
+    ]
+}
+
+fn main() {
+    let ks: Vec<usize> = if fast_mode() {
+        vec![4, 10]
+    } else {
+        vec![4, 10, 14, 18, 20]
+    };
+    for &k in &ks {
+        let topo = generators::fat_tree(k, 0, generators::LinkSpec::default());
+        for (name, policy) in policies(&topo) {
+            let cp = Compiler::new(&topo).compile_str(&policy).expect("compiles");
+            csv_row(
+                "fig10a",
+                name,
+                topo.num_switches(),
+                format!("{:.1}", max_switch_state_kb(&cp)),
+            );
+        }
+    }
+    let sizes: Vec<usize> = if fast_mode() {
+        vec![100, 200]
+    } else {
+        vec![100, 200, 300, 400, 500]
+    };
+    for &n in &sizes {
+        let topo = generators::random_connected(n, 2 * n, generators::LinkSpec::default(), 42);
+        for (name, policy) in policies(&topo) {
+            let cp = Compiler::new(&topo).compile_str(&policy).expect("compiles");
+            csv_row("fig10b", name, n, format!("{:.1}", max_switch_state_kb(&cp)));
+        }
+    }
+    eprintln!("paper: WP/CA > MU; no more than ~70-100 kB anywhere");
+}

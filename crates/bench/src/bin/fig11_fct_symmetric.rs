@@ -1,0 +1,45 @@
+//! Figure 11: average FCT vs load on the symmetric leaf-spine fabric —
+//! ECMP vs Contra (MU) vs Hula, web-search and cache workloads.
+//!
+//! Paper shape to reproduce: Contra ≈ Hula, both clearly better than ECMP
+//! at high load (paper: ~30% / ~47% lower FCT at 90%).
+//!
+//! Output: CSV `fig,system,load_pct,fct_ms` (+ completion column).
+
+use contra_bench::{
+    csv_row, load_sweep, mean_fct_after_warmup_ms, DcExperiment, SystemKind, WorkloadKind,
+};
+
+fn main() {
+    let systems = [SystemKind::Ecmp, SystemKind::contra_dc(), SystemKind::Hula];
+    for workload in [WorkloadKind::WebSearch, WorkloadKind::Cache] {
+        let fig = match workload {
+            WorkloadKind::WebSearch => "fig11a",
+            WorkloadKind::Cache => "fig11b",
+        };
+        for &load in &load_sweep() {
+            let exp = DcExperiment {
+                load,
+                workload,
+                ..DcExperiment::default()
+            };
+            for system in &systems {
+                let stats = exp.run(system);
+                let fct = mean_fct_after_warmup_ms(&stats, exp.warmup).unwrap_or(f64::NAN);
+                csv_row(
+                    fig,
+                    &system.label(),
+                    format!("{:.0}", load * 100.0),
+                    format!("{fct:.3}"),
+                );
+                eprintln!(
+                    "{fig} {} load={:.0}%: fct={fct:.3} ms completion={:.3}",
+                    system.label(),
+                    load * 100.0,
+                    stats.completion_rate()
+                );
+            }
+        }
+    }
+    eprintln!("paper: Contra ~ Hula << ECMP at high load (30-47% FCT reduction at 90%)");
+}

@@ -1,0 +1,46 @@
+//! Figure 15: average FCT vs load on Abilene — static shortest paths (SP)
+//! vs SPAIN vs Contra (MU), web-search and cache workloads.
+//!
+//! Paper shape to reproduce: SP worst (single path saturates), SPAIN in
+//! between (static multipath), Contra best (utilization-aware spreading;
+//! paper: ~31% / ~14% lower FCT than SPAIN).
+//!
+//! Output: CSV `fig,system,load_pct,fct_ms`.
+
+use contra_bench::{
+    csv_row, load_sweep, mean_fct_after_warmup_ms, SystemKind, WanExperiment, WorkloadKind,
+};
+
+fn main() {
+    let systems = [SystemKind::Sp, SystemKind::Spain(4), SystemKind::contra_dc()];
+    for workload in [WorkloadKind::WebSearch, WorkloadKind::Cache] {
+        let fig = match workload {
+            WorkloadKind::WebSearch => "fig15a",
+            WorkloadKind::Cache => "fig15b",
+        };
+        for &load in &load_sweep() {
+            let exp = WanExperiment {
+                load,
+                workload,
+                ..WanExperiment::default()
+            };
+            for system in &systems {
+                let stats = exp.run(system);
+                let fct = mean_fct_after_warmup_ms(&stats, exp.warmup).unwrap_or(f64::NAN);
+                csv_row(
+                    fig,
+                    &system.label(),
+                    format!("{:.0}", load * 100.0),
+                    format!("{fct:.3}"),
+                );
+                eprintln!(
+                    "{fig} {} load={:.0}%: fct={fct:.3} ms completion={:.3}",
+                    system.label(),
+                    load * 100.0,
+                    stats.completion_rate()
+                );
+            }
+        }
+    }
+    eprintln!("paper: Contra < SPAIN < SP (Contra ~31%/~14% below SPAIN)");
+}

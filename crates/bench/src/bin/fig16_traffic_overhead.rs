@@ -1,0 +1,37 @@
+//! Figure 16: total traffic (probes + tags included) normalized to ECMP,
+//! at 10% and 60% load on the symmetric fabric.
+//!
+//! Paper shape to reproduce: Contra carries ≈ +0.8% over ECMP (probes and
+//! packet tags), Hula slightly less — both negligible.
+//!
+//! Output: CSV `fig,system,workload_load,ratio`.
+
+use contra_bench::{csv_row, DcExperiment, SystemKind, WorkloadKind};
+
+fn main() {
+    for workload in [WorkloadKind::WebSearch, WorkloadKind::Cache] {
+        for load in [0.1, 0.6] {
+            let exp = DcExperiment {
+                load,
+                workload,
+                ..DcExperiment::default()
+            };
+            let base = exp.run(&SystemKind::Ecmp).total_wire_bytes() as f64;
+            for system in [SystemKind::Ecmp, SystemKind::Hula, SystemKind::contra_dc()] {
+                let stats = exp.run(&system);
+                let ratio = stats.total_wire_bytes() as f64 / base;
+                let label = format!("{} {:.0}%", workload.label(), load * 100.0);
+                csv_row("fig16", &system.label(), &label, format!("{ratio:.4}"));
+                eprintln!(
+                    "fig16 {} {label}: ratio {ratio:.4} (probe bytes {})",
+                    system.label(),
+                    stats
+                        .wire_bytes
+                        .get(&contra_sim::TrafficKind::Probe)
+                        .unwrap_or(&0)
+                );
+            }
+        }
+    }
+    eprintln!("paper: Contra ≈ 1.008x ECMP, ~0.4% above Hula");
+}

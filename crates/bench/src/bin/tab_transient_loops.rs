@@ -1,0 +1,40 @@
+//! §6.5 loop measurement: the share of traffic that ever traversed a
+//! transient loop, with the MU policy at 60% load, on the leaf-spine
+//! fabric and on Abilene.
+//!
+//! Paper numbers to compare against: 0.026% (fat-tree) and 0.007%
+//! (Abilene); all such loops were broken by the §5.5 detector.
+//!
+//! Output: CSV `tab,topology,looped_pct,loop_breaks`.
+
+use contra_bench::{csv_row, DcExperiment, SystemKind, WanExperiment, WorkloadKind};
+
+fn main() {
+    let dc = DcExperiment {
+        load: 0.6,
+        workload: WorkloadKind::WebSearch,
+        trace_paths: true,
+        ..DcExperiment::default()
+    };
+    let stats = dc.run(&SystemKind::contra_dc());
+    let pct = 100.0 * stats.looped_packets as f64 / stats.delivered_packets.max(1) as f64;
+    csv_row("loops", "leaf-spine", format!("{pct:.4}"), stats.loop_breaks);
+    eprintln!(
+        "loops leaf-spine: {pct:.4}% of {} delivered packets; {} flowlet flushes (paper: 0.026%)",
+        stats.delivered_packets, stats.loop_breaks
+    );
+
+    let wan = WanExperiment {
+        load: 0.6,
+        workload: WorkloadKind::WebSearch,
+        trace_paths: true,
+        ..WanExperiment::default()
+    };
+    let stats = wan.run(&SystemKind::contra_mu());
+    let pct = 100.0 * stats.looped_packets as f64 / stats.delivered_packets.max(1) as f64;
+    csv_row("loops", "abilene", format!("{pct:.4}"), stats.loop_breaks);
+    eprintln!(
+        "loops abilene: {pct:.4}% of {} delivered packets; {} flowlet flushes (paper: 0.007%)",
+        stats.delivered_packets, stats.loop_breaks
+    );
+}

@@ -1,0 +1,13 @@
+//! # contra-bench — experiment harnesses for every figure in the paper
+//!
+//! One binary per table/figure of §6 (see `src/bin/`), each printing the
+//! same series the paper plots, as CSV on stdout plus a short
+//! paper-vs-measured summary on stderr. Criterion micro-benchmarks for the
+//! compiler and the protocol live under `benches/`.
+//!
+//! Shared plumbing lives here: experiment configuration, simulator
+//! assembly for each routing system, and CSV helpers.
+
+pub mod runner;
+
+pub use runner::*;

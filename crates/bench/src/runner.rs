@@ -1,0 +1,461 @@
+//! Shared experiment plumbing for the per-figure binaries.
+
+use contra_baselines::{install_ecmp, install_hula, install_sp, install_spain, HulaConfig};
+use contra_core::{CompiledPolicy, Compiler};
+use contra_dataplane::{install_contra, DataplaneConfig};
+use contra_sim::{FlowSpec, SimConfig, SimStats, Simulator, Time};
+use contra_topology::{generators, NodeId, Topology};
+use contra_workloads::{cache, poisson_flows, web_search, EmpiricalCdf, PairPolicy, WorkloadSpec};
+use std::rc::Rc;
+
+/// Which routing system to install.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemKind {
+    /// Contra with an arbitrary policy source text.
+    Contra(String),
+    /// Hula (leaf-spine fabrics only).
+    Hula,
+    /// ECMP; when the experiment has a failed link the tables are
+    /// pre-reconverged around it (see `EcmpSwitch::new_reconverged`).
+    Ecmp,
+    /// Static shortest path.
+    Sp,
+    /// SPAIN with this many VLANs.
+    Spain(usize),
+}
+
+impl SystemKind {
+    /// Contra with the MU (minimum-utilization) policy — used on general
+    /// topologies (§6.4), where detours are the point.
+    pub fn contra_mu() -> SystemKind {
+        SystemKind::Contra("minimize(path.util)".to_string())
+    }
+
+    /// Contra as configured for the datacenter comparison (§6.3): the
+    /// paper notes its probes carry "the path length as well as the
+    /// utilization" there, i.e. least-utilized *shortest* paths —
+    /// `minimize((path.len, path.util))`. Pure `path.util` would take
+    /// 4-hop leaf-spine-leaf-spine detours under load, which neither Hula
+    /// nor the paper's Contra does.
+    pub fn contra_dc() -> SystemKind {
+        SystemKind::Contra("minimize((path.len, path.util))".to_string())
+    }
+
+    /// Display label used in CSV series.
+    pub fn label(&self) -> String {
+        match self {
+            SystemKind::Contra(p)
+                if p == "minimize(path.util)" || p == "minimize((path.len, path.util))" =>
+            {
+                "Contra".into()
+            }
+            SystemKind::Contra(_) => "Contra(policy)".into(),
+            SystemKind::Hula => "Hula".into(),
+            SystemKind::Ecmp => "ECMP".into(),
+            SystemKind::Sp => "SP".into(),
+            SystemKind::Spain(_) => "SPAIN".into(),
+        }
+    }
+}
+
+/// Which flow-size distribution to draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// DCTCP web search.
+    WebSearch,
+    /// Facebook cache.
+    Cache,
+}
+
+impl WorkloadKind {
+    /// The CDF itself.
+    pub fn cdf(&self) -> EmpiricalCdf {
+        match self {
+            WorkloadKind::WebSearch => web_search(),
+            WorkloadKind::Cache => cache(),
+        }
+    }
+
+    /// CSV label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadKind::WebSearch => "websearch",
+            WorkloadKind::Cache => "cache",
+        }
+    }
+}
+
+/// One datacenter experiment (§6.3 testbed by default).
+#[derive(Debug, Clone)]
+pub struct DcExperiment {
+    /// Leaf count (paper: 4).
+    pub leaves: usize,
+    /// Spine count (paper: 2 → 40 Gbps bisection, 4:1 oversubscription).
+    pub spines: usize,
+    /// Hosts per leaf (paper: 8 → 32 hosts).
+    pub hosts_per_leaf: usize,
+    /// Offered load as a fraction of uplink capacity.
+    pub load: f64,
+    /// Flow-size distribution.
+    pub workload: WorkloadKind,
+    /// Flow arrivals stop here; the run continues for a drain period.
+    pub duration: Time,
+    /// No flows before this instant (probe warm-up).
+    pub warmup: Time,
+    /// Extra time after `duration` for flows to finish.
+    pub drain: Time,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fail this cable (by node names) at the given time.
+    pub fail: Option<(String, String, Time)>,
+    /// Queue occupancy sampling period (Fig 13).
+    pub queue_sampling: Option<Time>,
+    /// Record per-packet paths (exact loop accounting, §6.5).
+    pub trace_paths: bool,
+}
+
+impl Default for DcExperiment {
+    fn default() -> Self {
+        DcExperiment {
+            leaves: 4,
+            spines: 2,
+            hosts_per_leaf: 8,
+            load: 0.5,
+            workload: WorkloadKind::WebSearch,
+            duration: Time::ms(30),
+            warmup: Time::ms(2),
+            drain: Time::ms(40),
+            seed: 1,
+            fail: None,
+            queue_sampling: None,
+            trace_paths: false,
+        }
+    }
+}
+
+impl DcExperiment {
+    /// The §6.3 leaf-spine fabric for this experiment.
+    pub fn topology(&self) -> Topology {
+        generators::leaf_spine(
+            self.leaves,
+            self.spines,
+            self.hosts_per_leaf,
+            generators::LinkSpec::default(),
+            generators::LinkSpec::default(),
+        )
+    }
+
+    /// Runs the experiment under the given system.
+    pub fn run(&self, system: &SystemKind) -> SimStats {
+        let topo = self.topology();
+        let uplink = contra_workloads::uplink_capacity_bps(&topo);
+        let failed: Vec<(NodeId, NodeId)> = self
+            .fail
+            .iter()
+            .map(|(a, b, _)| (topo.find(a).unwrap(), topo.find(b).unwrap()))
+            .collect();
+        // Load is offered against the capacity that remains after failures
+        // would be unrealistic — the paper offers the same traffic on the
+        // asymmetric fabric, which is the point of Fig 12.
+        let mut sim = Simulator::new(
+            topo.clone(),
+            SimConfig {
+                stop_at: self.duration + self.drain,
+                queue_sample_every: self.queue_sampling,
+                trace_paths: self.trace_paths,
+                ..SimConfig::default()
+            },
+        );
+        install_system(&mut sim, system, &failed);
+        if let Some((a, b, at)) = &self.fail {
+            sim.fail_link_at(topo.find(a).unwrap(), topo.find(b).unwrap(), *at);
+        }
+        let flows = poisson_flows(
+            &topo,
+            &self.workload.cdf(),
+            &PairPolicy::HalfSendersHalfReceivers,
+            &WorkloadSpec {
+                load: self.load,
+                capacity_bps: uplink,
+                start: self.warmup,
+                until: self.duration,
+                seed: self.seed,
+            },
+        );
+        for f in flows {
+            sim.add_flow(f);
+        }
+        sim.run()
+    }
+}
+
+/// One Abilene experiment (§6.4): 11 PoPs at 40 Gbps, four random
+/// sender/receiver pairs.
+#[derive(Debug, Clone)]
+pub struct WanExperiment {
+    /// Offered load fraction of `capacity_bps`.
+    pub load: f64,
+    /// What the load is measured against (default: one 40 Gbps link's
+    /// worth shared by the four pairs).
+    pub capacity_bps: f64,
+    /// Flow-size distribution.
+    pub workload: WorkloadKind,
+    /// Arrivals stop here.
+    pub duration: Time,
+    /// Warm-up before first flow (WAN probe rounds are ms-scale).
+    pub warmup: Time,
+    /// Drain period.
+    pub drain: Time,
+    /// RNG seed (also selects the pairs).
+    pub seed: u64,
+    /// Number of sender/receiver pairs (paper: 4).
+    pub pairs: usize,
+    /// Record per-packet paths (exact loop accounting, §6.5).
+    pub trace_paths: bool,
+}
+
+impl Default for WanExperiment {
+    fn default() -> Self {
+        WanExperiment {
+            load: 0.5,
+            capacity_bps: 40e9,
+            workload: WorkloadKind::WebSearch,
+            duration: Time::ms(400),
+            warmup: Time::ms(120),
+            drain: Time::ms(300),
+            seed: 1,
+            pairs: 4,
+            trace_paths: false,
+        }
+    }
+}
+
+impl WanExperiment {
+    /// Abilene with one host per PoP.
+    pub fn topology(&self) -> Topology {
+        generators::with_hosts(
+            &generators::abilene(40e9),
+            1,
+            generators::LinkSpec {
+                bandwidth_bps: 40e9,
+                delay_ns: 1_000,
+            },
+        )
+    }
+
+    /// Deterministically picks the sender/receiver host pairs.
+    pub fn pick_pairs(&self, topo: &Topology) -> Vec<(NodeId, NodeId)> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed.wrapping_mul(31) + 7);
+        let hosts = topo.hosts();
+        let mut pairs = Vec::new();
+        while pairs.len() < self.pairs {
+            let s = hosts[rng.gen_range(0..hosts.len())];
+            let r = hosts[rng.gen_range(0..hosts.len())];
+            if s != r && !pairs.contains(&(s, r)) {
+                pairs.push((s, r));
+            }
+        }
+        pairs
+    }
+
+    /// Runs the experiment under the given system.
+    pub fn run(&self, system: &SystemKind) -> SimStats {
+        let topo = self.topology();
+        let mut sim = Simulator::new(
+            topo.clone(),
+            SimConfig {
+                stop_at: self.duration + self.drain,
+                // WAN RTTs are ms-scale: size the estimator window and RTO
+                // accordingly.
+                util_tau: Time::ms(20),
+                // WAN RTTs reach ~40 ms on utilization detours; a smaller
+                // floor fires spurious timeouts on every first ACK.
+                min_rto: Time::ms(50),
+                trace_paths: self.trace_paths,
+                ..SimConfig::default()
+            },
+        );
+        install_system(&mut sim, system, &[]);
+        let pairs = self.pick_pairs(&topo);
+        let flows = poisson_flows(
+            &topo,
+            &self.workload.cdf(),
+            &PairPolicy::FixedPairs(pairs),
+            &WorkloadSpec {
+                load: self.load,
+                capacity_bps: self.capacity_bps,
+                start: self.warmup,
+                until: self.duration,
+                seed: self.seed,
+            },
+        );
+        for f in flows {
+            sim.add_flow(f);
+        }
+        sim.run()
+    }
+}
+
+/// Installs a routing system on every switch of the simulator.
+pub fn install_system(sim: &mut Simulator, system: &SystemKind, failed: &[(NodeId, NodeId)]) {
+    match system {
+        SystemKind::Contra(policy) => {
+            let cp = compile_for(sim.topology(), policy);
+            let cfg = DataplaneConfig::for_policy(&cp);
+            install_contra(sim, cp, &cfg);
+        }
+        SystemKind::Hula => install_hula(sim, &HulaConfig::default()),
+        // ECMP is installed *without* knowledge of failures: the paper's
+        // asymmetric experiment observes "heavy traffic loss" from ECMP,
+        // i.e. the hash keeps selecting paths through the dead uplink on
+        // the timescale of the experiment (control planes reconverge far
+        // slower than the dataplane systems under study). A reconverged
+        // variant exists as `EcmpSwitch::new_reconverged` for what-if runs.
+        SystemKind::Ecmp => {
+            let _ = failed;
+            install_ecmp(sim);
+        }
+        SystemKind::Sp => install_sp(sim),
+        SystemKind::Spain(k) => {
+            install_spain(sim, *k);
+        }
+    }
+}
+
+/// Compiles a policy for a topology (panics on error — harness input is
+/// trusted).
+pub fn compile_for(topo: &Topology, policy: &str) -> Rc<CompiledPolicy> {
+    Rc::new(
+        Compiler::new(topo)
+            .compile_str(policy)
+            .unwrap_or_else(|e| panic!("compiling {policy:?}: {e}")),
+    )
+}
+
+/// Mean FCT in ms over completed flows that started after the warm-up.
+pub fn mean_fct_after_warmup_ms(stats: &SimStats, warmup: Time) -> Option<f64> {
+    let fcts: Vec<f64> = stats
+        .flows
+        .iter()
+        .filter(|f| f.start >= warmup)
+        .filter_map(|f| f.fct().map(|t| t.as_millis_f64()))
+        .collect();
+    if fcts.is_empty() {
+        None
+    } else {
+        Some(fcts.iter().sum::<f64>() / fcts.len() as f64)
+    }
+}
+
+/// `true` when the `CONTRA_BENCH_FAST` env var asks for smoke-test scale.
+pub fn fast_mode() -> bool {
+    std::env::var_os("CONTRA_BENCH_FAST").is_some()
+}
+
+/// Standard sweep of offered loads (the paper's x-axis).
+pub fn load_sweep() -> Vec<f64> {
+    if fast_mode() {
+        vec![0.2, 0.6]
+    } else {
+        vec![0.2, 0.4, 0.6, 0.8, 0.9]
+    }
+}
+
+/// Emits one CSV row on stdout.
+pub fn csv_row(figure: &str, series: &str, x: impl std::fmt::Display, y: impl std::fmt::Display) {
+    println!("{figure},{series},{x},{y}");
+}
+
+/// Constant-rate UDP sources summing to `total_bps` across the fabric
+/// (Fig 14): one flow per sender/receiver pair.
+pub fn add_udp_load(sim: &mut Simulator, topo: &Topology, total_bps: f64, stop: Time) {
+    let hosts = topo.hosts();
+    let senders: Vec<NodeId> = hosts.iter().copied().step_by(2).collect();
+    let receivers: Vec<NodeId> = hosts.iter().copied().skip(1).step_by(2).collect();
+    let mut pairs = Vec::new();
+    for (i, &s) in senders.iter().enumerate() {
+        // Pair with a receiver on a different leaf.
+        let r = receivers
+            .iter()
+            .copied()
+            .cycle()
+            .skip(i + 1)
+            .find(|&r| topo.host_switch(r) != topo.host_switch(s))
+            .expect("cross-leaf receiver exists");
+        pairs.push((s, r));
+    }
+    let per_flow = total_bps / pairs.len() as f64;
+    for (s, r) in pairs {
+        sim.add_flow(FlowSpec::Udp {
+            src: s,
+            dst: r,
+            rate_bps: per_flow,
+            start: Time::ZERO,
+            stop,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_experiment_smoke() {
+        let exp = DcExperiment {
+            leaves: 2,
+            spines: 2,
+            hosts_per_leaf: 2,
+            load: 0.3,
+            duration: Time::ms(8),
+            warmup: Time::ms(1),
+            drain: Time::ms(15),
+            workload: WorkloadKind::Cache,
+            ..DcExperiment::default()
+        };
+        for system in [
+            SystemKind::contra_mu(),
+            SystemKind::Hula,
+            SystemKind::Ecmp,
+        ] {
+            let stats = exp.run(&system);
+            assert!(
+                stats.completion_rate() > 0.9,
+                "{}: completion {}",
+                system.label(),
+                stats.completion_rate()
+            );
+            assert!(mean_fct_after_warmup_ms(&stats, exp.warmup).is_some());
+        }
+    }
+
+    #[test]
+    fn wan_experiment_smoke() {
+        let exp = WanExperiment {
+            load: 0.2,
+            duration: Time::ms(160),
+            warmup: Time::ms(120),
+            drain: Time::ms(250),
+            workload: WorkloadKind::Cache,
+            ..WanExperiment::default()
+        };
+        for system in [SystemKind::Sp, SystemKind::Spain(4), SystemKind::contra_mu()] {
+            let stats = exp.run(&system);
+            assert!(
+                stats.completion_rate() > 0.8,
+                "{}: completion {}",
+                system.label(),
+                stats.completion_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn pairs_are_deterministic() {
+        let exp = WanExperiment::default();
+        let topo = exp.topology();
+        assert_eq!(exp.pick_pairs(&topo), exp.pick_pairs(&topo));
+        assert_eq!(exp.pick_pairs(&topo).len(), 4);
+    }
+}

@@ -1,0 +1,425 @@
+//! Monotonicity and isotonicity analysis, and non-isotonic decomposition.
+//!
+//! The paper requires policies to be **monotonic** (ranks do not improve as
+//! paths grow — otherwise probes can chase improving metrics around a cycle
+//! forever) and handles **non-isotonic** policies (where a switch's locally
+//! best path is not necessarily best for its upstream neighbors) by
+//! *decomposing* them into isotonic subpolicies that are propagated in
+//! separate probes and recombined at rank-evaluation time (§2, §3-C3,
+//! appendix A). The appendix is not included in the public text, so this
+//! module reconstructs the analysis from first principles:
+//!
+//! **Monotonicity** (structural, conservative). Path extension can only
+//! increase `len` and `lat` and cannot decrease `util` (max-combined). An
+//! expression is non-decreasing under extension if it is built from
+//! attributes and non-negative constants with `+`, `min`, `max`,
+//! multiplication of non-negatives, and subtraction *of constants only*.
+//!
+//! **Isotonicity** (structural, conservative). When two candidate paths at
+//! the same product-graph node are extended by the *same* link, additive
+//! components (`len`, `lat`, constants, and their weighted sums) translate
+//! both ranks by the same amount — an order embedding that preserves both
+//! strict order and ties. Max-combined `util` preserves order but can
+//! *collapse* distinct values into ties; in a non-final lexicographic
+//! position such collapsing unlocks lower-priority components and can flip
+//! the overall order (the paper's P3 "widest shortest path" effect), so it
+//! is only sound in the final position. A monotone function of `util`
+//! *alone* is isotone (order collapses are harmless at the end of the
+//! tuple).
+//!
+//! **Decomposition.** Every finite branch of the normalized policy orders
+//! paths by its own *retention tuple* — the branch's guard expressions
+//! followed by its rank components, constants stripped. Distinct retention
+//! tuples become distinct probe subpolicies (`pid`s): a switch keeps, per
+//! product-graph node and `pid`, the best path under that `pid`'s order,
+//! and the original policy is re-evaluated over all retained candidates
+//! when choosing where to send traffic. The guard expressions are
+//! prepended so that a guard-satisfying path is retained whenever one
+//! exists (e.g. P9 keeps a `util < 0.8` path if there is one).
+
+use crate::ast::{Attr, BinOp};
+use crate::normal::{BranchRank, MetricExpr, NormalPolicy};
+use std::fmt;
+
+/// One probe subpolicy produced by decomposition; identified at runtime by
+/// its index — the probe id (`pid`) carried in probe and packet headers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subpolicy {
+    /// Retention order: FwdT keeps, per (destination, tag, pid), the probe
+    /// minimizing this lexicographic tuple.
+    pub retention: Vec<MetricExpr>,
+    /// Indices of the normalized branches that map to this subpolicy.
+    pub branches: Vec<usize>,
+    /// Whether the retention tuple passed the isotonicity check.
+    pub isotonic: bool,
+}
+
+/// Non-fatal findings surfaced to the user.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisWarning {
+    /// A subpolicy's retention order is not isotonic even after
+    /// decomposition; converged paths may be suboptimal at some nodes
+    /// (consistent with routing-algebra theory — optimality simply cannot
+    /// be guaranteed for such policies).
+    NonIsotonicRetention {
+        /// The offending probe id.
+        pid: usize,
+        /// Rendering of the retention tuple.
+        retention: String,
+    },
+}
+
+impl fmt::Display for AnalysisWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisWarning::NonIsotonicRetention { pid, retention } => write!(
+                f,
+                "subpolicy pid={pid} has non-isotonic retention order {retention}; \
+                 converged paths may be suboptimal at some nodes"
+            ),
+        }
+    }
+}
+
+/// Fatal analysis failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The policy's rank can decrease as a path is extended, which lets
+    /// probes cycle forever (§3 challenge 1); the compiler rejects this.
+    NonMonotonic {
+        /// Rendering of the offending expression.
+        expr: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NonMonotonic { expr } => write!(
+                f,
+                "policy is not monotonic: {expr} may decrease as the path grows, \
+                 which can create persistent probe loops"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Result of analyzing a normalized policy.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The probe subpolicies; `subpolicies.len()` is the number of distinct
+    /// probe ids the protocol uses.
+    pub subpolicies: Vec<Subpolicy>,
+    /// For each normalized branch, the pid implementing it (`None` for ∞
+    /// branches, which need no probes).
+    pub branch_pid: Vec<Option<usize>>,
+    /// Warnings (non-isotonic retention orders, …).
+    pub warnings: Vec<AnalysisWarning>,
+}
+
+/// Analyzes a normalized policy: checks monotonicity (rejecting violations),
+/// decomposes into subpolicies and checks each retention order's
+/// isotonicity.
+pub fn analyze(policy: &NormalPolicy) -> Result<Analysis, AnalysisError> {
+    let mut subpolicies: Vec<Subpolicy> = Vec::new();
+    let mut branch_pid: Vec<Option<usize>> = Vec::new();
+    let mut warnings = Vec::new();
+
+    for (bi, branch) in policy.branches.iter().enumerate() {
+        let BranchRank::Finite(rank) = &branch.rank else {
+            branch_pid.push(None);
+            continue;
+        };
+        // Monotonicity: every component of the rank (and every guard
+        // operand — guards feed retention) must be non-decreasing.
+        for comp in rank {
+            if !monotone(comp) {
+                return Err(AnalysisError::NonMonotonic {
+                    expr: comp.to_string(),
+                });
+            }
+        }
+
+        let retention = retention_tuple(branch);
+        let pid = match subpolicies.iter().position(|s| s.retention == retention) {
+            Some(pid) => {
+                subpolicies[pid].branches.push(bi);
+                pid
+            }
+            None => {
+                let iso = isotonic(&retention);
+                subpolicies.push(Subpolicy {
+                    retention: retention.clone(),
+                    branches: vec![bi],
+                    isotonic: iso,
+                });
+                let pid = subpolicies.len() - 1;
+                if !iso {
+                    warnings.push(AnalysisWarning::NonIsotonicRetention {
+                        pid,
+                        retention: render_tuple(&retention),
+                    });
+                }
+                pid
+            }
+        };
+        branch_pid.push(Some(pid));
+    }
+
+    Ok(Analysis {
+        subpolicies,
+        branch_pid,
+        warnings,
+    })
+}
+
+/// The retention tuple for a finite branch: *upper-bound* guard expressions
+/// first, then the rank components; constants stripped; duplicates dropped
+/// keeping the first occurrence.
+///
+/// Prepending the guarded expression of an upper-bound guard
+/// (`expr op const`, e.g. `path.util < 0.8`) guarantees that whenever some
+/// path satisfies the guard, the retained (minimal) path does too.
+/// Lower-bound guards (`const op expr`) gain nothing from minimizing the
+/// expression — and prepending it would wreck isotonicity (e.g. P9's else
+/// branch would become `(util, len, …)`) — so they are left out: a retained
+/// path that fails a lower-bound guard simply evaluates under a *different*
+/// (and, for else-branches of threshold policies, better) branch.
+fn retention_tuple(branch: &crate::normal::Branch) -> Vec<MetricExpr> {
+    let BranchRank::Finite(rank) = &branch.rank else {
+        unreachable!("retention only defined for finite branches")
+    };
+    let mut out: Vec<MetricExpr> = Vec::new();
+    let mut push = |e: &MetricExpr| {
+        if e.as_const().is_none() && !out.contains(e) {
+            out.push(e.clone());
+        }
+    };
+    for g in &branch.guards {
+        if g.rhs.as_const().is_some() {
+            push(&g.lhs); // upper bound: minimize the guarded expression
+        }
+    }
+    for comp in rank {
+        push(comp);
+    }
+    out
+}
+
+fn render_tuple(t: &[MetricExpr]) -> String {
+    let parts: Vec<String> = t.iter().map(|e| e.to_string()).collect();
+    format!("({})", parts.join(", "))
+}
+
+/// Non-decreasing under path extension (conservative).
+pub fn monotone(e: &MetricExpr) -> bool {
+    match e {
+        MetricExpr::Const(_) => true,
+        MetricExpr::Attr(_) => true, // util: max; lat/len: sums of non-negatives
+        MetricExpr::Bin(op, a, b) => match op {
+            BinOp::Add | BinOp::Min | BinOp::Max => monotone(a) && monotone(b),
+            // x − c is still non-decreasing for constant c.
+            BinOp::Sub => monotone(a) && b.as_const().is_some(),
+            BinOp::Mul => {
+                // c·x with c ≥ 0, or the product of two non-negative
+                // non-decreasing expressions.
+                match (a.as_const(), b.as_const()) {
+                    (Some(c), _) => c >= 0.0 && monotone(b),
+                    (_, Some(c)) => c >= 0.0 && monotone(a),
+                    _ => monotone(a) && monotone(b) && nonneg(a) && nonneg(b),
+                }
+            }
+        },
+    }
+}
+
+/// Provably non-negative (conservative).
+fn nonneg(e: &MetricExpr) -> bool {
+    match e {
+        MetricExpr::Const(c) => *c >= 0.0,
+        MetricExpr::Attr(_) => true,
+        MetricExpr::Bin(op, a, b) => match op {
+            BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max => nonneg(a) && nonneg(b),
+            BinOp::Sub => false,
+        },
+    }
+}
+
+/// Translation class: extension by a link shifts the expression by the same
+/// amount for *both* candidate paths, exactly preserving order and ties.
+/// Built from `len`, `lat`, constants, `+`, `− const`, and scaling by a
+/// non-negative constant.
+fn additive(e: &MetricExpr) -> bool {
+    match e {
+        MetricExpr::Const(_) => true,
+        MetricExpr::Attr(Attr::Len | Attr::Lat) => true,
+        MetricExpr::Attr(Attr::Util) => false,
+        MetricExpr::Bin(op, a, b) => match op {
+            BinOp::Add => additive(a) && additive(b),
+            BinOp::Sub => additive(a) && b.as_const().is_some(),
+            BinOp::Mul => match (a.as_const(), b.as_const()) {
+                (Some(c), _) => c >= 0.0 && additive(b),
+                (_, Some(c)) => c >= 0.0 && additive(a),
+                _ => false,
+            },
+            BinOp::Min | BinOp::Max => false,
+        },
+    }
+}
+
+/// Mentions only the given attribute (and constants).
+fn mentions_only(e: &MetricExpr, attr: Attr) -> bool {
+    match e {
+        MetricExpr::Const(_) => true,
+        MetricExpr::Attr(a) => *a == attr,
+        MetricExpr::Bin(_, a, b) => mentions_only(a, attr) && mentions_only(b, attr),
+    }
+}
+
+/// A single component is isotone on its own if it is additive (an order
+/// embedding) or a monotone function of max-combined `util` alone.
+fn isotone_component(e: &MetricExpr) -> bool {
+    additive(e) || (mentions_only(e, Attr::Util) && monotone(e))
+}
+
+/// A lexicographic retention tuple is isotone if all non-final components
+/// are additive (preserve ties exactly) and the final component is isotone
+/// on its own.
+pub fn isotonic(retention: &[MetricExpr]) -> bool {
+    let Some((last, init)) = retention.split_last() else {
+        return true; // constant rank: trivially isotone
+    };
+    init.iter().all(additive) && isotone_component(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::normalize;
+    use crate::parser::parse_policy;
+
+    fn analyze_src(src: &str) -> Result<Analysis, AnalysisError> {
+        analyze(&normalize(&parse_policy(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn p1_p2_single_isotonic_pid() {
+        for src in ["minimize(path.len)", "minimize(path.util)", "minimize(path.lat)"] {
+            let a = analyze_src(src).unwrap();
+            assert_eq!(a.subpolicies.len(), 1, "{src}");
+            assert!(a.subpolicies[0].isotonic, "{src}");
+            assert!(a.warnings.is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn p4_shortest_widest_is_isotonic() {
+        // (len, util): additive prefix + util last → isotone.
+        let a = analyze_src("minimize((path.len, path.util))").unwrap();
+        assert_eq!(a.subpolicies.len(), 1);
+        assert!(a.subpolicies[0].isotonic);
+    }
+
+    #[test]
+    fn p3_widest_shortest_is_non_isotonic() {
+        // (util, len): util in a non-final position collapses ties → flags.
+        let a = analyze_src("minimize((path.util, path.len))").unwrap();
+        assert_eq!(a.subpolicies.len(), 1);
+        assert!(!a.subpolicies[0].isotonic);
+        assert_eq!(a.warnings.len(), 1);
+    }
+
+    #[test]
+    fn p9_decomposes_into_two_pids() {
+        let a = analyze_src(
+            "minimize(if path.util < .8 then (1, 0, path.util) \
+             else (2, path.len, path.util))",
+        )
+        .unwrap();
+        assert_eq!(a.subpolicies.len(), 2, "CA must use two probe ids");
+        assert!(a.subpolicies.iter().all(|s| s.isotonic));
+        // pid 0 retains by util (guard first, constants stripped).
+        assert_eq!(
+            a.subpolicies[0].retention,
+            vec![MetricExpr::Attr(Attr::Util)]
+        );
+        // pid 1 retains by (len, util).
+        assert_eq!(
+            a.subpolicies[1].retention,
+            vec![MetricExpr::Attr(Attr::Len), MetricExpr::Attr(Attr::Util)]
+        );
+    }
+
+    #[test]
+    fn p8_source_local_two_pids() {
+        let a = analyze_src("minimize(if X .* then path.util else path.lat)").unwrap();
+        assert_eq!(a.subpolicies.len(), 2);
+        assert!(a.subpolicies.iter().all(|s| s.isotonic));
+    }
+
+    #[test]
+    fn waypoint_single_pid_infinite_branch_excluded() {
+        let a = analyze_src("minimize(if .* W .* then path.util else inf)").unwrap();
+        assert_eq!(a.subpolicies.len(), 1);
+        assert_eq!(a.branch_pid.iter().filter(|p| p.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn identical_retention_shares_pid() {
+        // Both branches rank by util → one pid despite two branches.
+        let a = analyze_src("minimize(if A then path.util else path.util + 1)").unwrap();
+        // retention for `util + 1`... differs (util vs (util+1)) — but
+        // `if A then (0, path.util) else (1, path.util)` shares.
+        let b = analyze_src("minimize(if A then (0, path.util) else (1, path.util))").unwrap();
+        assert_eq!(b.subpolicies.len(), 1);
+        assert!(a.subpolicies.len() <= 2);
+    }
+
+    #[test]
+    fn subtraction_of_metric_rejected() {
+        let e = analyze_src("minimize(path.len - path.util)");
+        assert!(matches!(e, Err(AnalysisError::NonMonotonic { .. })));
+        // Subtracting a constant is fine.
+        assert!(analyze_src("minimize(path.len - 1)").is_ok());
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let e = analyze_src("minimize(0 - 2 * path.len)");
+        assert!(matches!(e, Err(AnalysisError::NonMonotonic { .. })));
+        assert!(analyze_src("minimize(2 * path.len)").is_ok());
+    }
+
+    #[test]
+    fn weighted_links_p7_is_monotone_isotonic() {
+        let a = analyze_src("minimize((if .* X Y .* then 10 else 0) + path.len)").unwrap();
+        // Branch ranks 10+len and 0+len fold to len-based retention; both
+        // additive → isotone.
+        assert!(a.subpolicies.iter().all(|s| s.isotonic));
+        assert!(a.warnings.is_empty());
+    }
+
+    #[test]
+    fn util_plus_lat_mixture_is_non_isotonic() {
+        let a = analyze_src("minimize(path.util + path.lat)").unwrap();
+        assert!(!a.subpolicies[0].isotonic);
+        assert_eq!(a.warnings.len(), 1);
+    }
+
+    #[test]
+    fn monotone_function_of_util_is_isotonic() {
+        let a = analyze_src("minimize(max(path.util, 0.5) + 1)").unwrap();
+        assert!(a.subpolicies[0].isotonic);
+    }
+
+    #[test]
+    fn static_failover_has_no_probe_metrics() {
+        let a = analyze_src("minimize(if A B D then 0 else if A C D then 1 else inf)").unwrap();
+        // All finite ranks are constants → empty retention, single pid.
+        assert_eq!(a.subpolicies.len(), 1);
+        assert!(a.subpolicies[0].retention.is_empty());
+        assert!(a.subpolicies[0].isotonic);
+    }
+}

@@ -1,0 +1,357 @@
+//! Abstract syntax of the Contra policy language (Figure 2 of the paper).
+//!
+//! ```text
+//! pol ::= minimize(e)
+//! e   ::= n | ∞ | path.attr | e1 ◦ e2 | if b then e1 else e2 | (e1, …, en)
+//! b   ::= r | e1 ≤ e2 | not b | b1 or b2 | b1 and b2
+//! r   ::= node-id | . | r1 + r2 | r1 r2 | r*
+//! ```
+//!
+//! Path regexes refer to switches *by name*; the compiler resolves names
+//! against a concrete topology (policies are "analyzed jointly with the
+//! topology", §4.1). The paper's examples also use `<`, which we accept
+//! alongside `≤`/`<=`.
+
+use std::fmt;
+
+/// A complete policy: `minimize(expr)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    /// The expression whose value is minimized over candidate paths.
+    pub expr: Expr,
+}
+
+/// Dynamic path attributes a policy can read (Fig 2 `path.attr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Attr {
+    /// Bottleneck utilization: the maximum link utilization along the path.
+    Util,
+    /// End-to-end latency: the sum of link latencies.
+    Lat,
+    /// Path length in hops.
+    Len,
+}
+
+impl Attr {
+    /// All attributes, in canonical order.
+    pub const ALL: [Attr; 3] = [Attr::Util, Attr::Lat, Attr::Len];
+
+    /// Canonical index used by metric vectors.
+    pub fn index(self) -> usize {
+        match self {
+            Attr::Util => 0,
+            Attr::Lat => 1,
+            Attr::Len => 2,
+        }
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attr::Util => write!(f, "path.util"),
+            Attr::Lat => write!(f, "path.lat"),
+            Attr::Len => write!(f, "path.len"),
+        }
+    }
+}
+
+/// Binary operators on rank expressions (`e1 ◦ e2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition — e.g. weighted links: `(if .*XY.* then 10 else 0) + path.len`.
+    Add,
+    /// Subtraction. Accepted by the grammar; the monotonicity analysis
+    /// rejects policies whose rank can *decrease* along a path.
+    Sub,
+    /// Multiplication (e.g. scaling a metric by a constant weight).
+    Mul,
+    /// Pointwise minimum.
+    Min,
+    /// Pointwise maximum.
+    Max,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinOp::Add => write!(f, "+"),
+            BinOp::Sub => write!(f, "-"),
+            BinOp::Mul => write!(f, "*"),
+            BinOp::Min => write!(f, "min"),
+            BinOp::Max => write!(f, "max"),
+        }
+    }
+}
+
+/// Comparison operators in boolean tests. `≥`/`>` are normalized away by
+/// the parser (operands swapped), so only these two remain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `e1 <= e2`
+    Le,
+    /// `e1 < e2`
+    Lt,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on two numbers.
+    pub fn eval(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Le => a <= b,
+            CmpOp::Lt => a < b,
+        }
+    }
+
+    /// The negation: `¬(a ≤ b)` is `b < a`, `¬(a < b)` is `b ≤ a`.
+    /// Returns the flipped operator; the caller must also swap operands.
+    pub fn negate_swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Le => CmpOp::Lt,
+            CmpOp::Lt => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmpOp::Le => write!(f, "<="),
+            CmpOp::Lt => write!(f, "<"),
+        }
+    }
+}
+
+/// Rank expressions (Fig 2 `e`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Constant numeric rank.
+    Const(f64),
+    /// Infinite rank (`inf` / `∞`): the path is forbidden.
+    Inf,
+    /// A dynamic path attribute.
+    Attr(Attr),
+    /// Binary operation on two scalar rank expressions.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional: rank depends on a test over the path.
+    If(Box<BoolExpr>, Box<Expr>, Box<Expr>),
+    /// Lexicographic tuple: compare by the first component, tie-break by
+    /// the second, and so on.
+    Tuple(Vec<Expr>),
+}
+
+/// Boolean tests (Fig 2 `b`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoolExpr {
+    /// The path matches a regular expression.
+    Regex(PathRegex),
+    /// Comparison between two scalar rank expressions.
+    Cmp(CmpOp, Expr, Expr),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+/// Regular expressions over switch *names* (Fig 2 `r`). Structurally
+/// identical to [`contra_automata::Regex`], but symbols are unresolved
+/// strings until the compiler binds them to a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathRegex {
+    /// A named switch.
+    Node(String),
+    /// `.` — any one switch.
+    Any,
+    /// Concatenation.
+    Concat(Box<PathRegex>, Box<PathRegex>),
+    /// Union (`+`).
+    Alt(Box<PathRegex>, Box<PathRegex>),
+    /// Kleene star.
+    Star(Box<PathRegex>),
+}
+
+impl PathRegex {
+    /// All switch names mentioned, sorted and deduplicated.
+    pub fn names(&self) -> Vec<&str> {
+        fn go<'a>(r: &'a PathRegex, out: &mut Vec<&'a str>) {
+            match r {
+                PathRegex::Node(n) => out.push(n),
+                PathRegex::Any => {}
+                PathRegex::Concat(a, b) | PathRegex::Alt(a, b) => {
+                    go(a, out);
+                    go(b, out);
+                }
+                PathRegex::Star(r) => go(r, out),
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for PathRegex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn prec(r: &PathRegex) -> u8 {
+            match r {
+                PathRegex::Alt(..) => 0,
+                PathRegex::Concat(..) => 1,
+                _ => 2,
+            }
+        }
+        fn go(r: &PathRegex, f: &mut fmt::Formatter<'_>, min: u8) -> fmt::Result {
+            let p = prec(r);
+            if p < min {
+                write!(f, "(")?;
+            }
+            match r {
+                PathRegex::Node(n) => write!(f, "{n}")?,
+                PathRegex::Any => write!(f, ".")?,
+                PathRegex::Concat(a, b) => {
+                    // The parser right-associates concatenation, so keep a
+                    // right-nested chain flat and parenthesize the left.
+                    go(a, f, 2)?;
+                    write!(f, " ")?;
+                    go(b, f, 1)?;
+                }
+                PathRegex::Alt(a, b) => {
+                    go(a, f, 0)?;
+                    write!(f, " + ")?;
+                    go(b, f, 1)?;
+                }
+                PathRegex::Star(r) => {
+                    go(r, f, 2)?;
+                    write!(f, "*")?;
+                }
+            }
+            if p < min {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        go(self, f, 0)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn prec(e: &Expr) -> u8 {
+            match e {
+                Expr::If(..) => 0,
+                Expr::Bin(BinOp::Add | BinOp::Sub, ..) => 1,
+                Expr::Bin(BinOp::Mul, ..) => 2,
+                _ => 3,
+            }
+        }
+        fn go(e: &Expr, f: &mut fmt::Formatter<'_>, min: u8) -> fmt::Result {
+            let p = prec(e);
+            if p < min {
+                write!(f, "(")?;
+            }
+            match e {
+                Expr::Const(c) => write!(f, "{c}")?,
+                Expr::Inf => write!(f, "inf")?,
+                Expr::Attr(a) => write!(f, "{a}")?,
+                Expr::Bin(BinOp::Min, a, b) => write!(f, "min({a}, {b})")?,
+                Expr::Bin(BinOp::Max, a, b) => write!(f, "max({a}, {b})")?,
+                Expr::Bin(op, a, b) => {
+                    let lv = prec(e);
+                    go(a, f, lv)?;
+                    write!(f, " {op} ")?;
+                    go(b, f, lv + 1)?;
+                }
+                Expr::If(b, t, e2) => {
+                    write!(f, "if {b} then ")?;
+                    go(t, f, 1)?;
+                    write!(f, " else ")?;
+                    go(e2, f, 0)?;
+                }
+                Expr::Tuple(es) => {
+                    write!(f, "(")?;
+                    for (i, e) in es.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        go(e, f, 0)?;
+                    }
+                    write!(f, ")")?;
+                }
+            }
+            if p < min {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        go(self, f, 0)
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::Regex(r) => write!(f, "{r}"),
+            BoolExpr::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            BoolExpr::Not(b) => write!(f, "not ({b})"),
+            BoolExpr::Or(a, b) => write!(f, "({a}) or ({b})"),
+            BoolExpr::And(a, b) => write!(f, "({a}) and ({b})"),
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "minimize({})", self.expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_indices_are_canonical() {
+        for (i, a) in Attr::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+        }
+    }
+
+    #[test]
+    fn cmp_negation() {
+        // ¬(a <= b) ⇔ b < a
+        assert_eq!(CmpOp::Le.negate_swapped(), CmpOp::Lt);
+        assert_eq!(CmpOp::Lt.negate_swapped(), CmpOp::Le);
+        assert!(CmpOp::Le.eval(1.0, 1.0));
+        assert!(!CmpOp::Lt.eval(1.0, 1.0));
+    }
+
+    #[test]
+    fn display_policy() {
+        let p = Policy {
+            expr: Expr::If(
+                Box::new(BoolExpr::Regex(PathRegex::Concat(
+                    Box::new(PathRegex::Node("A".into())),
+                    Box::new(PathRegex::Star(Box::new(PathRegex::Any))),
+                ))),
+                Box::new(Expr::Attr(Attr::Util)),
+                Box::new(Expr::Attr(Attr::Lat)),
+            ),
+        };
+        assert_eq!(p.to_string(), "minimize(if A .* then path.util else path.lat)");
+    }
+
+    #[test]
+    fn regex_names() {
+        let r = PathRegex::Alt(
+            Box::new(PathRegex::Node("B".into())),
+            Box::new(PathRegex::Concat(
+                Box::new(PathRegex::Node("A".into())),
+                Box::new(PathRegex::Node("B".into())),
+            )),
+        );
+        assert_eq!(r.names(), vec!["A", "B"]);
+    }
+}

@@ -1,0 +1,456 @@
+//! The compiler driver: policy + topology → per-switch programs.
+//!
+//! Pipeline (§4): parse → normalize into guarded branches → analyze
+//! (monotonicity check, isotonic decomposition into `pid`s) → resolve
+//! switch names → reverse each regex, determinize, minimize → build the
+//! product graph → emit one [`SwitchProgram`] per switch containing the
+//! static tables the runtime protocol interprets (`NEXTPGNODE`, multicast
+//! fan-out, probe-sending state).
+//!
+//! The compiler also computes the **probe period floor** (§5.2: period ≥
+//! 0.5 × max RTT) and exposes the rank-evaluation helpers the dataplane
+//! uses (`retention_rank` for FwdT updates, `full_rank` for BestT).
+
+use crate::analysis::{analyze, Analysis, AnalysisError, AnalysisWarning};
+use crate::ast::Policy;
+use crate::lexer::SyntaxError;
+use crate::metric::{MetricBasis, MetricVec};
+use crate::normal::{normalize, NormError, NormalPolicy};
+use crate::pg::{ProductGraph, VNodeId};
+use crate::rank::Rank;
+use crate::resolve::{resolve_regexes, ResolveError};
+use contra_automata::{Dfa, Regex};
+use contra_topology::{NodeId, Topology};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Anything that can go wrong between policy text and switch programs.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Lexing/parsing failure.
+    Syntax(SyntaxError),
+    /// Type-level normalization failure.
+    Norm(NormError),
+    /// Monotonicity violation.
+    Analysis(AnalysisError),
+    /// Unknown / non-switch node name.
+    Resolve(ResolveError),
+    /// The policy assigns ∞ to every path on this topology — nothing to
+    /// compile.
+    NoUsefulPaths,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Syntax(e) => write!(f, "{e}"),
+            CompileError::Norm(e) => write!(f, "{e}"),
+            CompileError::Analysis(e) => write!(f, "{e}"),
+            CompileError::Resolve(e) => write!(f, "{e}"),
+            CompileError::NoUsefulPaths => {
+                write!(f, "policy forbids every path on this topology")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<SyntaxError> for CompileError {
+    fn from(e: SyntaxError) -> Self {
+        CompileError::Syntax(e)
+    }
+}
+impl From<NormError> for CompileError {
+    fn from(e: NormError) -> Self {
+        CompileError::Norm(e)
+    }
+}
+impl From<AnalysisError> for CompileError {
+    fn from(e: AnalysisError) -> Self {
+        CompileError::Analysis(e)
+    }
+}
+impl From<ResolveError> for CompileError {
+    fn from(e: ResolveError) -> Self {
+        CompileError::Resolve(e)
+    }
+}
+
+/// Compiler knobs. The defaults match the paper's system; the ablation
+/// flags exist so benches can quantify each optimization.
+#[derive(Debug, Clone)]
+pub struct CompilerOptions {
+    /// Which switches originate probes (i.e. are traffic destinations).
+    /// `None` ⇒ every switch with attached hosts, or every switch if the
+    /// topology has no hosts (the scalability sweeps use host-less graphs).
+    pub destinations: Option<Vec<NodeId>>,
+    /// Minimize each policy automaton before forming the product
+    /// (tag-count optimization). Disable only for ablation.
+    pub minimize_automata: bool,
+    /// Prune product-graph nodes that cannot contribute finite-rank paths.
+    /// Disable only for ablation.
+    pub prune_pg: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            destinations: None,
+            minimize_automata: true,
+            prune_pg: true,
+        }
+    }
+}
+
+/// The static program for one switch: everything the runtime protocol needs
+/// besides the (runtime-populated) FwdT/BestT/flowlet tables.
+#[derive(Debug, Clone)]
+pub struct SwitchProgram {
+    /// The switch this program runs on.
+    pub switch: NodeId,
+    /// This switch's virtual nodes, in tag order (tag i = `tags[i]`).
+    pub tags: Vec<VNodeId>,
+    /// `NEXTPGNODE`: incoming probe tag → this switch's virtual node.
+    pub next_pg_node: BTreeMap<VNodeId, VNodeId>,
+    /// Probe fan-out: local virtual node → (neighbor switch, its vnode).
+    pub multicast: BTreeMap<VNodeId, Vec<(NodeId, VNodeId)>>,
+    /// The probe-sending virtual node when this switch originates probes
+    /// (it is a destination allowed by the policy).
+    pub sending_vnode: Option<VNodeId>,
+}
+
+/// The full output of compilation.
+#[derive(Debug, Clone)]
+pub struct CompiledPolicy {
+    /// The source policy (resolved AST).
+    pub policy: Policy,
+    /// Normalized guarded branches.
+    pub normal: NormalPolicy,
+    /// Monotonicity/isotonicity analysis and `pid` decomposition.
+    pub analysis: Analysis,
+    /// Metrics probes must carry.
+    pub basis: MetricBasis,
+    /// Traffic-direction resolved regexes (used by oracles and BestT
+    /// evaluation in tests).
+    pub traffic_regexes: Vec<Regex>,
+    /// Reversed, determinized (and optionally minimized) automata — the
+    /// ones the product graph runs on.
+    pub automata: Vec<Dfa>,
+    /// The product graph.
+    pub pg: ProductGraph,
+    /// Probe-originating destinations.
+    pub destinations: Vec<NodeId>,
+    /// Per-switch programs.
+    pub programs: BTreeMap<NodeId, SwitchProgram>,
+    /// Analysis warnings (non-isotonic retention, …).
+    pub warnings: Vec<AnalysisWarning>,
+    /// Lower bound on the probe period in nanoseconds (0.5 × max RTT, §5.2).
+    pub min_probe_period_ns: u64,
+}
+
+impl CompiledPolicy {
+    /// Number of probe subpolicies (`pid`s).
+    pub fn num_pids(&self) -> usize {
+        self.analysis.subpolicies.len()
+    }
+
+    /// The retention rank `f(pid, mv)` used for FwdT updates (Fig 7):
+    /// lower is better; probes that do not improve it are not re-multicast.
+    pub fn retention_rank(&self, pid: usize, mv: &MetricVec) -> Rank {
+        let sub = &self.analysis.subpolicies[pid];
+        Rank::tuple(sub.retention.iter().map(|e| e.eval(mv)).collect())
+    }
+
+    /// The full policy rank `s(·)` used for BestT / source path selection:
+    /// evaluates the original policy given a virtual node's acceptance
+    /// vector and a metric vector.
+    pub fn full_rank(&self, vnode: VNodeId, mv: &MetricVec) -> Rank {
+        let acc = &self.pg.vnode(vnode).acc;
+        self.normal.rank(acc, mv)
+    }
+
+    /// Ground-truth oracle: the rank the policy assigns to a concrete
+    /// switch path (source first, destination last) with the given link
+    /// metric lookups. Used by tests and the optimality property harness.
+    pub fn rank_of_path(
+        &self,
+        path: &[NodeId],
+        mut link_metrics: impl FnMut(NodeId, NodeId) -> (f64, f64),
+    ) -> Rank {
+        let syms: Vec<u32> = path.iter().map(|n| n.0).collect();
+        let acc: Vec<bool> = self
+            .traffic_regexes
+            .iter()
+            .map(|r| r.matches(&syms))
+            .collect();
+        let mut mv = MetricVec::zero();
+        for w in path.windows(2) {
+            let (util, lat) = link_metrics(w[0], w[1]);
+            mv = mv.extend(util, lat);
+        }
+        self.normal.rank(&acc, &mv)
+    }
+
+    /// Total number of virtual nodes (= tags across all switches).
+    pub fn total_tags(&self) -> usize {
+        self.pg.len()
+    }
+}
+
+/// The Contra compiler, bound to one topology.
+pub struct Compiler<'t> {
+    topo: &'t Topology,
+    opts: CompilerOptions,
+}
+
+impl<'t> Compiler<'t> {
+    /// A compiler with default options.
+    pub fn new(topo: &'t Topology) -> Compiler<'t> {
+        Compiler {
+            topo,
+            opts: CompilerOptions::default(),
+        }
+    }
+
+    /// A compiler with explicit options.
+    pub fn with_options(topo: &'t Topology, opts: CompilerOptions) -> Compiler<'t> {
+        Compiler { topo, opts }
+    }
+
+    /// Compiles a parsed policy.
+    pub fn compile(&self, policy: &Policy) -> Result<CompiledPolicy, CompileError> {
+        let normal = normalize(policy)?;
+        let analysis = analyze(&normal)?;
+        let basis = normal.basis();
+        let traffic_regexes = resolve_regexes(&normal.regexes, self.topo)?;
+
+        let alphabet: Vec<u32> = self.topo.switches().iter().map(|s| s.0).collect();
+        let automata: Vec<Dfa> = traffic_regexes
+            .iter()
+            .map(|r| {
+                let dfa = Dfa::from_regex(&r.reverse(), &alphabet);
+                if self.opts.minimize_automata {
+                    dfa.minimize().0
+                } else {
+                    dfa
+                }
+            })
+            .collect();
+
+        let destinations: Vec<NodeId> = match &self.opts.destinations {
+            Some(d) => d.clone(),
+            None => {
+                let with_hosts: Vec<NodeId> = self
+                    .topo
+                    .switches()
+                    .into_iter()
+                    .filter(|&s| !self.topo.hosts_of(s).is_empty())
+                    .collect();
+                if with_hosts.is_empty() {
+                    self.topo.switches()
+                } else {
+                    with_hosts
+                }
+            }
+        };
+
+        let pg = ProductGraph::build(
+            self.topo,
+            &automata,
+            &normal,
+            &destinations,
+            self.opts.prune_pg,
+        );
+        if pg.is_empty() || pg.sending.is_empty() {
+            return Err(CompileError::NoUsefulPaths);
+        }
+
+        // Per-switch programs.
+        let mut programs: BTreeMap<NodeId, SwitchProgram> = BTreeMap::new();
+        for sw in self.topo.switches() {
+            let tags = pg.by_switch.get(&sw).cloned().unwrap_or_default();
+            programs.insert(
+                sw,
+                SwitchProgram {
+                    switch: sw,
+                    tags,
+                    next_pg_node: BTreeMap::new(),
+                    multicast: BTreeMap::new(),
+                    sending_vnode: pg.sending.get(&sw).copied(),
+                },
+            );
+        }
+        // Fill multicast (at the probe's current switch) and next_pg_node
+        // (at the receiving switch) from the PG edges.
+        for (v_idx, succs) in pg.out.iter().enumerate() {
+            let v = VNodeId(v_idx as u32);
+            let x = pg.vnode(v).switch;
+            for &w in succs {
+                let y = pg.vnode(w).switch;
+                programs
+                    .get_mut(&x)
+                    .expect("switch program exists")
+                    .multicast
+                    .entry(v)
+                    .or_default()
+                    .push((y, w));
+                programs
+                    .get_mut(&y)
+                    .expect("switch program exists")
+                    .next_pg_node
+                    .insert(v, w);
+            }
+        }
+
+        let warnings = analysis.warnings.clone();
+        let min_probe_period_ns = self.topo.max_switch_rtt_ns() / 2;
+        Ok(CompiledPolicy {
+            policy: policy.clone(),
+            normal,
+            analysis,
+            basis,
+            traffic_regexes,
+            automata,
+            pg,
+            destinations,
+            programs,
+            warnings,
+            min_probe_period_ns,
+        })
+    }
+
+    /// Convenience: parse then compile.
+    pub fn compile_str(&self, src: &str) -> Result<CompiledPolicy, CompileError> {
+        let policy = crate::parser::parse_policy(src)?;
+        self.compile(&policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Attr;
+    use contra_topology::Topology;
+
+    fn fig6_topo() -> Topology {
+        let mut t = Topology::builder();
+        let a = t.switch("A");
+        let b = t.switch("B");
+        let c = t.switch("C");
+        let d = t.switch("D");
+        t.biline(a, b, 10e9, 1_000);
+        t.biline(a, c, 10e9, 1_000);
+        t.biline(b, c, 10e9, 1_000);
+        t.biline(b, d, 10e9, 1_000);
+        t.biline(c, d, 10e9, 1_000);
+        t.build()
+    }
+
+    #[test]
+    fn compiles_min_util() {
+        let topo = fig6_topo();
+        let cp = Compiler::new(&topo).compile_str("minimize(path.util)").unwrap();
+        assert_eq!(cp.num_pids(), 1);
+        assert_eq!(cp.programs.len(), 4);
+        assert_eq!(cp.basis.attrs(), vec![Attr::Util]);
+        assert!(cp.warnings.is_empty());
+        // Every switch is a destination (no hosts) and sends probes.
+        for (_, prog) in &cp.programs {
+            assert!(prog.sending_vnode.is_some());
+        }
+        // min probe period = half of max RTT (diamond+: max RTT = 2 hops
+        // each way = 4 µs; here longest shortest path is 2 hops → 4 µs RTT).
+        assert_eq!(cp.min_probe_period_ns, 2_000);
+    }
+
+    #[test]
+    fn multicast_and_next_pg_node_are_duals() {
+        let topo = fig6_topo();
+        let cp = Compiler::new(&topo)
+            .compile_str("minimize(if A B D then 0 else if B .* D then path.util else inf)")
+            .unwrap();
+        for (x, prog) in &cp.programs {
+            for (v, fanout) in &prog.multicast {
+                assert_eq!(cp.pg.vnode(*v).switch, *x);
+                for (y, w) in fanout {
+                    let target = &cp.programs[y];
+                    assert_eq!(target.next_pg_node.get(v), Some(w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_of_path_oracle() {
+        let topo = fig6_topo();
+        let cp = Compiler::new(&topo)
+            .compile_str("minimize(if A B D then 0 else if B .* D then path.util else inf)")
+            .unwrap();
+        let a = topo.find("A").unwrap();
+        let b = topo.find("B").unwrap();
+        let c = topo.find("C").unwrap();
+        let d = topo.find("D").unwrap();
+        let metrics = |_x: NodeId, _y: NodeId| (0.3, 1e-6);
+        assert_eq!(cp.rank_of_path(&[a, b, d], metrics), Rank::scalar(0.0));
+        assert_eq!(cp.rank_of_path(&[b, c, d], metrics), Rank::scalar(0.3));
+        assert!(cp.rank_of_path(&[a, c, d], metrics).is_inf());
+    }
+
+    #[test]
+    fn destination_defaults_to_hosted_switches() {
+        let mut t = Topology::builder();
+        let a = t.switch("A");
+        let b = t.switch("B");
+        let h = t.host("h");
+        t.biline(a, b, 1e9, 1_000);
+        t.biline(b, h, 1e9, 1_000);
+        let topo = t.build();
+        let cp = Compiler::new(&topo).compile_str("minimize(path.len)").unwrap();
+        assert_eq!(cp.destinations, vec![b]);
+        assert!(cp.programs[&b].sending_vnode.is_some());
+        assert!(cp.programs[&a].sending_vnode.is_none());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let topo = fig6_topo();
+        let c = Compiler::new(&topo);
+        assert!(matches!(
+            c.compile_str("minimize(path.util"),
+            Err(CompileError::Syntax(_))
+        ));
+        assert!(matches!(
+            c.compile_str("minimize(if Zed then 0 else 1)"),
+            Err(CompileError::Resolve(_))
+        ));
+        assert!(matches!(
+            c.compile_str("minimize(path.len - path.util)"),
+            Err(CompileError::Analysis(_))
+        ));
+        assert!(matches!(
+            c.compile_str("minimize(inf)"),
+            Err(CompileError::NoUsefulPaths)
+        ));
+    }
+
+    #[test]
+    fn retention_vs_full_rank_for_ca() {
+        let topo = fig6_topo();
+        let cp = Compiler::new(&topo)
+            .compile_str(
+                "minimize(if path.util < .8 then (1, 0, path.util) \
+                 else (2, path.len, path.util))",
+            )
+            .unwrap();
+        assert_eq!(cp.num_pids(), 2);
+        let low = MetricVec::new(0.3, 0.0, 2.0);
+        let high = MetricVec::new(0.9, 0.0, 2.0);
+        // pid 0 retains by util alone.
+        assert!(cp.retention_rank(0, &low) < cp.retention_rank(0, &high));
+        // Full rank switches branch at the 0.8 threshold.
+        let v = cp.pg.sending[&topo.find("D").unwrap()];
+        assert_eq!(cp.full_rank(v, &low), Rank::tuple(vec![1.0, 0.0, 0.3]));
+        assert_eq!(cp.full_rank(v, &high), Rank::tuple(vec![2.0, 2.0, 0.9]));
+    }
+}

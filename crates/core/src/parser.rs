@@ -1,0 +1,404 @@
+//! Recursive-descent parser for the policy language of Figure 2.
+//!
+//! The only interesting ambiguity is inside `if … then`: the test can be a
+//! *regex* over switch names (`if A .* B then …`) or a *metric comparison*
+//! (`if path.util < .8 then …`), and both can open with `(`. The parser
+//! resolves this with bounded backtracking: it first attempts a comparison
+//! (whose operands can never contain bare switch names) and falls back to a
+//! regex. `>=`/`>` are normalized to `<=`/`<` by swapping operands, so the
+//! AST only carries the two operators of the paper's grammar.
+
+use crate::ast::{BinOp, BoolExpr, CmpOp, Expr, PathRegex, Policy};
+use crate::lexer::{lex, SyntaxError, Tok, Token};
+
+/// Parses a complete policy: `minimize(expr)`.
+pub fn parse_policy(src: &str) -> Result<Policy, SyntaxError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.expect(&Tok::Minimize)?;
+    p.expect(&Tok::LParen)?;
+    let expr = p.expr()?;
+    p.expect(&Tok::RParen)?;
+    p.expect(&Tok::Eof)?;
+    Ok(Policy { expr })
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+
+    fn at(&self) -> usize {
+        self.toks[self.pos].at
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), SyntaxError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> SyntaxError {
+        SyntaxError {
+            message,
+            at: self.at(),
+        }
+    }
+
+    // ---- rank expressions ------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, SyntaxError> {
+        if self.eat(&Tok::If) {
+            let cond = self.bool_expr()?;
+            self.expect(&Tok::Then)?;
+            let then = self.expr_no_if()?;
+            self.expect(&Tok::Else)?;
+            let els = self.expr()?;
+            return Ok(Expr::If(Box::new(cond), Box::new(then), Box::new(els)));
+        }
+        self.add_expr()
+    }
+
+    /// The `then` arm binds tighter than a trailing `else`, but may itself
+    /// start a nested `if`.
+    fn expr_no_if(&mut self) -> Result<Expr, SyntaxError> {
+        if self.peek() == &Tok::If {
+            return self.expr();
+        }
+        self.add_expr()
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&Tok::Minus) {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.atom_expr()?;
+        while self.eat(&Tok::Star) {
+            let rhs = self.atom_expr()?;
+            lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn atom_expr(&mut self) -> Result<Expr, SyntaxError> {
+        match self.peek().clone() {
+            Tok::Number(n) => {
+                self.bump();
+                Ok(Expr::Const(n))
+            }
+            Tok::Inf => {
+                self.bump();
+                Ok(Expr::Inf)
+            }
+            Tok::Attr(a) => {
+                self.bump();
+                Ok(Expr::Attr(a))
+            }
+            Tok::Min | Tok::Max => {
+                let op = if self.bump() == Tok::Min { BinOp::Min } else { BinOp::Max };
+                self.expect(&Tok::LParen)?;
+                let a = self.expr()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::Bin(op, Box::new(a), Box::new(b)))
+            }
+            Tok::If => self.expr(),
+            Tok::LParen => {
+                self.bump();
+                let first = self.expr()?;
+                if self.eat(&Tok::RParen) {
+                    return Ok(first); // grouping
+                }
+                let mut parts = vec![first];
+                while self.eat(&Tok::Comma) {
+                    parts.push(self.expr()?);
+                }
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::Tuple(parts))
+            }
+            other => Err(self.err(format!("expected a rank expression, found {other}"))),
+        }
+    }
+
+    // ---- boolean tests ---------------------------------------------------
+
+    fn bool_expr(&mut self) -> Result<BoolExpr, SyntaxError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Tok::Or) {
+            let rhs = self.and_expr()?;
+            lhs = BoolExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<BoolExpr, SyntaxError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat(&Tok::And) {
+            let rhs = self.not_expr()?;
+            lhs = BoolExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<BoolExpr, SyntaxError> {
+        if self.eat(&Tok::Not) {
+            let inner = self.not_expr()?;
+            return Ok(BoolExpr::Not(Box::new(inner)));
+        }
+        self.bool_atom()
+    }
+
+    /// Comparison, regex, or parenthesized boolean — disambiguated by
+    /// backtracking in that order.
+    fn bool_atom(&mut self) -> Result<BoolExpr, SyntaxError> {
+        // Attempt 1: metric comparison `e1 (<=|<|>=|>) e2`.
+        let save = self.pos;
+        if let Ok(lhs) = self.add_expr() {
+            let cmp = match self.peek() {
+                Tok::Le => Some((CmpOp::Le, false)),
+                Tok::Lt => Some((CmpOp::Lt, false)),
+                Tok::Ge => Some((CmpOp::Le, true)),
+                Tok::Gt => Some((CmpOp::Lt, true)),
+                _ => None,
+            };
+            if let Some((op, swap)) = cmp {
+                self.bump();
+                let rhs = self.add_expr()?;
+                return Ok(if swap {
+                    BoolExpr::Cmp(op, rhs, lhs)
+                } else {
+                    BoolExpr::Cmp(op, lhs, rhs)
+                });
+            }
+        }
+        self.pos = save;
+
+        // Attempt 2: a path regex.
+        let save = self.pos;
+        match self.regex() {
+            Ok(r) => Ok(BoolExpr::Regex(r)),
+            Err(regex_err) => {
+                self.pos = save;
+                // Attempt 3: parenthesized boolean.
+                if self.peek() == &Tok::LParen {
+                    let save = self.pos;
+                    self.bump();
+                    if let Ok(inner) = self.bool_expr() {
+                        if self.eat(&Tok::RParen) {
+                            return Ok(inner);
+                        }
+                    }
+                    self.pos = save;
+                }
+                Err(regex_err)
+            }
+        }
+    }
+
+    // ---- path regexes ----------------------------------------------------
+
+    fn regex(&mut self) -> Result<PathRegex, SyntaxError> {
+        let mut lhs = self.regex_cat()?;
+        while self.eat(&Tok::Plus) {
+            let rhs = self.regex_cat()?;
+            lhs = PathRegex::Alt(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn regex_cat(&mut self) -> Result<PathRegex, SyntaxError> {
+        let mut parts = vec![self.regex_postfix()?];
+        while matches!(self.peek(), Tok::Ident(_) | Tok::Dot | Tok::LParen) {
+            parts.push(self.regex_postfix()?);
+        }
+        let mut it = parts.into_iter().rev();
+        let mut acc = it.next().unwrap();
+        for p in it {
+            acc = PathRegex::Concat(Box::new(p), Box::new(acc));
+        }
+        Ok(acc)
+    }
+
+    fn regex_postfix(&mut self) -> Result<PathRegex, SyntaxError> {
+        let mut r = self.regex_atom()?;
+        while self.eat(&Tok::Star) {
+            r = PathRegex::Star(Box::new(r));
+        }
+        Ok(r)
+    }
+
+    fn regex_atom(&mut self) -> Result<PathRegex, SyntaxError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(PathRegex::Node(name))
+            }
+            Tok::Dot => {
+                self.bump();
+                Ok(PathRegex::Any)
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.regex()?;
+                self.expect(&Tok::RParen)?;
+                Ok(inner)
+            }
+            other => Err(self.err(format!("expected a path regex, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Attr;
+
+    fn p(src: &str) -> Policy {
+        parse_policy(src).unwrap_or_else(|e| panic!("parse {src:?}: {e}"))
+    }
+
+    #[test]
+    fn p1_shortest_path() {
+        assert_eq!(p("minimize(path.len)").expr, Expr::Attr(Attr::Len));
+    }
+
+    #[test]
+    fn p3_widest_shortest() {
+        assert_eq!(
+            p("minimize((path.util, path.len))").expr,
+            Expr::Tuple(vec![Expr::Attr(Attr::Util), Expr::Attr(Attr::Len)])
+        );
+    }
+
+    #[test]
+    fn p5_waypointing() {
+        let pol = p("minimize(if .*(F1+F2).* then path.util else inf)");
+        let Expr::If(cond, t, e) = pol.expr else { panic!("expected if") };
+        assert!(matches!(*t, Expr::Attr(Attr::Util)));
+        assert!(matches!(*e, Expr::Inf));
+        let BoolExpr::Regex(r) = *cond else { panic!("expected regex cond") };
+        assert_eq!(r.names(), vec!["F1", "F2"]);
+    }
+
+    #[test]
+    fn p9_congestion_aware() {
+        let pol = p(
+            "minimize(if path.util < .8 then (1, 0, path.util) \
+             else (2, path.len, path.util))",
+        );
+        let Expr::If(cond, ..) = pol.expr else { panic!("expected if") };
+        assert_eq!(
+            *cond,
+            BoolExpr::Cmp(CmpOp::Lt, Expr::Attr(Attr::Util), Expr::Const(0.8))
+        );
+    }
+
+    #[test]
+    fn weighted_links_p7() {
+        let pol = p("minimize((if .*X Y.* then 10 else 0) + path.len)");
+        assert!(matches!(pol.expr, Expr::Bin(BinOp::Add, ..)));
+    }
+
+    #[test]
+    fn failover_chain() {
+        let pol = p("minimize(if A B D then 0 else if A C D then 1 else inf)");
+        let Expr::If(_, _, els) = pol.expr else { panic!() };
+        assert!(matches!(*els, Expr::If(..)));
+    }
+
+    #[test]
+    fn ge_gt_normalized_by_swapping() {
+        let a = p("minimize(if path.util >= .5 then 0 else 1)");
+        let b = p("minimize(if .5 <= path.util then 0 else 1)");
+        assert_eq!(a, b);
+        let c = p("minimize(if path.len > 3 then 0 else 1)");
+        let Expr::If(cond, ..) = c.expr else { panic!() };
+        assert_eq!(
+            *cond,
+            BoolExpr::Cmp(CmpOp::Lt, Expr::Const(3.0), Expr::Attr(Attr::Len))
+        );
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let pol = p("minimize(if path.util < .5 and not (A .*) then 0 else 1)");
+        let Expr::If(cond, ..) = pol.expr else { panic!() };
+        assert!(matches!(*cond, BoolExpr::And(..)));
+    }
+
+    #[test]
+    fn min_max_functions() {
+        let pol = p("minimize(max(path.util, path.lat))");
+        assert!(matches!(pol.expr, Expr::Bin(BinOp::Max, ..)));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for src in [
+            "minimize(path.util)",
+            "minimize((path.util, path.len))",
+            "minimize(if .* W .* then 0 else inf)",
+            "minimize(if A B D then 0 else if A C D then 1 else inf)",
+            "minimize(if path.util < 0.8 then (1, 0, path.util) else (2, path.len, path.util))",
+            "minimize((if .* X Y .* then 10 else 0) + path.len)",
+            "minimize(if A .* then path.util else path.lat)",
+        ] {
+            let ast = p(src);
+            let printed = ast.to_string();
+            let reparsed = p(&printed);
+            assert_eq!(ast, reparsed, "round-trip failed for {src:?} → {printed:?}");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_policy("path.util").is_err()); // missing minimize
+        assert!(parse_policy("minimize(path.util").is_err()); // unbalanced
+        assert!(parse_policy("minimize(if A then 0)").is_err()); // missing else
+        assert!(parse_policy("minimize()").is_err());
+        assert!(parse_policy("minimize(1 +)").is_err());
+    }
+
+    #[test]
+    fn star_is_mul_in_expr_context() {
+        let pol = p("minimize(2 * path.len)");
+        assert!(matches!(pol.expr, Expr::Bin(BinOp::Mul, ..)));
+    }
+}

@@ -1,0 +1,417 @@
+//! The product graph (PG, §4.1): the joint exploration of the topology and
+//! all policy automata.
+//!
+//! Each **virtual node** pairs a physical switch with one state per policy
+//! automaton. Because probes flow from the destination toward traffic
+//! sources, the automata here run over *reversed* regexes: a probe sitting
+//! at virtual node `(X, s₁…sₖ)` has walked a path `dst … X` whose reverse —
+//! the path traffic from `X` would take — is accepted by regex `i` exactly
+//! when `sᵢ` is accepting. Edges follow probe propagation: `(X, s⃗) →
+//! (Y, σ⃗(s⃗, Y))` for every physical link between `X` and `Y`.
+//!
+//! Construction starts from the **probe-sending states** — for each
+//! destination `d`, the virtual node `(d, σ⃗(q⃗₀, d))`, the automata having
+//! already consumed `d` itself — and explores breadth-first. A pruning pass
+//! then removes virtual nodes that can never contribute a finite-rank path
+//! to any source (the paper's tag-minimization optimization); what survives
+//! is exactly the state the switches must track.
+
+use crate::normal::NormalPolicy;
+use crate::normal::BranchRank;
+use contra_automata::Dfa;
+use contra_topology::{NodeId, Topology};
+use std::collections::BTreeMap;
+
+/// Identifier of a virtual node in the product graph. Probes and packets
+/// carry these as their `tag` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VNodeId(pub u32);
+
+/// A virtual node: a physical switch plus one state per (reversed) policy
+/// automaton.
+#[derive(Debug, Clone)]
+pub struct VNode {
+    /// The physical switch.
+    pub switch: NodeId,
+    /// Current state in each automaton.
+    pub states: Vec<usize>,
+    /// Acceptance of each automaton at `states` — i.e. whether the traffic
+    /// path from this switch to the probe's origin matches each regex.
+    pub acc: Vec<bool>,
+    /// Dense per-switch tag index (0-based); the number of distinct tags a
+    /// switch needs bounds its header bits and table sizes.
+    pub tag: u16,
+    /// Whether some branch of the policy can assign a finite rank to a path
+    /// with this acceptance vector (i.e. traffic sourced here may use it).
+    pub finite: bool,
+}
+
+/// The product graph.
+#[derive(Debug, Clone)]
+pub struct ProductGraph {
+    /// All virtual nodes, indexed by [`VNodeId`].
+    pub vnodes: Vec<VNode>,
+    /// Probe-direction adjacency: `out[v]` lists the virtual nodes probes
+    /// at `v` are multicast to.
+    pub out: Vec<Vec<VNodeId>>,
+    /// Virtual nodes per physical switch, in tag order.
+    pub by_switch: BTreeMap<NodeId, Vec<VNodeId>>,
+    /// For each destination that can be the origin of probes, its
+    /// probe-sending virtual node.
+    pub sending: BTreeMap<NodeId, VNodeId>,
+}
+
+impl ProductGraph {
+    /// Builds the product graph for the given reversed automata and
+    /// destinations, pruning useless virtual nodes when `prune` is set.
+    pub fn build(
+        topo: &Topology,
+        automata: &[Dfa],
+        normal: &NormalPolicy,
+        destinations: &[NodeId],
+        prune: bool,
+    ) -> ProductGraph {
+        let mut index: BTreeMap<(NodeId, Vec<usize>), usize> = BTreeMap::new();
+        let mut switches_of: Vec<NodeId> = Vec::new();
+        let mut states_of: Vec<Vec<usize>> = Vec::new();
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        let mut sending: BTreeMap<NodeId, usize> = BTreeMap::new();
+
+        let mut work: Vec<usize> = Vec::new();
+        let add = |switch: NodeId,
+                       states: Vec<usize>,
+                       index: &mut BTreeMap<(NodeId, Vec<usize>), usize>,
+                       switches_of: &mut Vec<NodeId>,
+                       states_of: &mut Vec<Vec<usize>>,
+                       out: &mut Vec<Vec<usize>>,
+                       work: &mut Vec<usize>|
+         -> usize {
+            let key = (switch, states.clone());
+            if let Some(&i) = index.get(&key) {
+                return i;
+            }
+            let i = switches_of.len();
+            index.insert(key, i);
+            switches_of.push(switch);
+            states_of.push(states);
+            out.push(Vec::new());
+            work.push(i);
+            i
+        };
+
+        // Seed: probe-sending states per destination.
+        for &d in destinations {
+            let states: Vec<usize> = automata.iter().map(|a| a.step(a.start, d.0)).collect();
+            let i = add(
+                d,
+                states,
+                &mut index,
+                &mut switches_of,
+                &mut states_of,
+                &mut out,
+                &mut work,
+            );
+            sending.insert(d, i);
+        }
+
+        // BFS in probe direction.
+        while let Some(v) = work.pop() {
+            let x = switches_of[v];
+            let mut nbrs = topo.switch_neighbors(x);
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            for y in nbrs {
+                let states: Vec<usize> = automata
+                    .iter()
+                    .zip(&states_of[v])
+                    .map(|(a, &s)| a.step(s, y.0))
+                    .collect();
+                let w = add(
+                    y,
+                    states,
+                    &mut index,
+                    &mut switches_of,
+                    &mut states_of,
+                    &mut out,
+                    &mut work,
+                );
+                if !out[v].contains(&w) {
+                    out[v].push(w);
+                }
+            }
+        }
+
+        // Acceptance and finite-rank classification.
+        let n = switches_of.len();
+        let acc_of: Vec<Vec<bool>> = (0..n)
+            .map(|v| {
+                automata
+                    .iter()
+                    .zip(&states_of[v])
+                    .map(|(a, &s)| a.accept[s])
+                    .collect()
+            })
+            .collect();
+        let finite_of: Vec<bool> = acc_of.iter().map(|acc| finite_possible(normal, acc)).collect();
+
+        // Usefulness: a vnode is kept if it, or anything probes reach from
+        // it, can carry a finite-rank path for some source.
+        let keep: Vec<bool> = if prune {
+            let mut keep = finite_of.clone();
+            // Fixpoint over the (small) PG: predecessor of a kept node is kept.
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for v in 0..n {
+                    if !keep[v] && out[v].iter().any(|&w| keep[w]) {
+                        keep[v] = true;
+                        changed = true;
+                    }
+                }
+            }
+            keep
+        } else {
+            vec![true; n]
+        };
+
+        // Compact, deterministic renumbering: sort kept vnodes by
+        // (switch, states) so output is independent of BFS order.
+        let mut kept: Vec<usize> = (0..n).filter(|&v| keep[v]).collect();
+        kept.sort_by(|&a, &b| {
+            (switches_of[a], &states_of[a]).cmp(&(switches_of[b], &states_of[b]))
+        });
+        let mut renum = vec![usize::MAX; n];
+        for (new, &old) in kept.iter().enumerate() {
+            renum[old] = new;
+        }
+
+        let mut vnodes = Vec::with_capacity(kept.len());
+        let mut new_out = vec![Vec::new(); kept.len()];
+        let mut by_switch: BTreeMap<NodeId, Vec<VNodeId>> = BTreeMap::new();
+        for (new, &old) in kept.iter().enumerate() {
+            let switch = switches_of[old];
+            let tag = by_switch.get(&switch).map_or(0, |v| v.len()) as u16;
+            by_switch.entry(switch).or_default().push(VNodeId(new as u32));
+            vnodes.push(VNode {
+                switch,
+                states: states_of[old].clone(),
+                acc: acc_of[old].clone(),
+                tag,
+                finite: finite_of[old],
+            });
+            let mut succs: Vec<VNodeId> = out[old]
+                .iter()
+                .filter(|&&w| keep[w])
+                .map(|&w| VNodeId(renum[w] as u32))
+                .collect();
+            succs.sort_unstable();
+            new_out[new] = succs;
+        }
+        let sending = sending
+            .into_iter()
+            .filter(|&(_, v)| keep[v])
+            .map(|(d, v)| (d, VNodeId(renum[v] as u32)))
+            .collect();
+
+        ProductGraph {
+            vnodes,
+            out: new_out,
+            by_switch,
+            sending,
+        }
+    }
+
+    /// Number of virtual nodes.
+    pub fn len(&self) -> usize {
+        self.vnodes.len()
+    }
+
+    /// True when the graph is empty (the policy forbids every path).
+    pub fn is_empty(&self) -> bool {
+        self.vnodes.is_empty()
+    }
+
+    /// The virtual node record.
+    pub fn vnode(&self, v: VNodeId) -> &VNode {
+        &self.vnodes[v.0 as usize]
+    }
+
+    /// Probe-direction successors.
+    pub fn succs(&self, v: VNodeId) -> &[VNodeId] {
+        &self.out[v.0 as usize]
+    }
+
+    /// Looks up the virtual node at `switch` with exactly these automaton
+    /// states.
+    pub fn find(&self, switch: NodeId, states: &[usize]) -> Option<VNodeId> {
+        self.by_switch.get(&switch)?.iter().copied().find(|&v| {
+            self.vnodes[v.0 as usize].states == states
+        })
+    }
+
+    /// `NEXTPGNODE` (Fig 7): the virtual node a probe tagged `from` maps to
+    /// when processed by switch `at`. Returns `None` when the step leaves
+    /// the pruned graph (the probe is then dropped — it can no longer lead
+    /// to a finite-rank path).
+    pub fn step(&self, automata: &[Dfa], from: VNodeId, at: NodeId) -> Option<VNodeId> {
+        let src = &self.vnodes[from.0 as usize];
+        let states: Vec<usize> = automata
+            .iter()
+            .zip(&src.states)
+            .map(|(a, &s)| a.step(s, at.0))
+            .collect();
+        self.find(at, &states)
+    }
+
+    /// Maximum number of tags any switch needs — determines header bits.
+    pub fn max_tags_per_switch(&self) -> usize {
+        self.by_switch.values().map(|v| v.len()).max().unwrap_or(0)
+    }
+}
+
+/// Whether any branch can assign a finite rank under this acceptance vector
+/// (metric guards are assumed satisfiable — they depend on runtime state).
+fn finite_possible(normal: &NormalPolicy, acc: &[bool]) -> bool {
+    normal.branches.iter().any(|b| {
+        matches!(b.rank, BranchRank::Finite(_))
+            && b.reqs.iter().all(|&(i, want)| acc[i] == want)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::normalize;
+    use crate::parser::parse_policy;
+    use crate::resolve::resolve_regexes;
+    use contra_topology::Topology;
+
+    /// Figure 6's running example: A–B, A–C, B–C, B–D, C–D.
+    fn fig6_topo() -> Topology {
+        let mut t = Topology::builder();
+        let a = t.switch("A");
+        let b = t.switch("B");
+        let c = t.switch("C");
+        let d = t.switch("D");
+        t.biline(a, b, 10e9, 1_000);
+        t.biline(a, c, 10e9, 1_000);
+        t.biline(b, c, 10e9, 1_000);
+        t.biline(b, d, 10e9, 1_000);
+        t.biline(c, d, 10e9, 1_000);
+        t.build()
+    }
+
+    fn build(src: &str, topo: &Topology, prune: bool) -> (ProductGraph, Vec<Dfa>, NormalPolicy) {
+        let pol = parse_policy(src).unwrap();
+        let normal = normalize(&pol).unwrap();
+        let automata = resolve_regexes(&normal.regexes, topo)
+            .unwrap()
+            .into_iter()
+            .map(|r| {
+                let alphabet: Vec<u32> = topo.switches().iter().map(|s| s.0).collect();
+                let (d, _) = Dfa::from_regex(&r.reverse(), &alphabet).minimize();
+                d
+            })
+            .collect::<Vec<_>>();
+        let dests = topo.switches();
+        let pg = ProductGraph::build(topo, &automata, &normal, &dests, prune);
+        (pg, automata, normal)
+    }
+
+    #[test]
+    fn min_util_pg_is_topology_sized() {
+        let topo = fig6_topo();
+        let (pg, ..) = build("minimize(path.util)", &topo, true);
+        // No regexes → one vnode per switch.
+        assert_eq!(pg.len(), 4);
+        assert_eq!(pg.max_tags_per_switch(), 1);
+        assert_eq!(pg.sending.len(), 4);
+        for v in &pg.vnodes {
+            assert!(v.finite);
+        }
+    }
+
+    #[test]
+    fn fig6_policy_produces_multiple_b_vnodes() {
+        // Figure 6: if (A B D) then 0 else if (B .* D) then path.util else inf
+        // (destination D). B appears in two roles: on the ABD path and as a
+        // source of B.*D — two virtual nodes for B.
+        let topo = fig6_topo();
+        let (pg, ..) = build(
+            "minimize(if A B D then 0 else if B .* D then path.util else inf)",
+            &topo,
+            true,
+        );
+        let b = topo.find("B").unwrap();
+        let b_nodes = pg.by_switch.get(&b).expect("B must have virtual nodes");
+        assert!(
+            b_nodes.len() >= 2,
+            "B needs ≥2 tags (got {}): one on ABD, one for B.*D",
+            b_nodes.len()
+        );
+    }
+
+    #[test]
+    fn pruning_removes_dead_vnodes() {
+        let topo = fig6_topo();
+        let (pruned, ..) = build("minimize(if A B D then 0 else inf)", &topo, true);
+        let (full, ..) = build("minimize(if A B D then 0 else inf)", &topo, false);
+        assert!(pruned.len() < full.len());
+        // Pruned graph retains the D→B→A chain (plus the sending states of
+        // other destinations are gone since only D-rooted paths match).
+        let a = topo.find("A").unwrap();
+        assert!(pruned.by_switch.contains_key(&a));
+    }
+
+    #[test]
+    fn sending_states_have_consumed_origin() {
+        let topo = fig6_topo();
+        let (pg, automata, _) = build("minimize(if .* C .* then path.util else inf)", &topo, true);
+        let c = topo.find("C").unwrap();
+        let v = pg.sending[&c];
+        // At C's own sending vnode the path "C" already matches .*C.*.
+        assert_eq!(pg.vnode(v).acc, vec![true]);
+        // Stepping the probe to B keeps acceptance (.*C.* stays matched).
+        let b = topo.find("B").unwrap();
+        let w = pg.step(&automata, v, b).unwrap();
+        assert_eq!(pg.vnode(w).acc, vec![true]);
+        assert_eq!(pg.vnode(w).switch, b);
+    }
+
+    #[test]
+    fn edges_follow_physical_links() {
+        let topo = fig6_topo();
+        let (pg, ..) = build("minimize(path.len)", &topo, true);
+        for (v, succs) in pg.out.iter().enumerate() {
+            let x = pg.vnodes[v].switch;
+            for &w in succs {
+                let y = pg.vnode(w).switch;
+                assert!(
+                    topo.link_between(x, y).is_some(),
+                    "PG edge {x}→{y} has no physical link"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forbidden_everything_gives_empty_pg() {
+        let topo = fig6_topo();
+        let (pg, ..) = build("minimize(inf)", &topo, true);
+        assert!(pg.is_empty());
+        assert!(pg.sending.is_empty());
+    }
+
+    #[test]
+    fn waypoint_pg_paths_match_policy() {
+        // All D-destined probe paths in the PG correspond to traffic paths;
+        // finite vnodes must be exactly those whose reverse path matches.
+        let topo = fig6_topo();
+        let (pg, _, _) = build("minimize(if .* C .* then path.util else inf)", &topo, true);
+        for v in &pg.vnodes {
+            if v.finite {
+                assert_eq!(v.acc, vec![true]);
+            }
+        }
+    }
+}

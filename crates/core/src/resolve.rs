@@ -1,0 +1,117 @@
+//! Name resolution: binding policy regexes to a concrete topology.
+//!
+//! Policies mention switches by name; the compiler rejects names that do
+//! not exist in the topology or that refer to hosts (hosts never appear on
+//! forwarding paths, §4.1).
+
+use crate::ast::PathRegex;
+use contra_automata::Regex;
+use contra_topology::Topology;
+use std::fmt;
+
+/// Resolution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolveError {
+    /// The policy names a node the topology does not contain.
+    UnknownNode(String),
+    /// The policy names a host; only switches may appear in path regexes.
+    NotASwitch(String),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::UnknownNode(n) => {
+                write!(f, "policy references unknown node `{n}`")
+            }
+            ResolveError::NotASwitch(n) => {
+                write!(f, "policy references `{n}`, which is a host, not a switch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Resolves one named regex into a symbol regex over switch IDs.
+pub fn resolve_regex(r: &PathRegex, topo: &Topology) -> Result<Regex, ResolveError> {
+    match r {
+        PathRegex::Node(name) => {
+            let id = topo
+                .find(name)
+                .ok_or_else(|| ResolveError::UnknownNode(name.clone()))?;
+            if !topo.is_switch(id) {
+                return Err(ResolveError::NotASwitch(name.clone()));
+            }
+            Ok(Regex::Sym(id.0))
+        }
+        PathRegex::Any => Ok(Regex::Any),
+        PathRegex::Concat(a, b) => Ok(Regex::concat(
+            resolve_regex(a, topo)?,
+            resolve_regex(b, topo)?,
+        )),
+        PathRegex::Alt(a, b) => Ok(Regex::alt(
+            resolve_regex(a, topo)?,
+            resolve_regex(b, topo)?,
+        )),
+        PathRegex::Star(inner) => Ok(Regex::star(resolve_regex(inner, topo)?)),
+    }
+}
+
+/// Resolves every regex of a normalized policy, preserving order.
+pub fn resolve_regexes(
+    regexes: &[PathRegex],
+    topo: &Topology,
+) -> Result<Vec<Regex>, ResolveError> {
+    regexes.iter().map(|r| resolve_regex(r, topo)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contra_topology::Topology;
+
+    fn topo() -> Topology {
+        let mut t = Topology::builder();
+        let a = t.switch("A");
+        let b = t.switch("B");
+        let h = t.host("h0");
+        t.biline(a, b, 1e9, 1);
+        t.biline(a, h, 1e9, 1);
+        t.build()
+    }
+
+    #[test]
+    fn resolves_names_to_switch_ids() {
+        let t = topo();
+        let r = PathRegex::Concat(
+            Box::new(PathRegex::Node("A".into())),
+            Box::new(PathRegex::Star(Box::new(PathRegex::Any))),
+        );
+        let resolved = resolve_regex(&r, &t).unwrap();
+        let a = t.find("A").unwrap().0;
+        assert!(resolved.matches(&[a]));
+        assert!(resolved.matches(&[a, 99]));
+        assert!(!resolved.matches(&[99]));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let t = topo();
+        let r = PathRegex::Node("Zed".into());
+        assert_eq!(
+            resolve_regex(&r, &t),
+            Err(ResolveError::UnknownNode("Zed".into()))
+        );
+    }
+
+    #[test]
+    fn host_in_regex_rejected() {
+        let t = topo();
+        let r = PathRegex::Node("h0".into());
+        assert_eq!(
+            resolve_regex(&r, &t),
+            Err(ResolveError::NotASwitch("h0".into()))
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the policy language: pretty-printer ↔ parser
+//! round-trips, normalization totality and evaluation consistency on random
+//! policies.
+
+use contra_core::{
+    normalize, parse_policy, Attr, BinOp, BoolExpr, CmpOp, Expr, MetricVec, PathRegex, Policy,
+};
+use proptest::prelude::*;
+
+fn arb_attr() -> impl Strategy<Value = Attr> {
+    prop_oneof![Just(Attr::Util), Just(Attr::Lat), Just(Attr::Len)]
+}
+
+fn arb_regex() -> impl Strategy<Value = PathRegex> {
+    let leaf = prop_oneof![
+        Just(PathRegex::Any),
+        (0u8..4).prop_map(|i| PathRegex::Node(format!("N{i}"))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| PathRegex::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| PathRegex::Alt(Box::new(a), Box::new(b))),
+            inner.prop_map(|r| PathRegex::Star(Box::new(r))),
+        ]
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u32..1000).prop_map(|n| Expr::Const(n as f64 / 10.0)),
+        Just(Expr::Inf),
+        arb_attr().prop_map(Expr::Attr),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        let bool_leaf = prop_oneof![
+            arb_regex().prop_map(BoolExpr::Regex),
+            (
+                prop_oneof![Just(CmpOp::Le), Just(CmpOp::Lt)],
+                arb_attr(),
+                0u32..20
+            )
+                .prop_map(|(op, a, c)| BoolExpr::Cmp(op, Expr::Attr(a), Expr::Const(c as f64 / 10.0))),
+        ];
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
+                BinOp::Add,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (bool_leaf, inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::If(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Tuple),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print → parse → print is a fixpoint (round-trip modulo the
+    /// associativity the parser fixes for `+` and concatenation — the
+    /// generator builds arbitrary trees, the parser canonical ones).
+    #[test]
+    fn pretty_print_parse_round_trip(expr in arb_expr()) {
+        let policy = Policy { expr };
+        let printed = policy.to_string();
+        let reparsed = parse_policy(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+        let reprinted = reparsed.to_string();
+        prop_assert_eq!(&printed, &reprinted);
+        // And the canonical form is a true fixpoint.
+        let again = parse_policy(&reprinted).unwrap();
+        prop_assert_eq!(reparsed, again);
+    }
+
+    /// Normalization either fails with a typed error or yields branches
+    /// that are exhaustive and exclusive for every acceptance/metric
+    /// combination we can throw at them.
+    #[test]
+    fn normalization_is_total_and_exhaustive(
+        expr in arb_expr(),
+        util in 0u32..20,
+        lat in 0u32..20,
+        len in 0u32..10,
+        acc_bits in 0u32..256,
+    ) {
+        let policy = Policy { expr };
+        let Ok(normal) = normalize(&policy) else { return Ok(()) };
+        let acc: Vec<bool> = (0..normal.regexes.len())
+            .map(|i| acc_bits >> i & 1 == 1)
+            .collect();
+        let mv = MetricVec::new(util as f64 / 10.0, lat as f64 / 10.0, len as f64);
+        // Exactly one branch applies.
+        let applicable = normal
+            .branches
+            .iter()
+            .filter(|b| b.applies(&acc, &mv))
+            .count();
+        prop_assert_eq!(applicable, 1, "policy {} acc {:?}", policy, acc);
+        // And evaluation is therefore well-defined (no panic).
+        let _ = normal.rank(&acc, &mv);
+    }
+
+    /// Rank evaluation is monotone under path extension for policies the
+    /// analyzer accepts wholesale (spot check of the monotonicity
+    /// analysis): extending the path never *improves* the retention rank
+    /// of any subpolicy.
+    #[test]
+    fn retention_ranks_never_improve_under_extension(
+        expr in arb_expr(),
+        util in 0u32..=10,
+        lat in 0u32..=10,
+        len in 0u32..5,
+        link_util in 0u32..=10,
+        link_lat in 0u32..=10,
+    ) {
+        let policy = Policy { expr };
+        let Ok(normal) = normalize(&policy) else { return Ok(()) };
+        let Ok(analysis) = contra_core::analysis::analyze(&normal) else { return Ok(()) };
+        let mv = MetricVec::new(util as f64 / 10.0, lat as f64 / 10.0, len as f64);
+        let ext = mv.extend(link_util as f64 / 10.0, link_lat as f64 / 10.0);
+        for sub in &analysis.subpolicies {
+            let before = contra_core::Rank::tuple(
+                sub.retention.iter().map(|e| e.eval(&mv)).collect(),
+            );
+            let after = contra_core::Rank::tuple(
+                sub.retention.iter().map(|e| e.eval(&ext)).collect(),
+            );
+            prop_assert!(
+                after >= before,
+                "retention improved under extension: {} → {} for {}",
+                before, after, policy
+            );
+        }
+    }
+}

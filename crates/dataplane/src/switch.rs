@@ -1,0 +1,444 @@
+//! The Contra switch: the runtime interpretation of one synthesized
+//! per-device program (Fig 7, refined per §5).
+//!
+//! Responsibilities, in paper order:
+//!
+//! * `INITPROBE`/`MULTICASTPROBE` — originate versioned probes every probe
+//!   period for every decomposed subpolicy (`pid`), starting at this
+//!   switch's probe-sending virtual node.
+//! * `PROCESSPROBE` — map the incoming tag through `NEXTPGNODE`, fold the
+//!   arrival port's utilization/latency into the metric vector, update
+//!   `FwdT` under the version discipline of §5.1 (newer version always
+//!   wins; same version must improve the retention rank), refresh `BestT`,
+//!   and re-multicast along product-graph edges.
+//! * `SWIFORWARDPKT` — stamp host-originated packets from `BestT`, then
+//!   forward by `(dst, tag, pid)` through the policy-aware flowlet table
+//!   (§5.3), expiring pins through silent (failed) next hops (§5.4) and
+//!   breaking loops detected by TTL drift (§5.5).
+
+use crate::tables::{BestTable, FlowletEntry, FlowletKey, FlowletTable, FwdEntry, FwdKey, FwdTable, LoopTable};
+use contra_core::{CompiledPolicy, MetricVec, Rank, SwitchProgram, VNodeId};
+use contra_sim::{
+    Packet, PacketKind, Probe, SwitchCtx, SwitchLogic, Time, INITIAL_TTL, PROBE_BASE_BYTES,
+};
+use contra_topology::NodeId;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Tunables of the runtime protocol. Paper values as defaults.
+#[derive(Debug, Clone)]
+pub struct DataplaneConfig {
+    /// Probe generation period (§6.3 uses 256 µs; must respect the §5.2
+    /// floor of 0.5 × max RTT — see [`DataplaneConfig::for_policy`]).
+    pub probe_period: Time,
+    /// Flowlet idle timeout (§6.3 uses 200 µs).
+    pub flowlet_timeout: Time,
+    /// A link is considered failed after this many silent probe periods
+    /// (§5.4; the failure experiment uses 3).
+    pub failure_periods: u32,
+    /// FwdT entries older than this many periods are ignored (metric
+    /// expiration).
+    pub expiry_periods: u32,
+    /// TTL drift (δ = maxttl − minttl) that triggers a flowlet flush
+    /// (§5.5). Must exceed the legitimate path-length spread.
+    pub loop_delta_threshold: u8,
+    /// Aging window for loop-detection rows.
+    pub loop_age_out: Time,
+}
+
+impl Default for DataplaneConfig {
+    fn default() -> Self {
+        DataplaneConfig {
+            probe_period: Time::us(256),
+            flowlet_timeout: Time::us(200),
+            failure_periods: 3,
+            expiry_periods: 8,
+            loop_delta_threshold: 6,
+            loop_age_out: Time::ms(1),
+        }
+    }
+}
+
+impl DataplaneConfig {
+    /// Defaults with the probe period raised to the compiled policy's §5.2
+    /// floor (0.5 × max switch RTT) when the topology demands it — WANs
+    /// like Abilene need periods in milliseconds, not microseconds.
+    pub fn for_policy(cp: &CompiledPolicy) -> DataplaneConfig {
+        let mut cfg = DataplaneConfig::default();
+        let floor = Time(cp.min_probe_period_ns);
+        if cfg.probe_period < floor {
+            cfg.probe_period = floor;
+            // Scale the flowlet timeout with the probe period so WAN pins
+            // outlive a probing round, as in the datacenter configuration.
+            cfg.flowlet_timeout = Time(floor.0.saturating_mul(4) / 5);
+            cfg.loop_age_out = Time(floor.0.saturating_mul(4));
+        }
+        cfg
+    }
+}
+
+/// One switch running the synthesized Contra program.
+pub struct ContraSwitch {
+    cp: Rc<CompiledPolicy>,
+    switch: NodeId,
+    cfg: DataplaneConfig,
+    fwdt: FwdTable,
+    best: BestTable,
+    flowlets: FlowletTable,
+    loops: LoopTable,
+    /// Last probe heard from each neighbor (failure detection, §5.4).
+    last_probe_from: BTreeMap<NodeId, Time>,
+    /// Own origin version counter (§5.1).
+    version: u32,
+    /// Probes originated + forwarded (overhead accounting in tests).
+    pub probes_sent: u64,
+}
+
+impl ContraSwitch {
+    /// Creates the switch program for `switch`.
+    pub fn new(cp: Rc<CompiledPolicy>, switch: NodeId, cfg: DataplaneConfig) -> ContraSwitch {
+        assert!(
+            cp.programs.contains_key(&switch),
+            "no compiled program for {switch}"
+        );
+        ContraSwitch {
+            cp,
+            switch,
+            cfg,
+            fwdt: FwdTable::default(),
+            best: BestTable::default(),
+            flowlets: FlowletTable::default(),
+            loops: LoopTable::default(),
+            last_probe_from: BTreeMap::new(),
+            version: 0,
+            probes_sent: 0,
+        }
+    }
+
+    fn prog(&self) -> &SwitchProgram {
+        &self.cp.programs[&self.switch]
+    }
+
+    fn probe_size(&self) -> u32 {
+        PROBE_BASE_BYTES + self.cp.basis.probe_metric_bytes() as u32
+    }
+
+    fn expiry(&self) -> Time {
+        Time(self.cfg.probe_period.0 * self.cfg.expiry_periods as u64)
+    }
+
+    /// §5.4: a next hop is considered failed when no probe has arrived
+    /// from it for `failure_periods` probe periods.
+    fn nhop_failed(&self, nhop: NodeId, now: Time) -> bool {
+        let last = self
+            .last_probe_from
+            .get(&nhop)
+            .copied()
+            .unwrap_or(Time::ZERO);
+        now.saturating_sub(last) > Time(self.cfg.probe_period.0 * self.cfg.failure_periods as u64)
+    }
+
+    fn entry_valid(&self, e: &FwdEntry, now: Time) -> bool {
+        now.saturating_sub(e.updated) <= self.expiry() && !self.nhop_failed(e.nhop, now)
+    }
+
+    /// Rank of a FwdT row under the *full* policy (the `s(·)` of Fig 7).
+    fn full_rank_of(&self, key: &FwdKey, e: &FwdEntry) -> Rank {
+        self.cp.full_rank(key.tag, &e.mv)
+    }
+
+    /// Retention order for FwdT updates: the subpolicy's rank with the hop
+    /// count as final tie-break. Max-combined metrics produce *ties* (two
+    /// paths sharing a bottleneck), and tied rows frozen by the
+    /// strict-improvement rule can point at each other — a tie cycle the
+    /// walk of next hops never escapes. Probes always carry `len` (the
+    /// paper notes Contra "carr[ies] the path length as well as the
+    /// utilization"), and breaking ties toward shorter paths makes every
+    /// next-hop chain strictly length-decreasing, hence cycle-free, while
+    /// choosing only among retention-equivalent (equally good) paths.
+    fn retention_key(&self, pid: u8, mv: &MetricVec) -> (Rank, u64) {
+        (
+            self.cp.retention_rank(pid as usize, mv),
+            mv.get(contra_core::Attr::Len) as u64,
+        )
+    }
+
+    /// Recomputes the best row for `dst` over all valid FwdT rows.
+    fn rescan_best(&mut self, dst: NodeId, now: Time) -> Option<FwdKey> {
+        let mut best: Option<(Rank, FwdKey)> = None;
+        for (k, e) in self.fwdt.rows_for(dst) {
+            if !self.entry_valid(e, now) {
+                continue;
+            }
+            let r = self.full_rank_of(k, e);
+            if r.is_inf() {
+                continue;
+            }
+            match &best {
+                Some((br, _)) if *br <= r => {}
+                _ => best = Some((r, *k)),
+            }
+        }
+        match best {
+            Some((_, k)) => {
+                self.best.set(dst, k);
+                Some(k)
+            }
+            None => {
+                self.best.clear(dst);
+                None
+            }
+        }
+    }
+
+    /// The validated BestT lookup used for host-originated packets.
+    pub fn best_key(&mut self, dst: NodeId, now: Time) -> Option<FwdKey> {
+        if let Some(k) = self.best.get(dst).copied() {
+            if let Some(e) = self.fwdt.get(&k) {
+                if self.entry_valid(e, now) && !self.full_rank_of(&k, e).is_inf() {
+                    return Some(k);
+                }
+            }
+        }
+        self.rescan_best(dst, now)
+    }
+
+    /// Raw FwdT lookup (protocol test harnesses).
+    pub fn fwd_lookup(&self, key: &FwdKey) -> Option<&FwdEntry> {
+        self.fwdt.get(key)
+    }
+
+    /// Table occupancy: (FwdT rows, BestT entries, live flowlet pins).
+    pub fn table_sizes(&self) -> (usize, usize, usize) {
+        (self.fwdt.len(), self.best.len(), self.flowlets.len())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mk_probe(
+        &self,
+        origin: NodeId,
+        pid: u8,
+        version: u32,
+        tag: VNodeId,
+        mv: &MetricVec,
+        to: NodeId,
+        now: Time,
+    ) -> Packet {
+        Packet {
+            id: 0,
+            kind: PacketKind::Probe(Probe {
+                origin,
+                pid,
+                version,
+                tag: tag.0,
+                mv: mv.raw(),
+            }),
+            src_host: self.switch,
+            dst_host: to,
+            dst_switch: to,
+            flow: contra_sim::FlowId(u32::MAX),
+            seq: 0,
+            size_bytes: self.probe_size(),
+            sent_at: now,
+            tag: tag.0,
+            pid,
+            ttl: INITIAL_TTL,
+            flow_hash: 0,
+            trace: Vec::new(),
+            looped: false,
+        }
+    }
+
+    /// `PROCESSPROBE`.
+    fn process_probe(&mut self, ctx: &mut SwitchCtx<'_>, p: Probe, from: NodeId) {
+        let now = ctx.now;
+        // Any probe from `from` proves the cable is alive.
+        self.last_probe_from.insert(from, now);
+
+        // A probe that has looped back to its own origin describes a path
+        // *through* the destination — but traffic is delivered on first
+        // arrival at the destination switch, so such paths can never be
+        // realized (and advertising them would let sources pick routes
+        // whose real prefix violates the policy). Drop it.
+        if p.origin == self.switch {
+            return;
+        }
+
+        // NEXTPGNODE: probes whose tag cannot step into this switch's
+        // pruned product graph die here — they cannot lead to any
+        // finite-rank path.
+        let Some(&n) = self.prog().next_pg_node.get(&VNodeId(p.tag)) else {
+            return;
+        };
+        // UPDATEMVEC: fold in this switch's egress toward the neighbor the
+        // probe arrived from — the first link of the traffic path.
+        let mv = MetricVec::new(p.mv[0], p.mv[1], p.mv[2]).extend(ctx.util_to(from), ctx.lat_to(from));
+
+        let key = FwdKey {
+            dst: p.origin,
+            tag: n,
+            pid: p.pid,
+        };
+        let accept = match self.fwdt.get(&key) {
+            None => true,
+            Some(e) => {
+                if p.version < e.version {
+                    // §5.1: outdated rounds are discarded outright — this is
+                    // what breaks the Fig 4(b-e) persistent loop.
+                    false
+                } else if p.version > e.version && e.nhop == from {
+                    // Fresh round from the *incumbent* next hop refreshes
+                    // the row even if the metric worsened (otherwise stale
+                    // good news would pin traffic forever). Restricting the
+                    // unconditional take-over to the incumbent is what
+                    // keeps rows from flapping to whichever probe of a new
+                    // round happens to arrive first — an earlier version of
+                    // this code accepted any newer-version probe and paid
+                    // for it in transient loops and reordering every round.
+                    true
+                } else if self.retention_key(p.pid, &mv) < self.retention_key(p.pid, &e.mv) {
+                    // Strict improvement (Fig 7's f-comparison, with the
+                    // hop-count tie-break).
+                    true
+                } else {
+                    // Last resort: the incumbent has gone silent or the
+                    // entry has outlived the metric-expiration window —
+                    // accept whatever is fresh (§5.4).
+                    self.nhop_failed(e.nhop, now)
+                        || now.saturating_sub(e.updated) > self.expiry()
+                }
+            }
+        };
+        if !accept {
+            return;
+        }
+        self.fwdt.insert(
+            key,
+            FwdEntry {
+                mv,
+                ntag: VNodeId(p.tag),
+                nhop: from,
+                version: p.version,
+                updated: now,
+            },
+        );
+        self.rescan_best(p.origin, now);
+
+        // Re-multicast along product-graph edges with the updated vector
+        // and our own tag, carrying the origin's version through.
+        if let Some(fanout) = self.prog().multicast.get(&n).cloned() {
+            for (nbr, _w) in fanout {
+                let probe = self.mk_probe(p.origin, p.pid, p.version, n, &mv, nbr, now);
+                ctx.send(nbr, probe);
+                self.probes_sent += 1;
+            }
+        }
+    }
+
+    /// `SWIFORWARDPKT` with policy-aware flowlets, failure expiry and loop
+    /// breaking.
+    fn forward(&mut self, ctx: &mut SwitchCtx<'_>, mut pkt: Packet, from: NodeId) {
+        let now = ctx.now;
+        if pkt.dst_switch == ctx.switch {
+            let host = pkt.dst_host;
+            ctx.send(host, pkt);
+            return;
+        }
+
+        // §5.5: TTL-drift loop detection. δ grows without bound only when
+        // packets of this flow(let) revisit this switch.
+        let delta = self.loops.observe(pkt.flow_hash, pkt.ttl, now, self.cfg.loop_age_out);
+        if delta >= self.cfg.loop_delta_threshold {
+            self.flowlets.flush_fid(pkt.flow_hash);
+            self.loops.reset(pkt.flow_hash);
+            ctx.note_loop_break();
+        }
+
+        // Fig 7: packets fresh from a host are stamped from BestT.
+        let (tag, pid) = if !ctx.is_switch(from) {
+            match self.best_key(pkt.dst_switch, now) {
+                Some(k) => (k.tag, k.pid),
+                None => {
+                    ctx.drop_no_route(pkt);
+                    return;
+                }
+            }
+        } else {
+            (VNodeId(pkt.tag), pkt.pid)
+        };
+
+        // §5.3: policy-aware flowlet pinning, keyed (tag, pid, fid).
+        let flkey = FlowletKey {
+            tag,
+            pid,
+            fid: pkt.flow_hash,
+        };
+        if let Some(e) = self.flowlets.lookup(flkey, now, self.cfg.flowlet_timeout) {
+            if !self.nhop_failed(e.nhop, now) {
+                self.flowlets.touch(flkey, now);
+                pkt.tag = e.ntag.0;
+                pkt.pid = pid;
+                ctx.send(e.nhop, pkt);
+                return;
+            }
+            // §5.4: next hop silent — expire every pin through it so
+            // traffic reroutes now rather than at flowlet timeout.
+            self.flowlets.flush_nhop(e.nhop);
+        }
+
+        let key = FwdKey {
+            dst: pkt.dst_switch,
+            tag,
+            pid,
+        };
+        match self.fwdt.get(&key) {
+            Some(e) if self.entry_valid(e, now) => {
+                let (nhop, ntag) = (e.nhop, e.ntag);
+                self.flowlets.pin(
+                    flkey,
+                    FlowletEntry {
+                        nhop,
+                        ntag,
+                        last: now,
+                    },
+                );
+                pkt.tag = ntag.0;
+                pkt.pid = pid;
+                ctx.send(nhop, pkt);
+            }
+            _ => ctx.drop_no_route(pkt),
+        }
+    }
+}
+
+impl SwitchLogic for ContraSwitch {
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: Packet, from: NodeId) {
+        match pkt.kind.clone() {
+            PacketKind::Probe(p) => self.process_probe(ctx, p, from),
+            _ => self.forward(ctx, pkt, from),
+        }
+    }
+
+    /// `INITPROBE`: originate one probe per subpolicy per period, tagged
+    /// with the probe-sending virtual node and a fresh version.
+    fn on_tick(&mut self, ctx: &mut SwitchCtx<'_>) {
+        let Some(v0) = self.prog().sending_vnode else {
+            return;
+        };
+        self.version += 1;
+        let now = ctx.now;
+        let mv = MetricVec::zero();
+        let fanout = self.prog().multicast.get(&v0).cloned().unwrap_or_default();
+        for pid in 0..self.cp.num_pids() as u8 {
+            for &(nbr, _w) in &fanout {
+                let probe = self.mk_probe(self.switch, pid, self.version, v0, &mv, nbr, now);
+                ctx.send(nbr, probe);
+                self.probes_sent += 1;
+            }
+        }
+    }
+
+    fn tick_interval(&self) -> Option<Time> {
+        Some(self.cfg.probe_period)
+    }
+}

@@ -1,0 +1,359 @@
+//! Runtime tables of the synthesized switch programs.
+//!
+//! These are the mutable structures the paper's P4 programs keep in
+//! registers/SRAM: the forwarding table `FwdT`, the best-choice table
+//! `BestT`, the policy-aware flowlet table (§5.3) and the TTL-delta loop
+//! detection table (§5.5). The static configuration (tags, `NEXTPGNODE`,
+//! multicast fan-out) lives in `contra_core::SwitchProgram`.
+
+use contra_core::{MetricVec, VNodeId};
+use contra_sim::Time;
+use contra_topology::NodeId;
+use std::collections::{BTreeMap, HashMap};
+
+/// Key of a forwarding-table row: `[dst*, tag*, pid*]` in Fig 6(e).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FwdKey {
+    /// Traffic destination (a switch).
+    pub dst: NodeId,
+    /// Product-graph virtual node of *this* switch.
+    pub tag: VNodeId,
+    /// Probe subpolicy id.
+    pub pid: u8,
+}
+
+/// Value of a forwarding-table row: `[mv, ntag, nhop]` plus the §5.1
+/// version number and the update timestamp for metric expiration (§5.4).
+#[derive(Debug, Clone)]
+pub struct FwdEntry {
+    /// Metric vector of the best known path through `nhop`.
+    pub mv: MetricVec,
+    /// Tag to write into packets before sending (the next switch's vnode).
+    pub ntag: VNodeId,
+    /// The next hop itself.
+    pub nhop: NodeId,
+    /// Version of the probe that installed this entry.
+    pub version: u32,
+    /// When the entry was last refreshed.
+    pub updated: Time,
+}
+
+/// The forwarding table of one switch.
+#[derive(Debug, Default)]
+pub struct FwdTable {
+    rows: BTreeMap<FwdKey, FwdEntry>,
+}
+
+impl FwdTable {
+    /// Row lookup.
+    pub fn get(&self, key: &FwdKey) -> Option<&FwdEntry> {
+        self.rows.get(key)
+    }
+
+    /// Inserts/overwrites a row.
+    pub fn insert(&mut self, key: FwdKey, entry: FwdEntry) {
+        self.rows.insert(key, entry);
+    }
+
+    /// All rows for one destination (every tag and pid).
+    pub fn rows_for(&self, dst: NodeId) -> impl Iterator<Item = (&FwdKey, &FwdEntry)> {
+        self.rows
+            .range(
+                FwdKey {
+                    dst,
+                    tag: VNodeId(0),
+                    pid: 0,
+                }..=FwdKey {
+                    dst,
+                    tag: VNodeId(u32::MAX),
+                    pid: u8::MAX,
+                },
+            )
+            .map(|(k, v)| (k, v))
+    }
+
+    /// Number of rows (state accounting).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// `BestT`: per destination, the key of the currently best FwdT row.
+#[derive(Debug, Default)]
+pub struct BestTable {
+    best: BTreeMap<NodeId, FwdKey>,
+}
+
+impl BestTable {
+    /// Current best key for a destination.
+    pub fn get(&self, dst: NodeId) -> Option<&FwdKey> {
+        self.best.get(&dst)
+    }
+
+    /// Records the best key.
+    pub fn set(&mut self, dst: NodeId, key: FwdKey) {
+        self.best.insert(dst, key);
+    }
+
+    /// Drops the record (e.g. the entry went stale).
+    pub fn clear(&mut self, dst: NodeId) {
+        self.best.remove(&dst);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+}
+
+/// Key of the policy-aware flowlet table: `[tag*, pid*, fid*]` (§5.3) —
+/// one pinned decision per flowlet *and* policy constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowletKey {
+    /// Virtual-node tag the packets arrive with.
+    pub tag: VNodeId,
+    /// Probe subpolicy id.
+    pub pid: u8,
+    /// Flowlet id: hash of the flow five-tuple.
+    pub fid: u64,
+}
+
+/// A pinned flowlet decision.
+#[derive(Debug, Clone)]
+pub struct FlowletEntry {
+    /// Pinned next hop.
+    pub nhop: NodeId,
+    /// Pinned next tag.
+    pub ntag: VNodeId,
+    /// Timestamp of the last packet that used the entry.
+    pub last: Time,
+}
+
+/// The flowlet table.
+#[derive(Debug, Default)]
+pub struct FlowletTable {
+    entries: HashMap<FlowletKey, FlowletEntry>,
+}
+
+impl FlowletTable {
+    /// Looks up a live entry: present and within `timeout` of `now`.
+    /// Expired entries are removed on access.
+    pub fn lookup(&mut self, key: FlowletKey, now: Time, timeout: Time) -> Option<FlowletEntry> {
+        match self.entries.get(&key) {
+            Some(e) if now.saturating_sub(e.last) <= timeout => Some(e.clone()),
+            Some(_) => {
+                self.entries.remove(&key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Pins (or refreshes) a decision.
+    pub fn pin(&mut self, key: FlowletKey, entry: FlowletEntry) {
+        self.entries.insert(key, entry);
+    }
+
+    /// Refreshes the last-used timestamp of a live entry.
+    pub fn touch(&mut self, key: FlowletKey, now: Time) {
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.last = now;
+        }
+    }
+
+    /// Removes every pin of flowlet `fid` (loop breaking flushes the
+    /// offending flowlet across all policy constraints, §5.5).
+    pub fn flush_fid(&mut self, fid: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| k.fid != fid);
+        before - self.entries.len()
+    }
+
+    /// Removes every pin through a next hop (failure handling, §5.4).
+    pub fn flush_nhop(&mut self, nhop: NodeId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.nhop != nhop);
+        before - self.entries.len()
+    }
+
+    /// Number of live pins.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Loop-detection row: min/max TTL observed for one packet hash (§5.5).
+#[derive(Debug, Clone)]
+pub struct LoopRow {
+    /// Largest TTL seen.
+    pub max_ttl: u8,
+    /// Smallest TTL seen.
+    pub min_ttl: u8,
+    /// Last update (for aging).
+    pub last: Time,
+}
+
+/// The loop-detection table: `{pkt_hash*, maxttl, minttl}`. δ = max−min
+/// grows without bound only if packets revisit this switch.
+#[derive(Debug, Default)]
+pub struct LoopTable {
+    rows: HashMap<u64, LoopRow>,
+}
+
+impl LoopTable {
+    /// Records one observation; returns the current δ. Rows older than
+    /// `age_out` restart from scratch.
+    pub fn observe(&mut self, hash: u64, ttl: u8, now: Time, age_out: Time) -> u8 {
+        let row = self.rows.entry(hash).or_insert(LoopRow {
+            max_ttl: ttl,
+            min_ttl: ttl,
+            last: now,
+        });
+        if now.saturating_sub(row.last) > age_out {
+            row.max_ttl = ttl;
+            row.min_ttl = ttl;
+        } else {
+            row.max_ttl = row.max_ttl.max(ttl);
+            row.min_ttl = row.min_ttl.min(ttl);
+        }
+        row.last = now;
+        row.max_ttl - row.min_ttl
+    }
+
+    /// Clears one row after a loop break so detection restarts fresh.
+    pub fn reset(&mut self, hash: u64) {
+        self.rows.remove(&hash);
+    }
+
+    /// Number of tracked hashes.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(dst: u32, tag: u32, pid: u8) -> FwdKey {
+        FwdKey {
+            dst: NodeId(dst),
+            tag: VNodeId(tag),
+            pid,
+        }
+    }
+
+    #[test]
+    fn fwd_rows_for_scans_one_destination() {
+        let mut t = FwdTable::default();
+        let e = FwdEntry {
+            mv: MetricVec::zero(),
+            ntag: VNodeId(0),
+            nhop: NodeId(9),
+            version: 1,
+            updated: Time::ZERO,
+        };
+        t.insert(key(1, 0, 0), e.clone());
+        t.insert(key(1, 2, 1), e.clone());
+        t.insert(key(2, 0, 0), e);
+        assert_eq!(t.rows_for(NodeId(1)).count(), 2);
+        assert_eq!(t.rows_for(NodeId(2)).count(), 1);
+        assert_eq!(t.rows_for(NodeId(3)).count(), 0);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn flowlet_expiry_and_flush() {
+        let mut t = FlowletTable::default();
+        let k = FlowletKey {
+            tag: VNodeId(0),
+            pid: 0,
+            fid: 42,
+        };
+        t.pin(
+            k,
+            FlowletEntry {
+                nhop: NodeId(5),
+                ntag: VNodeId(1),
+                last: Time::ZERO,
+            },
+        );
+        // Live within the timeout.
+        assert!(t.lookup(k, Time::us(100), Time::us(200)).is_some());
+        // Expired after it.
+        assert!(t.lookup(k, Time::us(400), Time::us(200)).is_none());
+        assert_eq!(t.len(), 0, "expired entry is evicted");
+
+        // Flush by fid and by nhop.
+        t.pin(
+            k,
+            FlowletEntry {
+                nhop: NodeId(5),
+                ntag: VNodeId(1),
+                last: Time::ZERO,
+            },
+        );
+        assert_eq!(t.flush_fid(42), 1);
+        t.pin(
+            k,
+            FlowletEntry {
+                nhop: NodeId(5),
+                ntag: VNodeId(1),
+                last: Time::ZERO,
+            },
+        );
+        assert_eq!(t.flush_nhop(NodeId(5)), 1);
+        assert_eq!(t.flush_nhop(NodeId(5)), 0);
+    }
+
+    #[test]
+    fn flowlet_touch_extends_life() {
+        let mut t = FlowletTable::default();
+        let k = FlowletKey {
+            tag: VNodeId(0),
+            pid: 0,
+            fid: 1,
+        };
+        t.pin(
+            k,
+            FlowletEntry {
+                nhop: NodeId(5),
+                ntag: VNodeId(1),
+                last: Time::ZERO,
+            },
+        );
+        t.touch(k, Time::us(150));
+        assert!(t.lookup(k, Time::us(300), Time::us(200)).is_some());
+    }
+
+    #[test]
+    fn loop_table_delta_grows_on_revisits() {
+        let mut t = LoopTable::default();
+        let age = Time::ms(1);
+        // Stable path: same TTL every time → δ = 0.
+        assert_eq!(t.observe(7, 60, Time::us(1), age), 0);
+        assert_eq!(t.observe(7, 60, Time::us(2), age), 0);
+        // Packets revisiting after a loop have lower TTLs → δ grows.
+        assert_eq!(t.observe(7, 57, Time::us(3), age), 3);
+        assert_eq!(t.observe(7, 54, Time::us(4), age), 6);
+        // Aging resets the window.
+        assert_eq!(t.observe(7, 40, Time::ms(10), age), 0);
+        t.reset(7);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn best_table_roundtrip() {
+        let mut b = BestTable::default();
+        assert!(b.get(NodeId(1)).is_none());
+        b.set(NodeId(1), key(1, 0, 0));
+        assert_eq!(b.get(NodeId(1)), Some(&key(1, 0, 0)));
+        b.clear(NodeId(1));
+        assert!(b.get(NodeId(1)).is_none());
+    }
+}

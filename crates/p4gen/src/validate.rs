@@ -1,0 +1,214 @@
+//! Structural validation of emitted P4 programs.
+//!
+//! Not a full P4 front end — a fast consistency checker that catches the
+//! emitter bugs that matter: unbalanced blocks, tables applied but never
+//! declared, actions referenced but never defined, duplicate const-entry
+//! keys, missing parser start state, missing `main` instantiation.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError(pub String);
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P4 validation: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates one emitted program; returns every finding (empty = OK).
+pub fn validate(src: &str) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let code = strip_comments(src);
+
+    // Balance.
+    for (open, close, name) in [('{', '}', "braces"), ('(', ')', "parens"), ('[', ']', "brackets")] {
+        let o = code.chars().filter(|&c| c == open).count();
+        let c = code.chars().filter(|&c| c == close).count();
+        if o != c {
+            errors.push(ValidationError(format!("unbalanced {name}: {o} open vs {c} close")));
+        }
+    }
+
+    // Declarations.
+    let tables = decls(&code, "table ");
+    let actions = decls(&code, "action ");
+    let _headers = decls(&code, "header ");
+
+    // Applications reference declared tables.
+    for applied in find_applies(&code) {
+        if !tables.contains(&applied) {
+            errors.push(ValidationError(format!("`{applied}.apply()` but table `{applied}` not declared")));
+        }
+    }
+    // Every declared table is applied somewhere.
+    for t in &tables {
+        if !code.contains(&format!("{t}.apply()")) {
+            errors.push(ValidationError(format!("table `{t}` declared but never applied")));
+        }
+    }
+
+    // Actions listed in `actions = { a; b; }` must be declared.
+    let mut rest = code.as_str();
+    while let Some(i) = rest.find("actions = {") {
+        rest = &rest[i + "actions = {".len()..];
+        let Some(end) = rest.find('}') else { break };
+        for name in rest[..end].split(';') {
+            let name = name.trim();
+            if !name.is_empty() && !actions.contains(name) {
+                errors.push(ValidationError(format!("action `{name}` listed but not declared")));
+            }
+        }
+        rest = &rest[end..];
+    }
+
+    // Const entries: unique keys per table block.
+    let mut rest = code.as_str();
+    while let Some(i) = rest.find("const entries = {") {
+        rest = &rest[i + "const entries = {".len()..];
+        let Some(end) = rest.find('}') else { break };
+        let mut keys = BTreeSet::new();
+        for line in rest[..end].lines() {
+            let line = line.trim();
+            if let Some((key, _)) = line.split_once(':') {
+                if !key.trim().is_empty() && !keys.insert(key.trim().to_string()) {
+                    errors.push(ValidationError(format!("duplicate const entry key `{}`", key.trim())));
+                }
+            }
+        }
+        rest = &rest[end..];
+    }
+
+    // Parser start state and main.
+    if !code.contains("state start") {
+        errors.push(ValidationError("parser has no `state start`".into()));
+    }
+    if code.matches(") main;").count() != 1 {
+        errors.push(ValidationError("program must instantiate exactly one `main`".into()));
+    }
+    errors
+}
+
+fn strip_comments(src: &str) -> String {
+    src.lines()
+        .map(|l| match l.find("//") {
+            Some(i) => &l[..i],
+            None => l,
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn decls(code: &str, kw: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut rest = code;
+    while let Some(i) = rest.find(kw) {
+        // Keyword must start a word.
+        let at_word_start = i == 0
+            || !rest.as_bytes()[i - 1].is_ascii_alphanumeric() && rest.as_bytes()[i - 1] != b'_';
+        rest = &rest[i + kw.len()..];
+        if !at_word_start {
+            continue;
+        }
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            out.insert(name);
+        }
+    }
+    out
+}
+
+fn find_applies(code: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut rest = code;
+    while let Some(i) = rest.find(".apply()") {
+        let head = &rest[..i];
+        let name: String = head
+            .chars()
+            .rev()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        if !name.is_empty() {
+            out.insert(name);
+        }
+        rest = &rest[i + ".apply()".len()..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+header h_t { bit<8> x; }
+parser P() { state start { transition accept; } }
+control C() {
+    action a() { }
+    table t {
+        actions = { a; }
+        const entries = {
+            1: a();
+            2: a();
+        }
+    }
+    apply { t.apply(); }
+}
+V1Switch(P(), C()) main;
+"#;
+
+    #[test]
+    fn minimal_program_passes() {
+        assert_eq!(validate(MINIMAL), vec![]);
+    }
+
+    #[test]
+    fn detects_unbalanced_braces() {
+        let bad = MINIMAL.replacen('}', "", 1);
+        assert!(validate(&bad).iter().any(|e| e.0.contains("unbalanced")));
+    }
+
+    #[test]
+    fn detects_undeclared_table() {
+        let bad = MINIMAL.replace("table t", "table other");
+        assert!(validate(&bad)
+            .iter()
+            .any(|e| e.0.contains("table `t` not declared")));
+    }
+
+    #[test]
+    fn detects_undeclared_action() {
+        let bad = MINIMAL.replace("action a()", "action b()");
+        assert!(validate(&bad)
+            .iter()
+            .any(|e| e.0.contains("action `a` listed but not declared")));
+    }
+
+    #[test]
+    fn detects_duplicate_entries() {
+        let bad = MINIMAL.replace("2: a();", "1: a();");
+        assert!(validate(&bad).iter().any(|e| e.0.contains("duplicate")));
+    }
+
+    #[test]
+    fn detects_missing_main() {
+        let bad = MINIMAL.replace(") main;", ");");
+        assert!(validate(&bad).iter().any(|e| e.0.contains("main")));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let with_comment = format!("// table ghost {{ }}\n{MINIMAL}");
+        assert_eq!(validate(&with_comment), vec![]);
+    }
+}

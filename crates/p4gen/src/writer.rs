@@ -1,0 +1,81 @@
+//! A tiny indentation-aware code writer for the P4 emitter.
+
+/// Accumulates generated source with automatic indentation.
+#[derive(Debug, Default)]
+pub struct CodeWriter {
+    buf: String,
+    indent: usize,
+}
+
+impl CodeWriter {
+    /// Fresh writer.
+    pub fn new() -> CodeWriter {
+        CodeWriter::default()
+    }
+
+    /// Writes one line at the current indent.
+    pub fn line(&mut self, s: &str) {
+        if s.is_empty() {
+            self.buf.push('\n');
+            return;
+        }
+        for _ in 0..self.indent {
+            self.buf.push_str("    ");
+        }
+        self.buf.push_str(s);
+        self.buf.push('\n');
+    }
+
+    /// Writes a line and increases the indent (e.g. `foo {`).
+    pub fn open(&mut self, s: &str) {
+        self.line(s);
+        self.indent += 1;
+    }
+
+    /// Decreases the indent and writes a line (e.g. `}`).
+    pub fn close(&mut self, s: &str) {
+        assert!(self.indent > 0, "unbalanced close");
+        self.indent -= 1;
+        self.line(s);
+    }
+
+    /// Blank line.
+    pub fn blank(&mut self) {
+        self.buf.push('\n');
+    }
+
+    /// Finishes, asserting balance.
+    pub fn finish(self) -> String {
+        assert_eq!(self.indent, 0, "unbalanced blocks at end of emission");
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indentation_tracks_blocks() {
+        let mut w = CodeWriter::new();
+        w.open("control X {");
+        w.line("y = 1;");
+        w.open("if (y == 1) {");
+        w.line("z();");
+        w.close("}");
+        w.close("}");
+        let s = w.finish();
+        assert_eq!(
+            s,
+            "control X {\n    y = 1;\n    if (y == 1) {\n        z();\n    }\n}\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_panics() {
+        let mut w = CodeWriter::new();
+        w.open("{");
+        let _ = w.finish();
+    }
+}

@@ -1,0 +1,775 @@
+//! The discrete-event engine: links, hosts, transports and the event loop.
+//!
+//! Deterministic by construction: the event heap breaks time ties by a
+//! monotone sequence number, all randomness comes from seeded generators in
+//! the workload layer, and switch logic runs strictly one event at a time.
+//! The same inputs always produce byte-identical statistics.
+
+use crate::link::{DropReason, EnqueueOutcome, LinkState};
+use crate::packet::{
+    flow_hash, FlowId, Packet, PacketKind, HDR_BYTES, INITIAL_TTL, MSS,
+};
+use crate::stats::{FlowRecord, QueueSample, SimStats, TrafficKind};
+use crate::switch::{SwitchCtx, SwitchLogic};
+use crate::time::Time;
+use contra_topology::{LinkId, NodeId, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Engine configuration. Defaults follow §6.3 of the paper where one
+/// exists.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Per-link queue capacity in bytes (paper: 1000 MSS).
+    pub queue_capacity_bytes: u32,
+    /// Utilization estimator window (typically 2× the probe period).
+    pub util_tau: Time,
+    /// Hard stop: events after this instant are not processed.
+    pub stop_at: Time,
+    /// Sample fabric queue occupancy this often (Fig 13); `None` disables.
+    pub queue_sample_every: Option<Time>,
+    /// TCP minimum/initial retransmission timeout.
+    pub min_rto: Time,
+    /// TCP initial congestion window in packets.
+    pub init_cwnd: f64,
+    /// Bucket width for UDP goodput timelines (Fig 14).
+    pub udp_bucket: Time,
+    /// Record per-packet switch paths; enables exact loop accounting
+    /// (§6.5) and policy-compliance checks in tests. Costs memory per
+    /// in-flight packet, so off by default.
+    pub trace_paths: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            queue_capacity_bytes: 1000 * (MSS + HDR_BYTES),
+            util_tau: Time::us(512),
+            stop_at: Time::ms(100),
+            queue_sample_every: None,
+            min_rto: Time::ms(1),
+            init_cwnd: 10.0,
+            udp_bucket: Time::ms(1),
+            trace_paths: false,
+        }
+    }
+}
+
+/// A traffic source to inject.
+#[derive(Debug, Clone)]
+pub enum FlowSpec {
+    /// Finite TCP-like transfer of `bytes` from `src` to `dst`.
+    Tcp {
+        /// Sending host.
+        src: NodeId,
+        /// Receiving host.
+        dst: NodeId,
+        /// Transfer size in bytes.
+        bytes: u64,
+        /// Arrival time.
+        start: Time,
+    },
+    /// Constant-rate UDP stream (used by the failure-recovery experiment).
+    Udp {
+        /// Sending host.
+        src: NodeId,
+        /// Receiving host.
+        dst: NodeId,
+        /// Offered rate in bits/second.
+        rate_bps: f64,
+        /// First packet time.
+        start: Time,
+        /// Last packet time.
+        stop: Time,
+    },
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Packet fully received at `node`, having traversed the link from
+    /// `from`.
+    Arrive { node: NodeId, from: NodeId, pkt: Packet },
+    /// Link serializer finished a packet.
+    TxDone { link: LinkId, epoch: u64 },
+    /// Periodic switch timer.
+    Tick { node: NodeId },
+    /// A TCP flow becomes active.
+    FlowStart { flow: u32 },
+    /// RTO deadline check.
+    RtoCheck { flow: u32, epoch: u64 },
+    /// Next UDP datagram.
+    UdpSend { flow: u32 },
+    /// Take both directions of a cable down.
+    LinkDown { a: NodeId, b: NodeId },
+    /// Bring both directions back up.
+    LinkUp { a: NodeId, b: NodeId },
+    /// Periodic queue sampling.
+    QueueSample,
+}
+
+struct Entry {
+    at: Time,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FlowKind {
+    Tcp,
+    Udp { rate_bps: f64, stop: Time },
+}
+
+/// TCP sender/receiver state for one flow (NewReno-flavored: slow start,
+/// AIMD, triple-dup-ACK fast retransmit, go-back-N timeout).
+struct FlowState {
+    kind: FlowKind,
+    src: NodeId,
+    dst: NodeId,
+    src_switch: NodeId,
+    dst_switch: NodeId,
+    size_bytes: u64,
+    total_pkts: u32,
+    // Sender.
+    next_seq: u32,
+    cum_acked: u32,
+    dup_acks: u32,
+    cwnd: f64,
+    ssthresh: f64,
+    in_recovery: bool,
+    recovery_point: u32,
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: Time,
+    rto_epoch: u64,
+    finished: bool,
+    retransmits: u64,
+    // Receiver.
+    rcv_next: u32,
+    rcv_ooo: std::collections::BTreeSet<u32>,
+    hash_fwd: u64,
+    hash_rev: u64,
+}
+
+impl FlowState {
+    fn inflight(&self) -> u32 {
+        self.next_seq.saturating_sub(self.cum_acked)
+    }
+}
+
+/// The simulator: topology + links + switch logic + transports + clock.
+pub struct Simulator {
+    topo: Topology,
+    cfg: SimConfig,
+    links: Vec<LinkState>,
+    logics: Vec<Option<Box<dyn SwitchLogic>>>,
+    tick_of: Vec<Option<Time>>,
+    flows: Vec<FlowState>,
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+    now: Time,
+    next_pkt_id: u64,
+    /// Run statistics (read after [`Simulator::run`]).
+    pub stats: SimStats,
+    /// Delivered payload packet traces (only with `trace_paths`): for each
+    /// delivered data/UDP packet, its flow and the switch sequence it took.
+    pub delivered_traces: Vec<(FlowId, Vec<NodeId>)>,
+}
+
+impl Simulator {
+    /// Creates a simulator over a topology.
+    pub fn new(topo: Topology, cfg: SimConfig) -> Simulator {
+        let links = topo
+            .links()
+            .iter()
+            .map(|l| {
+                LinkState::new(
+                    l.bandwidth_bps,
+                    crate::time::Time(l.delay_ns),
+                    cfg.queue_capacity_bytes,
+                    cfg.util_tau,
+                )
+            })
+            .collect();
+        let n = topo.num_nodes();
+        let stats = SimStats::new(cfg.udp_bucket);
+        let mut sim = Simulator {
+            topo,
+            cfg,
+            links,
+            logics: (0..n).map(|_| None).collect(),
+            tick_of: vec![None; n],
+            flows: Vec::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            next_pkt_id: 0,
+            stats,
+            delivered_traces: Vec::new(),
+        };
+        if let Some(every) = sim.cfg.queue_sample_every {
+            sim.push(every, Event::QueueSample);
+        }
+        sim
+    }
+
+    /// Access to the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Installs dataplane logic on a switch. Ticks are staggered
+    /// deterministically per switch so probe rounds do not synchronize.
+    pub fn install(&mut self, node: NodeId, logic: Box<dyn SwitchLogic>) {
+        assert!(self.topo.is_switch(node), "{node} is not a switch");
+        if let Some(t) = logic.tick_interval() {
+            assert!(t.0 > 0, "tick interval must be positive");
+            let offset = Time((node.0 as u64).wrapping_mul(7919) % t.0);
+            self.tick_of[node.0 as usize] = Some(t);
+            self.push(offset, Event::Tick { node });
+        }
+        self.logics[node.0 as usize] = Some(logic);
+    }
+
+    /// Registers a flow; returns its id.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        let id = FlowId(self.flows.len() as u32);
+        let (src, dst, start) = match &spec {
+            FlowSpec::Tcp { src, dst, start, .. } => (*src, *dst, *start),
+            FlowSpec::Udp { src, dst, start, .. } => (*src, *dst, *start),
+        };
+        assert!(!self.topo.is_switch(src) && !self.topo.is_switch(dst), "flows run host-to-host");
+        assert_ne!(src, dst, "flow to self");
+        let (kind, size_bytes, total_pkts) = match spec {
+            FlowSpec::Tcp { bytes, .. } => {
+                let pkts = bytes.div_ceil(MSS as u64).max(1) as u32;
+                (FlowKind::Tcp, bytes, pkts)
+            }
+            FlowSpec::Udp { rate_bps, stop, .. } => {
+                (FlowKind::Udp { rate_bps, stop }, 0, u32::MAX)
+            }
+        };
+        self.flows.push(FlowState {
+            kind,
+            src,
+            dst,
+            src_switch: self.topo.host_switch(src),
+            dst_switch: self.topo.host_switch(dst),
+            size_bytes,
+            total_pkts,
+            next_seq: 0,
+            cum_acked: 0,
+            dup_acks: 0,
+            cwnd: self.cfg.init_cwnd,
+            ssthresh: f64::INFINITY,
+            in_recovery: false,
+            recovery_point: 0,
+            srtt: None,
+            rttvar: 0.0,
+            rto: Time(self.cfg.min_rto.0 * 3),
+            rto_epoch: 0,
+            finished: false,
+            retransmits: 0,
+            rcv_next: 0,
+            rcv_ooo: std::collections::BTreeSet::new(),
+            hash_fwd: flow_hash(id, 0),
+            hash_rev: flow_hash(id, 1),
+        });
+        self.stats.flows.push(FlowRecord {
+            id,
+            size_bytes,
+            start,
+            finish: None,
+            retransmits: 0,
+            unbounded: matches!(kind, FlowKind::Udp { .. }),
+        });
+        match kind {
+            FlowKind::Tcp => self.push(start, Event::FlowStart { flow: id.0 }),
+            FlowKind::Udp { .. } => self.push(start, Event::UdpSend { flow: id.0 }),
+        }
+        id
+    }
+
+    /// Schedules both directions of the cable between `a` and `b` to fail.
+    pub fn fail_link_at(&mut self, a: NodeId, b: NodeId, at: Time) {
+        assert!(self.topo.link_between(a, b).is_some(), "no cable {a}–{b}");
+        self.push(at, Event::LinkDown { a, b });
+    }
+
+    /// Schedules both directions of the cable to come back.
+    pub fn recover_link_at(&mut self, a: NodeId, b: NodeId, at: Time) {
+        self.push(at, Event::LinkUp { a, b });
+    }
+
+    fn push(&mut self, at: Time, ev: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            ev,
+        }));
+    }
+
+    /// Runs to completion (heap empty or stop time reached) and returns the
+    /// statistics.
+    pub fn run(mut self) -> SimStats {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if entry.at > self.cfg.stop_at {
+                break;
+            }
+            self.now = entry.at;
+            self.dispatch(entry.ev);
+        }
+        self.stats
+    }
+
+    /// Runs and also returns delivered packet traces (requires
+    /// `trace_paths`).
+    pub fn run_traced(mut self) -> (SimStats, Vec<(FlowId, Vec<NodeId>)>) {
+        assert!(self.cfg.trace_paths, "enable cfg.trace_paths first");
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if entry.at > self.cfg.stop_at {
+                break;
+            }
+            self.now = entry.at;
+            self.dispatch(entry.ev);
+        }
+        (self.stats, self.delivered_traces)
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Arrive { node, from, pkt } => self.on_arrive(node, from, pkt),
+            Event::TxDone { link, epoch } => self.on_tx_done(link, epoch),
+            Event::Tick { node } => self.on_tick(node),
+            Event::FlowStart { flow } => {
+                self.tcp_try_send(flow);
+                self.arm_rto(flow);
+            }
+            Event::RtoCheck { flow, epoch } => self.on_rto(flow, epoch),
+            Event::UdpSend { flow } => self.on_udp_send(flow),
+            Event::LinkDown { a, b } => {
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Some(l) = self.topo.link_between(x, y) {
+                        let lost = self.links[l.0 as usize].set_down();
+                        for _ in 0..lost {
+                            self.stats.on_drop(DropReason::LinkDown);
+                        }
+                    }
+                }
+            }
+            Event::LinkUp { a, b } => {
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Some(l) = self.topo.link_between(x, y) {
+                        self.links[l.0 as usize].set_up();
+                    }
+                }
+            }
+            Event::QueueSample => {
+                for (i, l) in self.topo.links().iter().enumerate() {
+                    // Fabric links only: switch → switch.
+                    if self.topo.is_switch(l.src) && self.topo.is_switch(l.dst) {
+                        self.stats.queue_samples.push(QueueSample {
+                            at: self.now,
+                            link: i as u32,
+                            bytes: self.links[i].queued_bytes(),
+                        });
+                    }
+                }
+                if let Some(every) = self.cfg.queue_sample_every {
+                    let at = self.now + every;
+                    self.push(at, Event::QueueSample);
+                }
+            }
+        }
+    }
+
+    // ---- link layer --------------------------------------------------
+
+    /// Queues `pkt` on the link `from → to`, starting the serializer if
+    /// idle. Handles TTL decrement on switch-to-switch hops.
+    fn transmit(&mut self, from: NodeId, to: NodeId, mut pkt: Packet) {
+        let Some(lid) = self.topo.link_between(from, to) else {
+            debug_assert!(false, "no link {from}→{to}");
+            self.stats.on_drop(DropReason::NoRoute);
+            return;
+        };
+        if pkt.carries_payload() || matches!(pkt.kind, PacketKind::Ack { .. }) {
+            if self.topo.is_switch(from) && self.topo.is_switch(to) {
+                if pkt.ttl == 0 {
+                    if std::env::var_os("CONTRA_SIM_DEBUG_TTL").is_some() {
+                        eprintln!(
+                            "TTL death: {:?} flow={:?} seq={} dst_sw={} trace_tail={:?}",
+                            pkt.kind,
+                            pkt.flow,
+                            pkt.seq,
+                            pkt.dst_switch,
+                            &pkt.trace[pkt.trace.len().saturating_sub(8)..]
+                        );
+                    }
+                    self.stats.on_drop(DropReason::TtlExpired);
+                    return;
+                }
+                pkt.ttl -= 1;
+            }
+        }
+        let kind = traffic_kind(&pkt);
+        let size = pkt.size_bytes;
+        let link = &mut self.links[lid.0 as usize];
+        match link.enqueue(pkt) {
+            EnqueueOutcome::StartTx => {
+                self.stats.on_wire(kind, size);
+                self.start_tx(lid);
+            }
+            EnqueueOutcome::Queued => {
+                self.stats.on_wire(kind, size);
+            }
+            EnqueueOutcome::Dropped(reason) => {
+                self.stats.on_drop(reason);
+            }
+        }
+    }
+
+    fn start_tx(&mut self, lid: LinkId) {
+        let link = &mut self.links[lid.0 as usize];
+        let Some((pkt, tx)) = link.start_tx(self.now) else {
+            return;
+        };
+        let delay = link.delay;
+        let epoch = link.epoch;
+        let to = self.topo.link(lid).dst;
+        let from = self.topo.link(lid).src;
+        let arrive_at = self.now + tx + delay;
+        let done_at = self.now + tx;
+        self.push(arrive_at, Event::Arrive { node: to, from, pkt });
+        self.push(done_at, Event::TxDone { link: lid, epoch });
+    }
+
+    fn on_tx_done(&mut self, lid: LinkId, epoch: u64) {
+        let link = &mut self.links[lid.0 as usize];
+        if !link.up || link.epoch != epoch {
+            return; // stale completion from before a failure
+        }
+        if link.tx_done() {
+            self.start_tx(lid);
+        }
+    }
+
+    // ---- switch dispatch ----------------------------------------------
+
+    fn on_arrive(&mut self, node: NodeId, from: NodeId, mut pkt: Packet) {
+        if !self.topo.is_switch(node) {
+            self.host_receive(node, pkt);
+            return;
+        }
+        // Loop accounting on traced routed traffic (payload and ACKs).
+        if self.cfg.trace_paths
+            && (pkt.carries_payload() || matches!(pkt.kind, PacketKind::Ack { .. }))
+        {
+            if pkt.trace.contains(&node.0) && !pkt.looped {
+                pkt.looped = true;
+                self.stats.looped_packets += 1;
+            }
+            pkt.trace.push(node.0);
+        }
+        let Some(mut logic) = self.logics[node.0 as usize].take() else {
+            // No logic installed (test harness omission): drop.
+            self.stats.on_drop(DropReason::NoRoute);
+            return;
+        };
+        let mut ctx = SwitchCtx::new(node, self.now, &self.topo, &self.links);
+        logic.on_packet(&mut ctx, pkt, from);
+        let SwitchCtx {
+            out,
+            loop_breaks,
+            no_route,
+            ..
+        } = ctx;
+        self.logics[node.0 as usize] = Some(logic);
+        self.stats.loop_breaks += loop_breaks;
+        for _ in 0..no_route {
+            self.stats.on_drop(DropReason::NoRoute);
+        }
+        for (next, p) in out {
+            self.transmit(node, next, p);
+        }
+    }
+
+    fn on_tick(&mut self, node: NodeId) {
+        let Some(mut logic) = self.logics[node.0 as usize].take() else {
+            return;
+        };
+        let mut ctx = SwitchCtx::new(node, self.now, &self.topo, &self.links);
+        logic.on_tick(&mut ctx);
+        let SwitchCtx {
+            out,
+            loop_breaks,
+            no_route,
+            ..
+        } = ctx;
+        self.logics[node.0 as usize] = Some(logic);
+        self.stats.loop_breaks += loop_breaks;
+        for _ in 0..no_route {
+            self.stats.on_drop(DropReason::NoRoute);
+        }
+        for (next, p) in out {
+            self.transmit(node, next, p);
+        }
+        if let Some(t) = self.tick_of[node.0 as usize] {
+            let at = self.now + t;
+            self.push(at, Event::Tick { node });
+        }
+    }
+
+    // ---- host / transport ----------------------------------------------
+
+    fn host_receive(&mut self, host: NodeId, pkt: Packet) {
+        match pkt.kind.clone() {
+            PacketKind::Data => {
+                debug_assert_eq!(pkt.dst_host, host);
+                self.stats.delivered_packets += 1;
+                if self.cfg.trace_paths {
+                    self.delivered_traces
+                        .push((pkt.flow, pkt.trace.iter().map(|&s| NodeId(s)).collect()));
+                }
+                self.tcp_receive_data(pkt);
+            }
+            PacketKind::Ack { ack_seq, echo_ts } => {
+                self.tcp_receive_ack(pkt.flow.0, ack_seq, echo_ts);
+            }
+            PacketKind::Udp => {
+                debug_assert_eq!(pkt.dst_host, host);
+                self.stats.delivered_packets += 1;
+                if self.cfg.trace_paths {
+                    self.delivered_traces
+                        .push((pkt.flow, pkt.trace.iter().map(|&s| NodeId(s)).collect()));
+                }
+                let payload = pkt.size_bytes.saturating_sub(HDR_BYTES);
+                self.stats.on_udp_delivered(self.now, payload);
+            }
+            PacketKind::Probe(_) => {
+                debug_assert!(false, "probes must never reach hosts");
+            }
+        }
+    }
+
+    fn mk_packet(
+        &mut self,
+        kind: PacketKind,
+        flow: u32,
+        seq: u32,
+        size: u32,
+        src: NodeId,
+        dst: NodeId,
+        hash: u64,
+    ) -> Packet {
+        self.next_pkt_id += 1;
+        Packet {
+            id: self.next_pkt_id,
+            kind,
+            src_host: src,
+            dst_host: dst,
+            dst_switch: self.topo.host_switch(dst),
+            flow: FlowId(flow),
+            seq,
+            size_bytes: size,
+            sent_at: self.now,
+            tag: 0,
+            pid: 0,
+            ttl: INITIAL_TTL,
+            flow_hash: hash,
+            trace: Vec::new(),
+            looped: false,
+        }
+    }
+
+    fn data_size(&self, f: &FlowState, seq: u32) -> u32 {
+        let sent_before = seq as u64 * MSS as u64;
+        let remaining = f.size_bytes.saturating_sub(sent_before);
+        (remaining.min(MSS as u64) as u32).max(1) + HDR_BYTES
+    }
+
+    fn tcp_try_send(&mut self, flow: u32) {
+        loop {
+            let f = &self.flows[flow as usize];
+            if f.finished {
+                return;
+            }
+            let inflight = f.inflight();
+            if f.next_seq >= f.total_pkts || (inflight as f64) >= f.cwnd.floor().max(1.0) {
+                return;
+            }
+            let seq = f.next_seq;
+            let size = self.data_size(f, seq);
+            let (src, dst, hash) = (f.src, f.dst, f.hash_fwd);
+            let pkt = self.mk_packet(PacketKind::Data, flow, seq, size, src, dst, hash);
+            self.flows[flow as usize].next_seq += 1;
+            let sw = self.flows[flow as usize].src_switch;
+            self.transmit(src, sw, pkt);
+        }
+    }
+
+    fn tcp_receive_data(&mut self, pkt: Packet) {
+        let flow = pkt.flow.0;
+        let f = &mut self.flows[flow as usize];
+        let seq = pkt.seq;
+        if seq >= f.rcv_next {
+            f.rcv_ooo.insert(seq);
+        }
+        while f.rcv_ooo.remove(&f.rcv_next) {
+            f.rcv_next += 1;
+        }
+        let ack_seq = f.rcv_next;
+        let (src, dst, hash) = (f.dst, f.src, f.hash_rev);
+        let echo_ts = pkt.sent_at;
+        // ACK travels from the receiver host back to the sender host.
+        let ack = self.mk_packet(
+            PacketKind::Ack { ack_seq, echo_ts },
+            flow,
+            ack_seq,
+            HDR_BYTES,
+            src,
+            dst,
+            hash,
+        );
+        let sw = self.flows[flow as usize].dst_switch;
+        self.transmit(src, sw, ack);
+    }
+
+    fn tcp_receive_ack(&mut self, flow: u32, ack_seq: u32, echo_ts: Time) {
+        let now = self.now;
+        let f = &mut self.flows[flow as usize];
+        if f.finished {
+            return;
+        }
+        // RTT sample (Karn's rule approximated: echo timestamps are exact).
+        let sample = now.saturating_sub(echo_ts).as_secs_f64();
+        match f.srtt {
+            None => {
+                f.srtt = Some(sample);
+                f.rttvar = sample / 2.0;
+            }
+            Some(s) => {
+                f.rttvar = 0.75 * f.rttvar + 0.25 * (s - sample).abs();
+                f.srtt = Some(0.875 * s + 0.125 * sample);
+            }
+        }
+        let rto_s = f.srtt.unwrap() + 4.0 * f.rttvar;
+        f.rto = Time::secs_f64(rto_s).max(self.cfg.min_rto);
+
+        if ack_seq > f.cum_acked {
+            let newly = (ack_seq - f.cum_acked) as f64;
+            f.cum_acked = ack_seq;
+            // After a go-back-N timeout, late ACKs for pre-timeout segments
+            // can overtake the rewound send pointer.
+            f.next_seq = f.next_seq.max(f.cum_acked);
+            f.dup_acks = 0;
+            if f.in_recovery && ack_seq >= f.recovery_point {
+                f.in_recovery = false;
+            }
+            if f.cwnd < f.ssthresh {
+                f.cwnd += newly; // slow start
+            } else {
+                f.cwnd += newly / f.cwnd; // congestion avoidance
+            }
+            if f.cum_acked >= f.total_pkts {
+                f.finished = true;
+                let retx = f.retransmits;
+                self.stats.flows[flow as usize].finish = Some(now);
+                self.stats.flows[flow as usize].retransmits = retx;
+                return;
+            }
+            self.arm_rto(flow);
+            self.tcp_try_send(flow);
+        } else {
+            f.dup_acks += 1;
+            if f.dup_acks == 3 && !f.in_recovery {
+                f.ssthresh = (f.cwnd / 2.0).max(2.0);
+                f.cwnd = f.ssthresh;
+                f.in_recovery = true;
+                f.recovery_point = f.next_seq;
+                f.retransmits += 1;
+                let seq = f.cum_acked;
+                let (src, dst, hash) = (f.src, f.dst, f.hash_fwd);
+                let size = self.data_size(&self.flows[flow as usize], seq);
+                let pkt = self.mk_packet(PacketKind::Data, flow, seq, size, src, dst, hash);
+                let sw = self.flows[flow as usize].src_switch;
+                self.transmit(src, sw, pkt);
+                self.arm_rto(flow);
+            }
+        }
+    }
+
+    fn arm_rto(&mut self, flow: u32) {
+        let f = &mut self.flows[flow as usize];
+        if f.finished || !matches!(f.kind, FlowKind::Tcp) {
+            return;
+        }
+        f.rto_epoch += 1;
+        let epoch = f.rto_epoch;
+        let at = self.now + f.rto;
+        self.push(at, Event::RtoCheck { flow, epoch });
+    }
+
+    fn on_rto(&mut self, flow: u32, epoch: u64) {
+        let f = &mut self.flows[flow as usize];
+        if f.finished || f.rto_epoch != epoch {
+            return;
+        }
+        // Timeout: multiplicative back-off, go-back-N from the hole.
+        f.ssthresh = (f.cwnd / 2.0).max(2.0);
+        f.cwnd = self.cfg.init_cwnd.min(2.0).max(1.0);
+        f.in_recovery = false;
+        f.dup_acks = 0;
+        f.next_seq = f.cum_acked;
+        f.retransmits += 1;
+        f.rto = Time((f.rto.0 * 2).min(Time::ms(100).0));
+        self.arm_rto(flow);
+        self.tcp_try_send(flow);
+    }
+
+    fn on_udp_send(&mut self, flow: u32) {
+        let f = &self.flows[flow as usize];
+        let FlowKind::Udp { rate_bps, stop } = f.kind else {
+            return;
+        };
+        if self.now > stop {
+            return;
+        }
+        let size = MSS + HDR_BYTES;
+        let seq = f.next_seq;
+        let (src, dst, hash) = (f.src, f.dst, f.hash_fwd);
+        let pkt = self.mk_packet(PacketKind::Udp, flow, seq, size, src, dst, hash);
+        self.flows[flow as usize].next_seq += 1;
+        let sw = self.flows[flow as usize].src_switch;
+        self.transmit(src, sw, pkt);
+        let gap = Time::secs_f64(size as f64 * 8.0 / rate_bps);
+        let at = self.now + gap;
+        self.push(at, Event::UdpSend { flow });
+    }
+}
+
+fn traffic_kind(pkt: &Packet) -> TrafficKind {
+    match pkt.kind {
+        PacketKind::Data => TrafficKind::Data,
+        PacketKind::Ack { .. } => TrafficKind::Ack,
+        PacketKind::Udp => TrafficKind::Udp,
+        PacketKind::Probe(_) => TrafficKind::Probe,
+    }
+}

@@ -1,0 +1,331 @@
+//! # contra-sim — packet-level discrete-event network simulator
+//!
+//! The ns-3 stand-in for the Contra reproduction. It models:
+//!
+//! * **Links** with store-and-forward serialization, propagation delay and
+//!   drop-tail queues (default 1000 MSS, §6.3), plus the Hula-style decaying
+//!   utilization estimator that feeds `path.util`.
+//! * **Hosts** running a lightweight NewReno-flavored TCP (slow start,
+//!   AIMD, triple-dup-ACK fast retransmit, go-back-N timeout with back-off)
+//!   and constant-rate UDP sources for the failure-recovery experiment.
+//! * **Switches** as pluggable [`SwitchLogic`] implementations — the
+//!   software analogue of one switch's P4 program. The Contra dataplane
+//!   (`contra-dataplane`) and all baselines (`contra-baselines`) implement
+//!   this trait.
+//! * **Failures**: cable down/up events, with queued packets lost.
+//! * **Measurement**: flow completion times, per-kind wire bytes (traffic
+//!   overhead), drops by cause, queue-occupancy sampling, UDP goodput
+//!   timelines, exact per-packet loop accounting (opt-in tracing).
+//!
+//! Determinism: the event heap is totally ordered by (time, sequence
+//! number); there is no hidden randomness. The same inputs give identical
+//! results on every run — a property the test suite checks.
+
+pub mod engine;
+pub mod link;
+pub mod packet;
+pub mod stats;
+pub mod switch;
+pub mod time;
+
+pub use engine::{FlowSpec, SimConfig, Simulator};
+pub use link::{DropReason, LinkState, UtilEstimator};
+pub use packet::{
+    flow_hash, FlowId, Packet, PacketKind, Probe, HDR_BYTES, INITIAL_TTL, MSS, PROBE_BASE_BYTES,
+};
+pub use stats::{FlowRecord, QueueSample, SimStats, TrafficKind};
+pub use switch::{SwitchCtx, SwitchLogic};
+pub use time::{tx_time, Time};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contra_topology::{NodeId, Topology};
+
+    /// Minimal static routing for tests: precomputed next hop per
+    /// destination switch, plus host delivery.
+    struct StaticLogic {
+        next_hop: std::collections::BTreeMap<NodeId, NodeId>,
+    }
+
+    impl SwitchLogic for StaticLogic {
+        fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: Packet, _from: NodeId) {
+            if pkt.dst_switch == ctx.switch {
+                let host = pkt.dst_host;
+                ctx.send(host, pkt);
+            } else if let Some(&nh) = self.next_hop.get(&pkt.dst_switch) {
+                ctx.send(nh, pkt);
+            } else {
+                ctx.drop_no_route(pkt);
+            }
+        }
+    }
+
+    /// h0 – s0 – s1 – h1 line, 10 Gbps everywhere.
+    fn line() -> Topology {
+        let mut t = Topology::builder();
+        let s0 = t.switch("s0");
+        let s1 = t.switch("s1");
+        let h0 = t.host("h0");
+        let h1 = t.host("h1");
+        t.biline(s0, s1, 10e9, 1_000);
+        t.biline(h0, s0, 10e9, 500);
+        t.biline(h1, s1, 10e9, 500);
+        t.build()
+    }
+
+    fn install_static(sim: &mut Simulator) {
+        let topo = sim.topology().clone();
+        for sw in topo.switches() {
+            let mut next_hop = std::collections::BTreeMap::new();
+            for other in topo.switches() {
+                if other != sw {
+                    if let Some(p) = contra_topology::paths::shortest_path(&topo, sw, other) {
+                        next_hop.insert(other, p[1]);
+                    }
+                }
+            }
+            sim.install(sw, Box::new(StaticLogic { next_hop }));
+        }
+    }
+
+    #[test]
+    fn single_flow_completes() {
+        let topo = line();
+        let h0 = topo.find("h0").unwrap();
+        let h1 = topo.find("h1").unwrap();
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig {
+                stop_at: Time::ms(50),
+                ..SimConfig::default()
+            },
+        );
+        install_static(&mut sim);
+        sim.add_flow(FlowSpec::Tcp {
+            src: h0,
+            dst: h1,
+            bytes: 1_000_000,
+            start: Time::ZERO,
+        });
+        let stats = sim.run();
+        assert_eq!(stats.completion_rate(), 1.0);
+        let fct = stats.flows[0].fct().unwrap();
+        // 1 MB at 10 Gbps is ≥ 800 µs of pure serialization.
+        assert!(fct >= Time::us(800), "{fct}");
+        assert!(fct <= Time::ms(20), "{fct}");
+        assert_eq!(stats.flows[0].retransmits, 0);
+    }
+
+    #[test]
+    fn deterministic_repeat() {
+        let run = || {
+            let topo = line();
+            let h0 = topo.find("h0").unwrap();
+            let h1 = topo.find("h1").unwrap();
+            let mut sim = Simulator::new(
+                topo,
+                SimConfig {
+                    stop_at: Time::ms(30),
+                    ..SimConfig::default()
+                },
+            );
+            install_static(&mut sim);
+            for i in 0..5 {
+                sim.add_flow(FlowSpec::Tcp {
+                    src: h0,
+                    dst: h1,
+                    bytes: 200_000 + i * 10_000,
+                    start: Time::us(i * 50),
+                });
+            }
+            let s = sim.run();
+            (
+                s.flows.iter().map(|f| f.finish).collect::<Vec<_>>(),
+                s.total_wire_bytes(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn congestion_two_flows_share_bottleneck() {
+        let topo = line();
+        let h0 = topo.find("h0").unwrap();
+        let h1 = topo.find("h1").unwrap();
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig {
+                stop_at: Time::ms(100),
+                ..SimConfig::default()
+            },
+        );
+        install_static(&mut sim);
+        // Two 2 MB flows share one 10 Gbps path: each alone takes ~1.7 ms;
+        // together the slower one must take noticeably longer.
+        sim.add_flow(FlowSpec::Tcp {
+            src: h0,
+            dst: h1,
+            bytes: 2_000_000,
+            start: Time::ZERO,
+        });
+        sim.add_flow(FlowSpec::Tcp {
+            src: h0,
+            dst: h1,
+            bytes: 2_000_000,
+            start: Time::ZERO,
+        });
+        let stats = sim.run();
+        assert_eq!(stats.completion_rate(), 1.0);
+        let slowest = stats
+            .flows
+            .iter()
+            .map(|f| f.fct().unwrap())
+            .max()
+            .unwrap();
+        assert!(slowest >= Time::us(3_000), "sharing must slow flows: {slowest}");
+    }
+
+    #[test]
+    fn link_failure_drops_then_rto_recovers_via_same_path() {
+        let topo = line();
+        let h0 = topo.find("h0").unwrap();
+        let h1 = topo.find("h1").unwrap();
+        let s0 = topo.find("s0").unwrap();
+        let s1 = topo.find("s1").unwrap();
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig {
+                stop_at: Time::ms(200),
+                ..SimConfig::default()
+            },
+        );
+        install_static(&mut sim);
+        sim.add_flow(FlowSpec::Tcp {
+            src: h0,
+            dst: h1,
+            bytes: 5_000_000,
+            start: Time::ZERO,
+        });
+        sim.fail_link_at(s0, s1, Time::us(300));
+        sim.recover_link_at(s0, s1, Time::ms(2));
+        let stats = sim.run();
+        assert_eq!(stats.completion_rate(), 1.0, "flow must finish after recovery");
+        assert!(stats.flows[0].retransmits > 0, "failure must cost retransmissions");
+        assert!(*stats.drops.get(&DropReason::LinkDown).unwrap_or(&0) > 0);
+    }
+
+    #[test]
+    fn udp_goodput_matches_offered_rate() {
+        let topo = line();
+        let h0 = topo.find("h0").unwrap();
+        let h1 = topo.find("h1").unwrap();
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig {
+                stop_at: Time::ms(20),
+                ..SimConfig::default()
+            },
+        );
+        install_static(&mut sim);
+        sim.add_flow(FlowSpec::Udp {
+            src: h0,
+            dst: h1,
+            rate_bps: 2e9,
+            start: Time::ZERO,
+            stop: Time::ms(20),
+        });
+        let stats = sim.run();
+        let good = stats.udp_goodput_gbps();
+        assert!(!good.is_empty());
+        // Steady-state buckets should carry ≈ 2 Gbps of payload (slightly
+        // less after headers).
+        let mid = good[good.len() / 2].1;
+        assert!(mid > 1.5 && mid < 2.1, "{mid}");
+    }
+
+    #[test]
+    fn tracing_records_paths_and_no_loops_on_line() {
+        let topo = line();
+        let h0 = topo.find("h0").unwrap();
+        let h1 = topo.find("h1").unwrap();
+        let s0 = topo.find("s0").unwrap();
+        let s1 = topo.find("s1").unwrap();
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig {
+                stop_at: Time::ms(20),
+                trace_paths: true,
+                ..SimConfig::default()
+            },
+        );
+        install_static(&mut sim);
+        sim.add_flow(FlowSpec::Tcp {
+            src: h0,
+            dst: h1,
+            bytes: 100_000,
+            start: Time::ZERO,
+        });
+        let (stats, traces) = sim.run_traced();
+        assert_eq!(stats.looped_packets, 0);
+        assert!(!traces.is_empty());
+        for (_flow, t) in &traces {
+            assert_eq!(t, &vec![s0, s1]);
+        }
+    }
+
+    #[test]
+    fn wire_bytes_split_by_kind() {
+        let topo = line();
+        let h0 = topo.find("h0").unwrap();
+        let h1 = topo.find("h1").unwrap();
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig {
+                stop_at: Time::ms(30),
+                ..SimConfig::default()
+            },
+        );
+        install_static(&mut sim);
+        sim.add_flow(FlowSpec::Tcp {
+            src: h0,
+            dst: h1,
+            bytes: 150_000,
+            start: Time::ZERO,
+        });
+        let stats = sim.run();
+        let data = stats.wire_bytes[&TrafficKind::Data];
+        let ack = stats.wire_bytes[&TrafficKind::Ack];
+        // 150 kB of payload crosses 3 links from host to host.
+        assert!(data > 3 * 150_000, "{data}");
+        assert!(ack > 0 && ack < data, "{ack} vs {data}");
+    }
+
+    #[test]
+    fn queue_sampling_produces_fabric_samples() {
+        let topo = line();
+        let h0 = topo.find("h0").unwrap();
+        let h1 = topo.find("h1").unwrap();
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig {
+                stop_at: Time::ms(10),
+                queue_sample_every: Some(Time::us(100)),
+                ..SimConfig::default()
+            },
+        );
+        install_static(&mut sim);
+        sim.add_flow(FlowSpec::Tcp {
+            src: h0,
+            dst: h1,
+            bytes: 1_000_000,
+            start: Time::ZERO,
+        });
+        let stats = sim.run();
+        assert!(!stats.queue_samples.is_empty());
+        // Only the 2 fabric links (s0→s1, s1→s0) are sampled.
+        let links: std::collections::BTreeSet<u32> =
+            stats.queue_samples.iter().map(|s| s.link).collect();
+        assert_eq!(links.len(), 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! Measurement: everything the paper's figures read out of a run.
+
+use crate::link::DropReason;
+use crate::packet::FlowId;
+use crate::time::Time;
+use std::collections::BTreeMap;
+
+/// Traffic categories for byte accounting (Fig 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrafficKind {
+    /// TCP-like data segments.
+    Data,
+    /// Acknowledgements.
+    Ack,
+    /// UDP datagrams.
+    Udp,
+    /// Routing probes.
+    Probe,
+}
+
+/// Lifecycle record of one flow.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    /// Flow id.
+    pub id: FlowId,
+    /// Bytes the application asked to transfer.
+    pub size_bytes: u64,
+    /// When the flow was offered to the transport.
+    pub start: Time,
+    /// When the last byte was acknowledged (None = still running at the
+    /// end of the simulation).
+    pub finish: Option<Time>,
+    /// Packets retransmitted by the sender.
+    pub retransmits: u64,
+    /// Open-ended flows (constant-rate UDP) never finish by design and are
+    /// excluded from completion statistics.
+    pub unbounded: bool,
+}
+
+impl FlowRecord {
+    /// Flow completion time, if the flow finished.
+    pub fn fct(&self) -> Option<Time> {
+        self.finish.map(|f| f - self.start)
+    }
+}
+
+/// A periodic queue-occupancy sample (Fig 13).
+#[derive(Debug, Clone, Copy)]
+pub struct QueueSample {
+    /// Sample timestamp.
+    pub at: Time,
+    /// Directed link index in the topology.
+    pub link: u32,
+    /// Queued bytes at that instant.
+    pub bytes: u32,
+}
+
+/// Aggregated statistics of one simulation run.
+#[derive(Debug, Default)]
+pub struct SimStats {
+    /// Per-flow records, indexed by flow id.
+    pub flows: Vec<FlowRecord>,
+    /// Bytes placed on the wire, per traffic kind, summed over every hop —
+    /// the "amount of traffic sent over the network" of §6.5.
+    pub wire_bytes: BTreeMap<TrafficKind, u64>,
+    /// Packet drops by reason (sum over all links/switches).
+    pub drops: BTreeMap<DropReason, u64>,
+    /// Queue samples (only when sampling is enabled).
+    pub queue_samples: Vec<QueueSample>,
+    /// Payload packets that traversed a forwarding loop (visited the same
+    /// switch twice), as detected by the engine's TTL bookkeeping.
+    pub looped_packets: u64,
+    /// Payload packets delivered to their destination host.
+    pub delivered_packets: u64,
+    /// Loop-breaking events reported by switch logic (§5.5).
+    pub loop_breaks: u64,
+    /// UDP bytes delivered, bucketed by [`SimStats::udp_bucket`] for
+    /// throughput-over-time plots (Fig 14).
+    pub udp_delivered: BTreeMap<u64, u64>,
+    /// Bucket width used for `udp_delivered`.
+    pub udp_bucket: Time,
+}
+
+impl SimStats {
+    /// Creates stats with the given UDP throughput bucket width.
+    pub fn new(udp_bucket: Time) -> SimStats {
+        SimStats {
+            udp_bucket,
+            ..SimStats::default()
+        }
+    }
+
+    /// Records wire bytes for a transmission.
+    pub fn on_wire(&mut self, kind: TrafficKind, bytes: u32) {
+        *self.wire_bytes.entry(kind).or_insert(0) += bytes as u64;
+    }
+
+    /// Records a drop.
+    pub fn on_drop(&mut self, reason: DropReason) {
+        *self.drops.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Records UDP payload delivery at `now`.
+    pub fn on_udp_delivered(&mut self, now: Time, bytes: u32) {
+        let bucket = now.0 / self.udp_bucket.0.max(1);
+        *self.udp_delivered.entry(bucket).or_insert(0) += bytes as u64;
+    }
+
+    /// Mean FCT over completed flows, in milliseconds (`None` if no flow
+    /// completed).
+    pub fn mean_fct_ms(&self) -> Option<f64> {
+        let fcts: Vec<f64> = self
+            .flows
+            .iter()
+            .filter_map(|f| f.fct().map(|t| t.as_millis_f64()))
+            .collect();
+        if fcts.is_empty() {
+            None
+        } else {
+            Some(fcts.iter().sum::<f64>() / fcts.len() as f64)
+        }
+    }
+
+    /// The p-th percentile FCT (0 ≤ p ≤ 100) over completed flows, ms.
+    pub fn fct_percentile_ms(&self, p: f64) -> Option<f64> {
+        let mut fcts: Vec<f64> = self
+            .flows
+            .iter()
+            .filter_map(|f| f.fct().map(|t| t.as_millis_f64()))
+            .collect();
+        if fcts.is_empty() {
+            return None;
+        }
+        fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((p / 100.0) * (fcts.len() - 1) as f64).round() as usize;
+        Some(fcts[idx.min(fcts.len() - 1)])
+    }
+
+    /// Fraction of offered *finite* flows that completed (unbounded UDP
+    /// streams are excluded).
+    pub fn completion_rate(&self) -> f64 {
+        let finite: Vec<&FlowRecord> = self.flows.iter().filter(|f| !f.unbounded).collect();
+        if finite.is_empty() {
+            return 1.0;
+        }
+        finite.iter().filter(|f| f.finish.is_some()).count() as f64 / finite.len() as f64
+    }
+
+    /// Total wire bytes across all kinds.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.wire_bytes.values().sum()
+    }
+
+    /// UDP goodput in Gbps for each completed bucket, as (bucket start
+    /// time, Gbps) pairs.
+    pub fn udp_goodput_gbps(&self) -> Vec<(Time, f64)> {
+        let w = self.udp_bucket.as_secs_f64();
+        self.udp_delivered
+            .iter()
+            .map(|(&b, &bytes)| {
+                (Time(b * self.udp_bucket.0), bytes as f64 * 8.0 / w / 1e9)
+            })
+            .collect()
+    }
+
+    /// Queue-length CDF in MSS units: returns sorted (length, cumulative
+    /// fraction) pairs over all samples.
+    pub fn queue_cdf_mss(&self, mss: u32) -> Vec<(u32, f64)> {
+        if self.queue_samples.is_empty() {
+            return Vec::new();
+        }
+        let mut lens: Vec<u32> = self
+            .queue_samples
+            .iter()
+            .map(|s| s.bytes / mss.max(1))
+            .collect();
+        lens.sort_unstable();
+        let n = lens.len() as f64;
+        let mut out: Vec<(u32, f64)> = Vec::new();
+        for (i, l) in lens.iter().enumerate() {
+            let frac = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == *l => last.1 = frac,
+                _ => out.push((*l, frac)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fct_stats() {
+        let mut s = SimStats::new(Time::ms(1));
+        s.flows.push(FlowRecord {
+            id: FlowId(0),
+            size_bytes: 1000,
+            start: Time::ZERO,
+            finish: Some(Time::ms(2)),
+            retransmits: 0,
+            unbounded: false,
+        });
+        s.flows.push(FlowRecord {
+            id: FlowId(1),
+            size_bytes: 1000,
+            start: Time::ms(1),
+            finish: Some(Time::ms(5)),
+            retransmits: 1,
+            unbounded: false,
+        });
+        s.flows.push(FlowRecord {
+            id: FlowId(2),
+            size_bytes: 1000,
+            start: Time::ms(1),
+            finish: None,
+            retransmits: 0,
+            unbounded: false,
+        });
+        assert_eq!(s.mean_fct_ms(), Some(3.0));
+        assert!((s.completion_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.fct_percentile_ms(100.0), Some(4.0));
+    }
+
+    #[test]
+    fn udp_goodput_buckets() {
+        let mut s = SimStats::new(Time::ms(1));
+        s.on_udp_delivered(Time::us(100), 125_000); // bucket 0
+        s.on_udp_delivered(Time::us(1_500), 125_000); // bucket 1
+        let g = s.udp_goodput_gbps();
+        assert_eq!(g.len(), 2);
+        assert!((g[0].1 - 1.0).abs() < 1e-9, "1 Gb in 1 ms = 1 Gbps");
+    }
+
+    #[test]
+    fn queue_cdf() {
+        let mut s = SimStats::new(Time::ms(1));
+        for bytes in [0, 1500, 1500, 3000] {
+            s.queue_samples.push(QueueSample {
+                at: Time::ZERO,
+                link: 0,
+                bytes,
+            });
+        }
+        let cdf = s.queue_cdf_mss(1500);
+        assert_eq!(cdf, vec![(0, 0.25), (1, 0.75), (2, 1.0)]);
+    }
+
+    #[test]
+    fn wire_accounting() {
+        let mut s = SimStats::new(Time::ms(1));
+        s.on_wire(TrafficKind::Data, 1500);
+        s.on_wire(TrafficKind::Data, 1500);
+        s.on_wire(TrafficKind::Probe, 64);
+        assert_eq!(s.wire_bytes[&TrafficKind::Data], 3000);
+        assert_eq!(s.total_wire_bytes(), 3064);
+    }
+}

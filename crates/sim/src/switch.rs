@@ -1,0 +1,167 @@
+//! The switch programming surface: what a routing system implements to run
+//! inside the simulator.
+//!
+//! A [`SwitchLogic`] is the software analogue of one switch's P4 program:
+//! it sees packets with their ingress neighbor, reads local egress-port
+//! utilizations (the hardware counters a Tofino exposes), and emits packets
+//! on chosen ports. It deliberately has *no* global view — exactly the
+//! constraint the paper's protocol designs around.
+
+use crate::link::LinkState;
+use crate::packet::Packet;
+use crate::time::Time;
+use contra_topology::{NodeId, Topology};
+
+/// Per-switch dataplane logic.
+pub trait SwitchLogic {
+    /// Handles a packet arriving from neighbor `from` (a switch or an
+    /// attached host). Forwarding decisions are made by calling
+    /// [`SwitchCtx::send`].
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: Packet, from: NodeId);
+
+    /// Periodic timer (probe generation). Called every
+    /// [`SwitchLogic::tick_interval`] if one is declared.
+    fn on_tick(&mut self, _ctx: &mut SwitchCtx<'_>) {}
+
+    /// Timer period, or `None` for purely reactive logic.
+    fn tick_interval(&self) -> Option<Time> {
+        None
+    }
+}
+
+/// The environment a switch sees while handling one event.
+pub struct SwitchCtx<'a> {
+    /// This switch.
+    pub switch: NodeId,
+    /// Current simulated time.
+    pub now: Time,
+    pub(crate) topo: &'a Topology,
+    pub(crate) links: &'a [LinkState],
+    /// Collected sends, applied by the engine after the handler returns.
+    pub(crate) out: Vec<(NodeId, Packet)>,
+    /// Loop-break events reported by the logic (§5.5 statistics).
+    pub(crate) loop_breaks: u64,
+    /// Packets the logic declined to forward (no usable entry).
+    pub(crate) no_route: u64,
+}
+
+impl<'a> SwitchCtx<'a> {
+    pub(crate) fn new(
+        switch: NodeId,
+        now: Time,
+        topo: &'a Topology,
+        links: &'a [LinkState],
+    ) -> SwitchCtx<'a> {
+        SwitchCtx {
+            switch,
+            now,
+            topo,
+            links,
+            out: Vec::new(),
+            loop_breaks: 0,
+            no_route: 0,
+        }
+    }
+
+    /// Builds a context outside the engine, against explicit link state —
+    /// for protocol-level test harnesses that step switch logic by hand
+    /// (e.g. the convergence/optimality property tests). `links` must be
+    /// indexed like `topo.links()`.
+    pub fn detached(
+        switch: NodeId,
+        now: Time,
+        topo: &'a Topology,
+        links: &'a [LinkState],
+    ) -> SwitchCtx<'a> {
+        Self::new(switch, now, topo, links)
+    }
+
+    /// Drains the packets emitted so far as `(next_hop, packet)` pairs.
+    /// Used by detached harnesses; the engine reads the field directly.
+    pub fn take_outputs(&mut self) -> Vec<(NodeId, Packet)> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Emits `pkt` toward the directly connected `next` (switch or host).
+    /// The packet is queued on the egress link after the handler returns.
+    pub fn send(&mut self, next: NodeId, pkt: Packet) {
+        debug_assert!(
+            self.topo.link_between(self.switch, next).is_some(),
+            "switch {} has no link to {}",
+            self.switch,
+            next
+        );
+        self.out.push((next, pkt));
+    }
+
+    /// Declares that no usable route existed for a packet (it is dropped
+    /// and counted).
+    pub fn drop_no_route(&mut self, _pkt: Packet) {
+        self.no_route += 1;
+    }
+
+    /// Records a flowlet loop-break event (§5.5).
+    pub fn note_loop_break(&mut self) {
+        self.loop_breaks += 1;
+    }
+
+    /// Estimated utilization of this switch's egress link toward `next`
+    /// (the decayed byte counter normalized by capacity — what the paper's
+    /// `UPDATEMVEC` reads for `path.util`).
+    pub fn util_to(&self, next: NodeId) -> f64 {
+        match self.topo.link_between(self.switch, next) {
+            Some(l) => {
+                let ls = &self.links[l.0 as usize];
+                ls.estimator.utilization(ls.bandwidth_bps, self.now)
+            }
+            None => 0.0,
+        }
+    }
+
+    /// One-way propagation delay toward `next`, in seconds (for
+    /// `path.lat`).
+    pub fn lat_to(&self, next: NodeId) -> f64 {
+        match self.topo.link_between(self.switch, next) {
+            Some(l) => self.links[l.0 as usize].delay.as_secs_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Whether the egress link toward `next` is up.
+    ///
+    /// NOTE: the Contra dataplane must *not* use this for failure
+    /// detection — it detects failures by probe silence (§5.4). It exists
+    /// for baselines granted idealized reconvergence (ECMP/SP) and for
+    /// assertions in tests.
+    pub fn link_up(&self, next: NodeId) -> bool {
+        self.topo
+            .link_between(self.switch, next)
+            .map(|l| self.links[l.0 as usize].up)
+            .unwrap_or(false)
+    }
+
+    /// Switch neighbors of this switch (sorted).
+    pub fn switch_neighbors(&self) -> Vec<NodeId> {
+        let mut n = self.topo.switch_neighbors(self.switch);
+        n.sort_unstable();
+        n.dedup();
+        n
+    }
+
+    /// Hosts attached to this switch.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        self.topo.hosts_of(self.switch)
+    }
+
+    /// Whether a node id refers to a switch (e.g. to test if a packet came
+    /// from an attached host — Fig 7's `fromHost`).
+    pub fn is_switch(&self, n: NodeId) -> bool {
+        self.topo.is_switch(n)
+    }
+
+    /// Read-only access to the topology (static configuration knowledge a
+    /// compiled switch program legitimately has).
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+}

@@ -1,0 +1,131 @@
+//! Simulated time: nanosecond-resolution virtual clock.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+///
+/// The paper's relevant constants for scale: probe period 256 µs, flowlet
+/// timeout 200 µs, link delays ~1 µs (datacenter) to ~7 ms (WAN), full
+/// experiments tens to hundreds of milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// Zero.
+    pub const ZERO: Time = Time(0);
+
+    /// From nanoseconds.
+    pub const fn ns(n: u64) -> Time {
+        Time(n)
+    }
+
+    /// From microseconds.
+    pub const fn us(n: u64) -> Time {
+        Time(n * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn ms(n: u64) -> Time {
+        Time(n * 1_000_000)
+    }
+
+    /// From seconds (fractional allowed; rounds to nanoseconds).
+    pub fn secs_f64(s: f64) -> Time {
+        assert!(s >= 0.0 && s.is_finite(), "invalid duration {s}");
+        Time((s * 1e9).round() as u64)
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0.checked_sub(rhs.0).expect("negative time difference"))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}µs", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// Transmission time of `bytes` over a link of `bandwidth_bps`.
+pub fn tx_time(bytes: u32, bandwidth_bps: f64) -> Time {
+    debug_assert!(bandwidth_bps > 0.0);
+    Time(((bytes as f64 * 8.0 / bandwidth_bps) * 1e9).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_consistent() {
+        assert_eq!(Time::us(256), Time::ns(256_000));
+        assert_eq!(Time::ms(1), Time::us(1_000));
+        assert_eq!(Time::secs_f64(0.001), Time::ms(1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Time::us(3) + Time::us(2), Time::us(5));
+        assert_eq!(Time::us(3) - Time::us(2), Time::us(1));
+        assert_eq!(Time::us(1).saturating_sub(Time::us(2)), Time::ZERO);
+    }
+
+    #[test]
+    fn tx_time_examples() {
+        // 1500 B over 10 Gbps = 1.2 µs.
+        assert_eq!(tx_time(1500, 10e9), Time::ns(1_200));
+        // 64 B probe over 40 Gbps = 12.8 ns.
+        assert_eq!(tx_time(64, 40e9), Time::ns(13));
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(Time::ns(42).to_string(), "42ns");
+        assert_eq!(Time::us(256).to_string(), "256.000µs");
+        assert_eq!(Time::ms(50).to_string(), "50.000ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_difference_panics() {
+        let _ = Time::us(1) - Time::us(2);
+    }
+}

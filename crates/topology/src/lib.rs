@@ -1,0 +1,380 @@
+//! Network topologies for Contra.
+//!
+//! The compiler consumes a [`Topology`] jointly with a policy (§4.1 of the
+//! paper: "policy analyzed jointly with topology"); the simulator consumes
+//! the same structure to instantiate links and queues. Nodes are either
+//! switches (which participate in routing, probes and regular-expression
+//! alphabets) or hosts (traffic endpoints hanging off an access switch).
+//!
+//! Submodules:
+//!
+//! * [`generators`] — leaf-spine and k-ary fat-tree data centers (the Fig 9
+//!   x-axis sizes 20…500 are fat-trees with k = 4…20), random connected
+//!   graphs, and the built-in Abilene WAN used in §6.4.
+//! * [`paths`] — BFS/Dijkstra, ECMP next-hop sets and Yen's k-shortest
+//!   paths (used by the SPAIN baseline).
+//! * [`zoo`] — a GraphML-subset reader for Internet Topology Zoo files.
+
+pub mod generators;
+pub mod paths;
+pub mod zoo;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a node (switch or host) inside one [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a *directed* link inside one [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+/// What role a node plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A programmable switch: runs routing logic, appears in path regexes.
+    Switch,
+    /// An end host: sources and sinks traffic only.
+    Host,
+}
+
+/// A node with its metadata.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Human-readable name (e.g. `"leaf0"`, `"Denver"`).
+    pub name: String,
+    /// Switch or host.
+    pub kind: NodeKind,
+}
+
+/// A directed link. Bidirectional cables are modelled as two directed links
+/// so that the two directions have independent queues and utilizations.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Capacity in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay in nanoseconds.
+    pub delay_ns: u64,
+}
+
+/// An immutable network topology: nodes, directed links and adjacency.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    out: Vec<Vec<LinkId>>,
+    by_pair: BTreeMap<(NodeId, NodeId), LinkId>,
+}
+
+impl Topology {
+    /// Starts building a topology.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// All nodes, indexable by `NodeId.0`.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All directed links, indexable by `LinkId.0`.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of nodes (switches + hosts).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node metadata.
+    pub fn node(&self, n: NodeId) -> &Node {
+        &self.nodes[n.0 as usize]
+    }
+
+    /// Link metadata.
+    pub fn link(&self, l: LinkId) -> &Link {
+        &self.links[l.0 as usize]
+    }
+
+    /// Whether `n` is a switch.
+    pub fn is_switch(&self, n: NodeId) -> bool {
+        self.nodes[n.0 as usize].kind == NodeKind::Switch
+    }
+
+    /// All switch IDs in ascending order — the regex alphabet.
+    pub fn switches(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.is_switch(n))
+            .collect()
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind == NodeKind::Switch).count()
+    }
+
+    /// All host IDs in ascending order.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&n| !self.is_switch(n))
+            .collect()
+    }
+
+    /// Out-links of a node.
+    pub fn out_links(&self, n: NodeId) -> &[LinkId] {
+        &self.out[n.0 as usize]
+    }
+
+    /// Out-neighbors of a node (deduplicated, in link order).
+    pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        self.out[n.0 as usize]
+            .iter()
+            .map(|&l| self.links[l.0 as usize].dst)
+            .collect()
+    }
+
+    /// Switch out-neighbors only.
+    pub fn switch_neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        self.neighbors(n).into_iter().filter(|&m| self.is_switch(m)).collect()
+    }
+
+    /// The directed link from `a` to `b`, if any.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.by_pair.get(&(a, b)).copied()
+    }
+
+    /// Looks a node up by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// The access switch a host is attached to. Panics if `h` is a switch or
+    /// is attached to anything but exactly one switch.
+    pub fn host_switch(&self, h: NodeId) -> NodeId {
+        assert!(!self.is_switch(h), "{h} is not a host");
+        let sw: Vec<NodeId> = self
+            .neighbors(h)
+            .into_iter()
+            .filter(|&n| self.is_switch(n))
+            .collect();
+        assert_eq!(sw.len(), 1, "host {h} must have exactly one access switch");
+        sw[0]
+    }
+
+    /// Hosts attached to the given switch.
+    pub fn hosts_of(&self, sw: NodeId) -> Vec<NodeId> {
+        self.neighbors(sw)
+            .into_iter()
+            .filter(|&n| !self.is_switch(n))
+            .collect()
+    }
+
+    /// A copy of this topology with the given cables (both directions)
+    /// removed. Used to model control planes that have reconverged around
+    /// known failures (e.g. ECMP in the paper's asymmetric experiment).
+    pub fn without_cables(&self, cables: &[(NodeId, NodeId)]) -> Topology {
+        let dead = |src: NodeId, dst: NodeId| {
+            cables
+                .iter()
+                .any(|&(a, b)| (src, dst) == (a, b) || (src, dst) == (b, a))
+        };
+        let mut tb = TopologyBuilder::default();
+        for node in &self.nodes {
+            match node.kind {
+                NodeKind::Switch => tb.switch(&node.name),
+                NodeKind::Host => tb.host(&node.name),
+            };
+        }
+        for l in &self.links {
+            if !dead(l.src, l.dst) {
+                tb.line(l.src, l.dst, l.bandwidth_bps, l.delay_ns);
+            }
+        }
+        tb.build()
+    }
+
+    /// Maximum propagation RTT between any pair of switches, in nanoseconds,
+    /// following shortest-delay paths. This bounds the probe period from
+    /// below (§5.2: period ≥ 0.5 × RTT).
+    pub fn max_switch_rtt_ns(&self) -> u64 {
+        let switches = self.switches();
+        let mut max = 0u64;
+        for &s in &switches {
+            let dist = paths::dijkstra_delay(self, s);
+            for &t in &switches {
+                if let Some(d) = dist[t.0 as usize] {
+                    max = max.max(2 * d);
+                }
+            }
+        }
+        max
+    }
+}
+
+/// Incremental [`Topology`] constructor.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+}
+
+impl TopologyBuilder {
+    /// Adds a switch; names must be unique.
+    pub fn switch(&mut self, name: &str) -> NodeId {
+        self.add(name, NodeKind::Switch)
+    }
+
+    /// Adds a host; names must be unique.
+    pub fn host(&mut self, name: &str) -> NodeId {
+        self.add(name, NodeKind::Host)
+    }
+
+    fn add(&mut self, name: &str, kind: NodeKind) -> NodeId {
+        assert!(
+            self.nodes.iter().all(|n| n.name != name),
+            "duplicate node name {name:?}"
+        );
+        self.nodes.push(Node {
+            name: name.to_string(),
+            kind,
+        });
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    /// Adds one directed link.
+    pub fn line(&mut self, src: NodeId, dst: NodeId, bandwidth_bps: f64, delay_ns: u64) {
+        assert_ne!(src, dst, "self-loops are not allowed");
+        self.links.push(Link {
+            src,
+            dst,
+            bandwidth_bps,
+            delay_ns,
+        });
+    }
+
+    /// Adds a bidirectional cable: two directed links with the same
+    /// bandwidth and delay.
+    pub fn biline(&mut self, a: NodeId, b: NodeId, bandwidth_bps: f64, delay_ns: u64) {
+        self.line(a, b, bandwidth_bps, delay_ns);
+        self.line(b, a, bandwidth_bps, delay_ns);
+    }
+
+    /// Finalizes the topology, computing adjacency indices.
+    pub fn build(self) -> Topology {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        let mut by_pair = BTreeMap::new();
+        for (i, l) in self.links.iter().enumerate() {
+            let id = LinkId(i as u32);
+            out[l.src.0 as usize].push(id);
+            let prev = by_pair.insert((l.src, l.dst), id);
+            assert!(prev.is_none(), "parallel links between {} and {} are not supported", l.src, l.dst);
+        }
+        Topology {
+            nodes: self.nodes,
+            links: self.links,
+            out,
+            by_pair,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Topology {
+        let mut t = Topology::builder();
+        let a = t.switch("A");
+        let b = t.switch("B");
+        let c = t.switch("C");
+        let d = t.switch("D");
+        t.biline(a, b, 10e9, 1_000);
+        t.biline(a, c, 10e9, 1_000);
+        t.biline(b, d, 10e9, 1_000);
+        t.biline(c, d, 10e9, 1_000);
+        t.build()
+    }
+
+    #[test]
+    fn builder_basics() {
+        let t = diamond();
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.num_links(), 8);
+        assert_eq!(t.num_switches(), 4);
+        assert!(t.hosts().is_empty());
+        let a = t.find("A").unwrap();
+        let b = t.find("B").unwrap();
+        assert!(t.link_between(a, b).is_some());
+        assert_eq!(t.neighbors(a).len(), 2);
+    }
+
+    #[test]
+    fn hosts_attach_to_switches() {
+        let mut tb = Topology::builder();
+        let s = tb.switch("s");
+        let h = tb.host("h");
+        tb.biline(s, h, 10e9, 500);
+        let t = tb.build();
+        assert_eq!(t.host_switch(h), s);
+        assert_eq!(t.hosts_of(s), vec![h]);
+        assert_eq!(t.switches(), vec![s]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_names_rejected() {
+        let mut tb = Topology::builder();
+        tb.switch("x");
+        tb.switch("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loops_rejected() {
+        let mut tb = Topology::builder();
+        let a = tb.switch("a");
+        tb.line(a, a, 1.0, 1);
+    }
+
+    #[test]
+    fn without_cables_removes_both_directions() {
+        let t = diamond();
+        let a = t.find("A").unwrap();
+        let b = t.find("B").unwrap();
+        let t2 = t.without_cables(&[(a, b)]);
+        assert_eq!(t2.num_links(), t.num_links() - 2);
+        assert!(t2.link_between(a, b).is_none());
+        assert!(t2.link_between(b, a).is_none());
+        // Node ids and names are preserved.
+        assert_eq!(t2.find("A"), Some(a));
+    }
+
+    #[test]
+    fn max_rtt_on_diamond() {
+        let t = diamond();
+        // A->B->D costs 2 µs one way; max RTT = 4 µs.
+        assert_eq!(t.max_switch_rtt_ns(), 4_000);
+    }
+}

@@ -1,0 +1,380 @@
+//! Path algorithms over the switch graph.
+//!
+//! These power both compilation (alphabet-wide reachability, probe-period
+//! bounds) and the baseline systems: ECMP needs the shortest-path DAG,
+//! SPAIN needs k-shortest paths with small overlap, and static
+//! shortest-path routing needs a deterministic next hop.
+//!
+//! All functions treat hosts as non-transit: paths never route *through* a
+//! host, matching real networks where only switches forward.
+
+use crate::{NodeId, Topology};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// BFS hop distances from every node **to** `dst`, forwarding only through
+/// switches. `None` means unreachable.
+pub fn hop_distances_to(topo: &Topology, dst: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; topo.num_nodes()];
+    dist[dst.0 as usize] = Some(0);
+    let mut q = VecDeque::new();
+    q.push_back(dst);
+    while let Some(n) = q.pop_front() {
+        let d = dist[n.0 as usize].unwrap();
+        // Traverse links in reverse: who can reach n in one hop?
+        for l in topo.links() {
+            if l.dst == n && dist[l.src.0 as usize].is_none() {
+                // Only switches forward traffic, so an intermediate node on
+                // the path (i.e. `n` itself, unless it is the destination)
+                // must be a switch.
+                if n != dst && !topo.is_switch(n) {
+                    continue;
+                }
+                dist[l.src.0 as usize] = Some(d + 1);
+                q.push_back(l.src);
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra over propagation delay from `src` to every node, in ns.
+pub fn dijkstra_delay(topo: &Topology, src: NodeId) -> Vec<Option<u64>> {
+    let mut dist: Vec<Option<u64>> = vec![None; topo.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    dist[src.0 as usize] = Some(0);
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, n))) = heap.pop() {
+        if dist[n.0 as usize] != Some(d) {
+            continue;
+        }
+        if n != src && !topo.is_switch(n) {
+            continue; // hosts do not forward
+        }
+        for &lid in topo.out_links(n) {
+            let l = topo.link(lid);
+            let nd = d + l.delay_ns;
+            if dist[l.dst.0 as usize].map_or(true, |old| nd < old) {
+                dist[l.dst.0 as usize] = Some(nd);
+                heap.push(Reverse((nd, l.dst)));
+            }
+        }
+    }
+    dist
+}
+
+/// For every node, the set of next hops lying on *some* shortest hop-count
+/// path toward `dst`. This is the classic ECMP DAG.
+pub fn ecmp_next_hops(topo: &Topology, dst: NodeId) -> Vec<Vec<NodeId>> {
+    let dist = hop_distances_to(topo, dst);
+    let mut next = vec![Vec::new(); topo.num_nodes()];
+    for (i, d) in dist.iter().enumerate() {
+        let Some(d) = *d else { continue };
+        if d == 0 {
+            continue;
+        }
+        let n = NodeId(i as u32);
+        for m in topo.neighbors(n) {
+            if dist[m.0 as usize] == Some(d - 1) {
+                next[i].push(m);
+            }
+        }
+        next[i].sort_unstable();
+    }
+    next
+}
+
+/// One deterministic shortest path from `src` to `dst` (lowest-numbered
+/// next hop at every step), as a node sequence including both endpoints.
+/// Returns `None` when unreachable.
+pub fn shortest_path(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    let next = ecmp_next_hops(topo, dst);
+    let mut path = vec![src];
+    let mut cur = src;
+    while cur != dst {
+        let hops = &next[cur.0 as usize];
+        let &nh = hops.first()?;
+        path.push(nh);
+        cur = nh;
+    }
+    Some(path)
+}
+
+/// Yen's algorithm: up to `k` loop-free shortest paths (by hop count, ties
+/// broken deterministically) from `src` to `dst`, ascending in length.
+pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> Vec<Vec<NodeId>> {
+    let Some(first) = shortest_path(topo, src, dst) else {
+        return Vec::new();
+    };
+    let mut found: Vec<Vec<NodeId>> = vec![first];
+    let mut candidates: Vec<Vec<NodeId>> = Vec::new();
+
+    while found.len() < k {
+        let last = found.last().unwrap().clone();
+        for i in 0..last.len() - 1 {
+            let spur_node = last[i];
+            let root: Vec<NodeId> = last[..=i].to_vec();
+            // Forbid links used by previous paths sharing this root, and all
+            // root nodes except the spur node (loop-freedom).
+            let mut banned_links: Vec<(NodeId, NodeId)> = Vec::new();
+            for p in &found {
+                if p.len() > i && p[..=i] == root[..] {
+                    banned_links.push((p[i], p[i + 1]));
+                }
+            }
+            let banned_nodes: Vec<NodeId> = root[..i].to_vec();
+            if let Some(spur) = constrained_shortest(topo, spur_node, dst, &banned_nodes, &banned_links) {
+                let mut cand = root;
+                cand.extend_from_slice(&spur[1..]);
+                if !found.contains(&cand) && !candidates.contains(&cand) {
+                    candidates.push(cand);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by_key(|p| (p.len(), p.iter().map(|n| n.0).collect::<Vec<_>>()));
+        found.push(candidates.remove(0));
+    }
+    found
+}
+
+/// BFS shortest path avoiding the given nodes and directed links.
+fn constrained_shortest(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    banned_nodes: &[NodeId],
+    banned_links: &[(NodeId, NodeId)],
+) -> Option<Vec<NodeId>> {
+    if banned_nodes.contains(&src) {
+        return None;
+    }
+    let mut prev: Vec<Option<NodeId>> = vec![None; topo.num_nodes()];
+    let mut seen = vec![false; topo.num_nodes()];
+    seen[src.0 as usize] = true;
+    let mut q = VecDeque::new();
+    q.push_back(src);
+    while let Some(n) = q.pop_front() {
+        if n == dst {
+            let mut path = vec![dst];
+            let mut cur = dst;
+            while let Some(p) = prev[cur.0 as usize] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if n != src && !topo.is_switch(n) {
+            continue;
+        }
+        let mut nbrs = topo.neighbors(n);
+        nbrs.sort_unstable();
+        for m in nbrs {
+            if seen[m.0 as usize]
+                || banned_nodes.contains(&m)
+                || banned_links.contains(&(n, m))
+            {
+                continue;
+            }
+            seen[m.0 as usize] = true;
+            prev[m.0 as usize] = Some(n);
+            q.push_back(m);
+        }
+    }
+    None
+}
+
+/// Whether the switch graph is connected (ignoring hosts).
+pub fn switch_graph_connected(topo: &Topology) -> bool {
+    let switches = topo.switches();
+    let Some(&start) = switches.first() else {
+        return true;
+    };
+    let mut seen = vec![false; topo.num_nodes()];
+    seen[start.0 as usize] = true;
+    let mut q = VecDeque::new();
+    q.push_back(start);
+    let mut count = 1;
+    while let Some(n) = q.pop_front() {
+        for m in topo.switch_neighbors(n) {
+            if !seen[m.0 as usize] {
+                seen[m.0 as usize] = true;
+                count += 1;
+                q.push_back(m);
+            }
+        }
+    }
+    count == switches.len()
+}
+
+/// Enumerates **all** simple switch paths from `src` to `dst`, up to
+/// `max_hops` hops. Exponential — exists purely as a ground-truth oracle for
+/// tests of the product graph and the protocol's optimality property.
+pub fn all_simple_paths(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    max_hops: usize,
+) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    let mut stack = vec![src];
+    let mut on_path = vec![false; topo.num_nodes()];
+    on_path[src.0 as usize] = true;
+    fn rec(
+        topo: &Topology,
+        dst: NodeId,
+        max_hops: usize,
+        stack: &mut Vec<NodeId>,
+        on_path: &mut Vec<bool>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        let cur = *stack.last().unwrap();
+        if cur == dst {
+            out.push(stack.clone());
+            return;
+        }
+        if stack.len() > max_hops {
+            return;
+        }
+        let mut nbrs = topo.switch_neighbors(cur);
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        for m in nbrs {
+            if on_path[m.0 as usize] {
+                continue;
+            }
+            on_path[m.0 as usize] = true;
+            stack.push(m);
+            rec(topo, dst, max_hops, stack, on_path, out);
+            stack.pop();
+            on_path[m.0 as usize] = false;
+        }
+    }
+    rec(topo, dst, max_hops, &mut stack, &mut on_path, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    /// A -- B -- D and A -- C -- D diamond plus direct A -- D link.
+    fn diamond_plus() -> Topology {
+        let mut t = Topology::builder();
+        let a = t.switch("A");
+        let b = t.switch("B");
+        let c = t.switch("C");
+        let d = t.switch("D");
+        t.biline(a, b, 10e9, 1_000);
+        t.biline(a, c, 10e9, 1_000);
+        t.biline(b, d, 10e9, 1_000);
+        t.biline(c, d, 10e9, 1_000);
+        t.biline(a, d, 10e9, 5_000);
+        t.build()
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let t = diamond_plus();
+        let d = t.find("D").unwrap();
+        let dist = hop_distances_to(&t, d);
+        assert_eq!(dist[t.find("A").unwrap().0 as usize], Some(1));
+        assert_eq!(dist[t.find("B").unwrap().0 as usize], Some(1));
+        assert_eq!(dist[d.0 as usize], Some(0));
+    }
+
+    #[test]
+    fn ecmp_sets() {
+        let mut tb = Topology::builder();
+        let s = tb.switch("S");
+        let a = tb.switch("A");
+        let b = tb.switch("B");
+        let d = tb.switch("D");
+        tb.biline(s, a, 1.0, 1);
+        tb.biline(s, b, 1.0, 1);
+        tb.biline(a, d, 1.0, 1);
+        tb.biline(b, d, 1.0, 1);
+        let t = tb.build();
+        let next = ecmp_next_hops(&t, d);
+        assert_eq!(next[s.0 as usize], vec![a, b]);
+        assert_eq!(next[a.0 as usize], vec![d]);
+    }
+
+    #[test]
+    fn shortest_path_prefers_fewest_hops() {
+        let t = diamond_plus();
+        let a = t.find("A").unwrap();
+        let d = t.find("D").unwrap();
+        let p = shortest_path(&t, a, d).unwrap();
+        assert_eq!(p, vec![a, d]);
+    }
+
+    #[test]
+    fn yen_finds_distinct_loop_free_paths() {
+        let t = diamond_plus();
+        let a = t.find("A").unwrap();
+        let d = t.find("D").unwrap();
+        let ps = k_shortest_paths(&t, a, d, 3);
+        assert_eq!(ps.len(), 3);
+        // Ascending length, all simple, all distinct.
+        assert!(ps.windows(2).all(|w| w[0].len() <= w[1].len()));
+        for p in &ps {
+            let mut q = p.clone();
+            q.sort_unstable();
+            q.dedup();
+            assert_eq!(q.len(), p.len(), "path {p:?} has a repeated node");
+            assert_eq!(p[0], a);
+            assert_eq!(*p.last().unwrap(), d);
+        }
+        assert_eq!(ps[0], vec![a, d]);
+    }
+
+    #[test]
+    fn hosts_do_not_transit() {
+        let mut tb = Topology::builder();
+        let a = tb.switch("A");
+        let b = tb.switch("B");
+        let h = tb.host("h");
+        // a -- h -- b : the only "path" runs through a host, so unreachable.
+        tb.biline(a, h, 1.0, 1);
+        tb.biline(h, b, 1.0, 1);
+        let t = tb.build();
+        let dist = hop_distances_to(&t, b);
+        assert_eq!(dist[a.0 as usize], None);
+        assert!(shortest_path(&t, a, b).is_none());
+    }
+
+    #[test]
+    fn all_simple_paths_oracle() {
+        let t = diamond_plus();
+        let a = t.find("A").unwrap();
+        let d = t.find("D").unwrap();
+        let ps = all_simple_paths(&t, a, d, 8);
+        // A-D, A-B-D, A-C-D, A-B-D? no loops: exactly A-D, ABD, ACD.
+        assert_eq!(ps.len(), 3);
+    }
+
+    #[test]
+    fn connectivity_check() {
+        let t = diamond_plus();
+        assert!(switch_graph_connected(&t));
+        let mut tb = Topology::builder();
+        tb.switch("x");
+        tb.switch("y");
+        let t2 = tb.build();
+        assert!(!switch_graph_connected(&t2));
+    }
+
+    #[test]
+    fn dijkstra_prefers_low_delay() {
+        let t = diamond_plus();
+        let a = t.find("A").unwrap();
+        let dist = dijkstra_delay(&t, a);
+        // Via B or C: 2000 ns < direct 5000 ns.
+        assert_eq!(dist[t.find("D").unwrap().0 as usize], Some(2_000));
+    }
+}

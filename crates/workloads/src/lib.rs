@@ -1,0 +1,18 @@
+//! # contra-workloads — traffic models for the Contra evaluation
+//!
+//! The two production workloads of §6 as empirical flow-size CDFs —
+//! [`web_search`] (DCTCP, SIGCOMM'10) and [`cache`] (Facebook, SIGCOMM'15)
+//! — plus open-loop Poisson flow generation calibrated to a target network
+//! load ([`poisson_flows`]), with the sender/receiver selection policies
+//! the paper uses (half-senders/half-receivers for the datacenter, fixed
+//! pairs for Abilene).
+//!
+//! Everything is seeded and deterministic: the same
+//! [`WorkloadSpec`] always yields the same flow list, so experiments are
+//! exactly reproducible.
+
+pub mod cdf;
+pub mod gen;
+
+pub use cdf::{cache, web_search, EmpiricalCdf};
+pub use gen::{poisson_flows, uplink_capacity_bps, PairPolicy, WorkloadSpec};

@@ -1,0 +1,55 @@
+//! Propane-style failover preferences: pin a primary path, fail it, watch
+//! traffic move to the backup, and confirm the policy's strict priorities
+//! are respected throughout — all from one `minimize(...)` expression.
+//!
+//! ```sh
+//! cargo run --example failover_policy
+//! ```
+
+use contra::core::{policies, Compiler};
+use contra::dataplane::{DataplaneConfig, ProtocolHarness};
+use contra::topology::Topology;
+use std::rc::Rc;
+
+fn main() {
+    // The classic A→D diamond with primary A-B-D and backup A-C-D.
+    let mut t = Topology::builder();
+    let a = t.switch("A");
+    let b = t.switch("B");
+    let c = t.switch("C");
+    let d = t.switch("D");
+    t.biline(a, b, 10e9, 1_000);
+    t.biline(b, d, 10e9, 1_000);
+    t.biline(a, c, 10e9, 1_000);
+    t.biline(c, d, 10e9, 1_000);
+    let topo = t.build();
+
+    let src = policies::failover(&["A", "B", "D"], &["A", "C", "D"]);
+    println!("policy: {src}");
+    let cp = Rc::new(Compiler::new(&topo).compile_str(&src).expect("compiles"));
+    // Static preferences need no dynamic metrics at all.
+    assert!(cp.basis.is_empty(), "failover carries no metrics in probes");
+
+    let mut h = ProtocolHarness::new(&topo, cp, DataplaneConfig::default());
+    h.run_rounds(3);
+    let p = h.traffic_path(a, d).unwrap();
+    println!("primary in use: {:?}", name_path(&topo, &p));
+    assert_eq!(p, vec![a, b, d]);
+
+    h.fail_link(b, d);
+    h.run_rounds(12);
+    let p = h.traffic_path(a, d).unwrap();
+    println!("after B–D failure: {:?}", name_path(&topo, &p));
+    assert_eq!(p, vec![a, c, d], "must fail over to the backup, not drop");
+
+    // Bring the primary back: strict preference means traffic returns.
+    h.recover_link(b, d);
+    h.run_rounds(3);
+    let p = h.traffic_path(a, d).unwrap();
+    println!("after B–D recovery: {:?}", name_path(&topo, &p));
+    assert_eq!(p, vec![a, b, d], "strict preference pulls traffic back");
+}
+
+fn name_path(topo: &Topology, p: &[contra::topology::NodeId]) -> Vec<String> {
+    p.iter().map(|&n| topo.node(n).name.clone()).collect()
+}

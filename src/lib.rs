@@ -1,0 +1,44 @@
+//! # Contra — performance-aware routing, reproduced in Rust
+//!
+//! This facade crate re-exports the whole Contra reproduction (NSDI 2020,
+//! "Contra: A Programmable System for Performance-aware Routing") so that
+//! applications can depend on a single crate:
+//!
+//! * [`core`] — the policy language, analyses and compiler (the paper's
+//!   primary contribution),
+//! * [`automata`] — regular expressions over switch IDs and their automata,
+//! * [`topology`] — network topologies, generators and path algorithms,
+//! * [`sim`] — the packet-level discrete-event network simulator,
+//! * [`dataplane`] — the synthesized Contra dataplane programs at runtime,
+//! * [`baselines`] — ECMP, shortest-path, Hula and SPAIN comparators,
+//! * [`workloads`] — flow-size distributions and arrival processes,
+//! * [`p4gen`] — the P4₁₆ backend.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use contra::core::{parse_policy, Compiler};
+//! use contra::topology::Topology;
+//!
+//! // A 4-node diamond: A -> {B, C} -> D.
+//! let mut t = Topology::builder();
+//! let (a, b, c, d) = (t.switch("A"), t.switch("B"), t.switch("C"), t.switch("D"));
+//! t.biline(a, b, 10e9, 1_000);
+//! t.biline(a, c, 10e9, 1_000);
+//! t.biline(b, d, 10e9, 1_000);
+//! t.biline(c, d, 10e9, 1_000);
+//! let topo = t.build();
+//!
+//! // Least-utilized routing (the paper's policy P2).
+//! let policy = parse_policy("minimize(path.util)").unwrap();
+//! let compiled = Compiler::new(&topo).compile(&policy).unwrap();
+//! assert_eq!(compiled.programs.len(), 4);
+//! ```
+pub use contra_automata as automata;
+pub use contra_baselines as baselines;
+pub use contra_core as core;
+pub use contra_dataplane as dataplane;
+pub use contra_p4gen as p4gen;
+pub use contra_sim as sim;
+pub use contra_topology as topology;
+pub use contra_workloads as workloads;

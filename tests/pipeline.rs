@@ -1,0 +1,109 @@
+//! Integration: the full compilation pipeline — parse → analyze → product
+//! graph → switch programs → P4 emission — for every catalogue policy
+//! (Fig 3), followed by protocol convergence in the stable-metric harness.
+
+use contra::core::{policies, Compiler};
+use contra::dataplane::{DataplaneConfig, ProtocolHarness};
+use contra::p4gen;
+use contra::topology::{generators, Topology};
+use std::rc::Rc;
+
+/// The Fig 6 running-example topology plus an extra edge for diversity.
+fn topo() -> Topology {
+    let mut t = Topology::builder();
+    let a = t.switch("A");
+    let b = t.switch("B");
+    let c = t.switch("C");
+    let d = t.switch("D");
+    let x = t.switch("X");
+    let y = t.switch("Y");
+    t.biline(a, b, 10e9, 1_000);
+    t.biline(a, c, 10e9, 1_000);
+    t.biline(b, c, 10e9, 1_000);
+    t.biline(b, d, 10e9, 1_000);
+    t.biline(c, d, 10e9, 1_000);
+    t.biline(x, a, 10e9, 1_000);
+    t.biline(x, y, 10e9, 1_000);
+    t.biline(y, b, 10e9, 1_000);
+    t.build()
+}
+
+#[test]
+fn all_catalogue_policies_compile_emit_and_converge() {
+    let topo = topo();
+    let compiler = Compiler::new(&topo);
+    for (name, src) in policies::catalogue("B", "C", "X", "Y") {
+        let cp = match compiler.compile_str(&src) {
+            Ok(cp) => Rc::new(cp),
+            Err(e) => panic!("{name}: {e}"),
+        };
+        // Every switch program emits valid P4.
+        for &sw in cp.programs.keys() {
+            let p4 = p4gen::emit_switch_program(&cp, sw);
+            let errs = p4gen::validate(&p4);
+            assert!(errs.is_empty(), "{name} @ {sw}: {errs:?}");
+        }
+        // The protocol converges and produces *some* routing for at least
+        // one pair (policies constrain which pairs are reachable).
+        let mut h = ProtocolHarness::new(&topo, cp.clone(), DataplaneConfig::default());
+        h.run_rounds(3);
+        let mut routed = 0;
+        for src_sw in topo.switches() {
+            for dst_sw in topo.switches() {
+                if src_sw == dst_sw {
+                    continue;
+                }
+                if let Some(p) = h.traffic_path(src_sw, dst_sw) {
+                    routed += 1;
+                    // Paths delivered by the protocol must be compliant:
+                    // their full rank is finite.
+                    let r = h.oracle_rank(&p);
+                    assert!(!r.is_inf(), "{name}: non-compliant path {p:?}");
+                }
+            }
+        }
+        assert!(routed > 0, "{name}: protocol routed nothing");
+    }
+}
+
+#[test]
+fn fig9_style_sweep_compiles_fast() {
+    // A miniature Fig 9 check: the paper compiles 500-switch networks in
+    // seconds; a 125-switch fat-tree must compile in well under one.
+    let topo = generators::fat_tree(10, 0, generators::LinkSpec::default());
+    let started = std::time::Instant::now();
+    let cp = Compiler::new(&topo)
+        .compile_str(&policies::min_util())
+        .unwrap();
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(cp.programs.len(), 125);
+    assert!(secs < 5.0, "compilation took {secs}s");
+}
+
+#[test]
+fn non_isotonic_policy_warns_but_compiles() {
+    let topo = topo();
+    let cp = Compiler::new(&topo)
+        .compile_str(&policies::widest_shortest())
+        .unwrap();
+    assert!(
+        !cp.warnings.is_empty(),
+        "P3 (util, len) must trigger the isotonicity warning"
+    );
+}
+
+#[test]
+fn compile_scales_across_topology_families() {
+    for topo in [
+        generators::fat_tree(4, 0, generators::LinkSpec::default()),
+        generators::random_connected(60, 120, generators::LinkSpec::default(), 5),
+        generators::abilene(40e9),
+    ] {
+        let cp = Compiler::new(&topo)
+            .compile_str(&policies::congestion_aware())
+            .unwrap();
+        assert_eq!(cp.num_pids(), 2);
+        assert_eq!(cp.programs.len(), topo.num_switches());
+        assert!(p4gen::max_switch_state_kb(&cp) < 150.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Integration: policy compliance of *actual forwarded traffic* in the
+//! packet-level simulator — the paper's "packets only use allowed paths"
+//! guarantee (Fig 1), checked against delivered packet traces.
+
+use contra::core::Compiler;
+use contra::dataplane::{install_contra, DataplaneConfig};
+use contra::sim::{FlowSpec, SimConfig, Simulator, Time};
+use contra::topology::{generators, Topology};
+use std::rc::Rc;
+
+/// Two leaves, two spines, hosts — with a policy that forbids one spine.
+#[test]
+fn waypoint_traffic_always_crosses_the_waypoint() {
+    let topo = generators::leaf_spine(
+        2,
+        2,
+        2,
+        generators::LinkSpec::default(),
+        generators::LinkSpec::default(),
+    );
+    // All traffic must go through spine0 — spine1 is, say, out of
+    // compliance for this tenant.
+    let cp = Rc::new(
+        Compiler::new(&topo)
+            .compile_str("minimize(if .* spine0 .* then path.util else inf)")
+            .unwrap(),
+    );
+    let mut sim = Simulator::new(
+        topo.clone(),
+        SimConfig {
+            stop_at: Time::ms(30),
+            trace_paths: true,
+            ..SimConfig::default()
+        },
+    );
+    install_contra(&mut sim, cp.clone(), &DataplaneConfig::default());
+    let hosts = topo.hosts();
+    for i in 0..8u64 {
+        sim.add_flow(FlowSpec::Tcp {
+            src: hosts[(i % 2) as usize],
+            dst: hosts[2 + (i % 2) as usize],
+            bytes: 120_000,
+            start: Time::us(600 + 40 * i),
+        });
+    }
+    let (stats, traces) = sim.run_traced();
+    assert_eq!(stats.completion_rate(), 1.0);
+    assert!(!traces.is_empty());
+    let spine0 = topo.find("spine0").unwrap();
+    for (flow, tr) in &traces {
+        let syms: Vec<u32> = tr.iter().map(|n| n.0).collect();
+        assert!(
+            tr.contains(&spine0),
+            "flow {flow:?} packet avoided the waypoint: {tr:?}"
+        );
+        // And the full regex agrees (path = switch sequence).
+        assert!(
+            cp.traffic_regexes[0].matches(&syms),
+            "trace {tr:?} does not match the policy regex"
+        );
+    }
+}
+
+/// Link-preference policy on a WAN: traffic must use the named link.
+#[test]
+fn link_preference_respected_on_abilene() {
+    let topo = generators::with_hosts(
+        &generators::abilene(40e9),
+        1,
+        generators::LinkSpec {
+            bandwidth_bps: 40e9,
+            delay_ns: 1_000,
+        },
+    );
+    // Both directions of the preferred link are allowed — a one-direction
+    // preference would force ACKs onto a 9-hop detour whose RTT stalls TCP
+    // (the reverse path must satisfy the policy too!).
+    let cp = Rc::new(
+        Compiler::new(&topo)
+            .compile_str(
+                "minimize(if .* (Denver KansasCity + KansasCity Denver) .* \
+                 then path.util else inf)",
+            )
+            .unwrap(),
+    );
+    let cfg = DataplaneConfig::for_policy(&cp);
+    let warmup_ns = cfg.probe_period.0 * 6;
+    let mut sim = Simulator::new(
+        topo.clone(),
+        SimConfig {
+            stop_at: Time(warmup_ns * 8),
+            trace_paths: true,
+            util_tau: Time::ms(20),
+            // WAN RTTs through the mandated link are ~32 ms; the minimum
+            // RTO must exceed them or every first ACK loses to a spurious
+            // timeout.
+            min_rto: Time::ms(50),
+            ..SimConfig::default()
+        },
+    );
+    install_contra(&mut sim, cp, &cfg);
+    let sea = topo.find("Seattle_h0").unwrap();
+    let ny = topo.find("NewYork_h0").unwrap();
+    sim.add_flow(FlowSpec::Tcp {
+        src: sea,
+        dst: ny,
+        bytes: 60_000,
+        start: Time(warmup_ns),
+    });
+    let (stats, traces) = sim.run_traced();
+    assert_eq!(stats.completion_rate(), 1.0, "flow must finish");
+    let den = topo.find("Denver").unwrap();
+    let kc = topo.find("KansasCity").unwrap();
+    for (_, tr) in &traces {
+        let adjacent = tr
+            .windows(2)
+            .any(|w| w == [den, kc] || w == [kc, den]);
+        assert!(adjacent, "trace {tr:?} missed the Denver–KansasCity link");
+    }
+}
+
+/// With an all-∞ policy nothing is ever delivered — but also nothing
+/// crashes: the compiler rejects it upfront.
+#[test]
+fn impossible_policy_is_rejected_at_compile_time() {
+    let topo = generators::abilene(40e9);
+    let err = Compiler::new(&topo).compile_str("minimize(inf)");
+    assert!(err.is_err());
+}
+
+/// Deterministic end-to-end run: identical stats on repeat.
+#[test]
+fn full_simulation_is_deterministic() {
+    let run = || {
+        let topo: Topology = generators::leaf_spine(
+            2,
+            2,
+            2,
+            generators::LinkSpec::default(),
+            generators::LinkSpec::default(),
+        );
+        let cp = Rc::new(
+            Compiler::new(&topo)
+                .compile_str("minimize((path.len, path.util))")
+                .unwrap(),
+        );
+        let mut sim = Simulator::new(
+            topo.clone(),
+            SimConfig {
+                stop_at: Time::ms(20),
+                ..SimConfig::default()
+            },
+        );
+        install_contra(&mut sim, cp, &DataplaneConfig::default());
+        let hosts = topo.hosts();
+        for i in 0..6u64 {
+            sim.add_flow(FlowSpec::Tcp {
+                src: hosts[(i % 2) as usize],
+                dst: hosts[2 + (i % 2) as usize],
+                bytes: 100_000 + 7_000 * i,
+                start: Time::us(600 + 30 * i),
+            });
+        }
+        let stats = sim.run();
+        (
+            stats.flows.iter().map(|f| f.finish).collect::<Vec<_>>(),
+            stats.total_wire_bytes(),
+            stats.delivered_packets,
+        )
+    };
+    assert_eq!(run(), run());
+}
