@@ -34,7 +34,10 @@ impl Dfa {
     /// contain every symbol mentioned by `r` (the compiler guarantees this by
     /// using the set of topology switches).
     pub fn from_regex(r: &Regex, alphabet: &[Sym]) -> Dfa {
-        debug_assert!(alphabet.windows(2).all(|w| w[0] < w[1]), "alphabet must be sorted+unique");
+        debug_assert!(
+            alphabet.windows(2).all(|w| w[0] < w[1]),
+            "alphabet must be sorted+unique"
+        );
         let nfa = Nfa::from_regex(r);
         Self::from_nfa(&nfa, alphabet)
     }
@@ -191,7 +194,11 @@ impl Dfa {
                 for &s in &hit {
                     in_hit[s] = true;
                 }
-                let rest: Vec<usize> = blocks[blk].iter().copied().filter(|&s| !in_hit[s]).collect();
+                let rest: Vec<usize> = blocks[blk]
+                    .iter()
+                    .copied()
+                    .filter(|&s| !in_hit[s])
+                    .collect();
                 let (small, large) = if hit.len() <= rest.len() {
                     (hit, rest)
                 } else {

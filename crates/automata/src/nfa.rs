@@ -190,11 +190,7 @@ mod tests {
     #[test]
     fn concat_and_star() {
         // 1 2* 3
-        let r = Regex::cat_all([
-            Regex::sym(1),
-            Regex::star(Regex::sym(2)),
-            Regex::sym(3),
-        ]);
+        let r = Regex::cat_all([Regex::sym(1), Regex::star(Regex::sym(2)), Regex::sym(3)]);
         let n = Nfa::from_regex(&r);
         assert!(n.accepts(&[1, 3]));
         assert!(n.accepts(&[1, 2, 2, 2, 3]));

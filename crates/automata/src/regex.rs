@@ -323,7 +323,10 @@ mod tests {
         assert_eq!(Regex::alt(Regex::Empty, Regex::sym(1)), Regex::sym(1));
         assert_eq!(Regex::alt(Regex::sym(1), Regex::sym(1)), Regex::sym(1));
         assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
-        assert_eq!(Regex::star(Regex::star(Regex::sym(1))), Regex::star(Regex::sym(1)));
+        assert_eq!(
+            Regex::star(Regex::star(Regex::sym(1))),
+            Regex::star(Regex::sym(1))
+        );
     }
 
     #[test]

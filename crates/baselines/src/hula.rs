@@ -277,19 +277,19 @@ impl SwitchLogic for HulaSwitch {
     }
 }
 
-/// Installs Hula on every switch of a leaf-spine simulator.
-pub fn install_hula(sim: &mut contra_sim::Simulator, cfg: &HulaConfig) {
-    let topo = sim.topology().clone();
-    for sw in topo.switches() {
-        sim.install(sw, Box::new(HulaSwitch::new(&topo, sw, cfg.clone())));
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use contra_sim::{FlowSpec, SimConfig, Simulator};
+    use contra_sim::{CompileCache, FlowSpec, InstallCtx, RoutingSystem, SimConfig, Simulator};
     use contra_topology::generators;
+
+    fn install_hula(sim: &mut Simulator, cfg: &HulaConfig) {
+        let topo = sim.topology().clone();
+        let cache = CompileCache::new();
+        crate::systems::Hula::with_config(cfg.clone())
+            .install(sim, &InstallCtx::new(&topo, &[], &cache))
+            .unwrap();
+    }
 
     fn leaf_spine() -> Topology {
         generators::leaf_spine(

@@ -54,7 +54,9 @@ impl SpainPaths {
                     if sw == dst {
                         continue;
                     }
-                    let Some(my) = dist[sw.0 as usize] else { continue };
+                    let Some(my) = dist[sw.0 as usize] else {
+                        continue;
+                    };
                     // Deterministic best next hop: minimize weight + dist,
                     // tie-break on node id.
                     let mut best: Option<(u64, NodeId)> = None;
@@ -177,16 +179,6 @@ impl SwitchLogic for SpainSwitch {
     }
 }
 
-/// Installs SPAIN on every switch.
-pub fn install_spain(sim: &mut contra_sim::Simulator, k: usize) -> std::rc::Rc<SpainPaths> {
-    let topo = sim.topology().clone();
-    let paths = std::rc::Rc::new(SpainPaths::precompute(&topo, k));
-    for sw in topo.switches() {
-        sim.install(sw, Box::new(SpainSwitch::new(paths.clone())));
-    }
-    paths
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,7 +267,12 @@ mod tests {
                 ..SimConfig::default()
             },
         );
-        let paths = install_spain(&mut sim, 4);
+        // Installed by hand (not via the `Spain` RoutingSystem) to keep a
+        // handle on the precomputed VLAN paths for the diversity check.
+        let paths = std::rc::Rc::new(SpainPaths::precompute(&topo, 4));
+        for sw in topo.switches() {
+            sim.install(sw, Box::new(SpainSwitch::new(paths.clone())));
+        }
         // Pick a host pair whose switches actually have VLAN-diverse paths
         // (for some city pairs geography dominates and all VLANs agree).
         let (src_sw, dst_sw) = topo

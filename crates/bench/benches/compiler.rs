@@ -4,28 +4,18 @@
 //! an ablation of the optimization flags.
 
 use contra_automata::{Dfa, Regex};
+use contra_bench::compiler_policy_suite;
 use contra_core::{Compiler, CompilerOptions};
 use contra_topology::generators;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-
-fn policies(topo: &contra_topology::Topology) -> Vec<(&'static str, String)> {
-    let s = topo.switches();
-    let f1 = topo.node(s[0]).name.clone();
-    let f2 = topo.node(s[1]).name.clone();
-    vec![
-        ("MU", contra_core::policies::min_util()),
-        ("WP", contra_core::policies::waypoint(&f1, &f2)),
-        ("CA", contra_core::policies::congestion_aware()),
-    ]
-}
 
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_fat_tree");
     group.sample_size(10);
     for k in [4usize, 10] {
         let topo = generators::fat_tree(k, 0, generators::LinkSpec::default());
-        for (name, policy) in policies(&topo) {
+        for (name, policy) in compiler_policy_suite(&topo) {
             group.bench_with_input(
                 BenchmarkId::new(name, topo.num_switches()),
                 &policy,
@@ -88,5 +78,10 @@ fn bench_automata(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_compile, bench_compile_ablation, bench_automata);
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_compile_ablation,
+    bench_automata
+);
 criterion_main!(benches);

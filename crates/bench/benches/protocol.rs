@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks for the runtime: probe-round convergence in
 //! the protocol harness, and packet-level simulation throughput.
 
-use contra_bench::{DcExperiment, SystemKind, WorkloadKind};
+use contra_bench::{Contra, Ecmp, Hula, RoutingSystem, Scenario, Workload};
 use contra_core::Compiler;
 use contra_dataplane::{DataplaneConfig, ProtocolHarness};
 use contra_sim::Time;
@@ -29,22 +29,19 @@ fn bench_probe_rounds(c: &mut Criterion) {
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("packet_sim_5ms_30pct");
     group.sample_size(10);
-    for system in [SystemKind::Ecmp, SystemKind::contra_mu(), SystemKind::Hula] {
-        group.bench_function(system.label(), |b| {
+    let scenario = Scenario::leaf_spine(2, 2, 4)
+        .load(0.3)
+        .workload(Workload::Cache)
+        .duration(Time::ms(5))
+        .warmup(Time::ms(1))
+        .drain(Time::ms(5));
+    let (contra, hula) = (Contra::mu(), Hula::default());
+    let systems: [&dyn RoutingSystem; 3] = [&Ecmp, &contra, &hula];
+    for system in systems {
+        group.bench_function(system.name(), |b| {
             b.iter(|| {
-                let exp = DcExperiment {
-                    leaves: 2,
-                    spines: 2,
-                    hosts_per_leaf: 4,
-                    load: 0.3,
-                    workload: WorkloadKind::Cache,
-                    duration: Time::ms(5),
-                    warmup: Time::ms(1),
-                    drain: Time::ms(5),
-                    ..DcExperiment::default()
-                };
-                let stats = exp.run(&system);
-                black_box(stats.delivered_packets)
+                let r = scenario.run(system);
+                black_box(r.figures.delivered_packets)
             })
         });
     }

@@ -7,12 +7,13 @@
 //! contra_compile --topology zoo:Aarnet.graphml --policy 'minimize(path.len)'
 //! ```
 //!
-//! Without `--out`, prints a compilation report (tags, pids, state model,
-//! warnings) instead of writing files.
+//! Topology specs share the [`contra_experiments`] syntax, so anything
+//! compilable here is also runnable as a `Scenario`. Without `--out`,
+//! prints a compilation report (tags, pids, state model, warnings)
+//! instead of writing files.
 
-use contra_core::Compiler;
+use contra_bench::{parse_topology_spec, CompileCache};
 use contra_p4gen::{emit_switch_program, max_switch_state_kb, switch_state, validate};
-use contra_topology::{generators, zoo, Topology};
 
 fn usage() -> ! {
     eprintln!(
@@ -20,28 +21,6 @@ fn usage() -> ! {
          \t--policy '<minimize(...)>' [--out DIR]"
     );
     std::process::exit(2);
-}
-
-fn parse_topology(spec: &str) -> Topology {
-    let default = generators::LinkSpec::default();
-    if let Some(k) = spec.strip_prefix("fat-tree:") {
-        let k: usize = k.parse().expect("fat-tree arity");
-        generators::fat_tree(k, 0, default)
-    } else if let Some(rest) = spec.strip_prefix("leaf-spine:") {
-        let parts: Vec<usize> = rest.split(',').map(|p| p.parse().expect("number")).collect();
-        assert_eq!(parts.len(), 3, "leaf-spine:LEAVES,SPINES,HOSTS_PER_LEAF");
-        generators::leaf_spine(parts[0], parts[1], parts[2], default, default)
-    } else if spec == "abilene" {
-        generators::abilene(40e9)
-    } else if let Some(n) = spec.strip_prefix("random:") {
-        let n: usize = n.parse().expect("node count");
-        generators::random_connected(n, 2 * n, default, 42)
-    } else if let Some(path) = spec.strip_prefix("zoo:") {
-        let text = std::fs::read_to_string(path).expect("read GraphML file");
-        zoo::parse_graphml(&text, 10e9, 1_000_000).expect("parse GraphML")
-    } else {
-        usage()
-    }
 }
 
 fn main() {
@@ -67,8 +46,16 @@ fn main() {
             _ => usage(),
         }
     }
-    let (Some(tspec), Some(policy)) = (topology, policy) else { usage() };
-    let topo = parse_topology(&tspec);
+    let (Some(tspec), Some(policy)) = (topology, policy) else {
+        usage()
+    };
+    let topo = match parse_topology_spec(&tspec) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     eprintln!(
         "topology: {} switches, {} directed links",
         topo.num_switches(),
@@ -76,13 +63,8 @@ fn main() {
     );
 
     let started = std::time::Instant::now();
-    let cp = match Compiler::new(&topo).compile(&match contra_core::parse_policy(&policy) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("parse error: {e}");
-            std::process::exit(1);
-        }
-    }) {
+    let cache = CompileCache::new();
+    let cp = match cache.get_or_compile(&topo, &policy) {
         Ok(cp) => cp,
         Err(e) => {
             eprintln!("compile error: {e}");

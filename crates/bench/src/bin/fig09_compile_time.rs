@@ -6,22 +6,10 @@
 //!
 //! Output: CSV `fig,series,size,seconds` on stdout.
 
-use contra_bench::{csv_row, fast_mode};
+use contra_bench::{compiler_policy_suite, csv_row, fast_mode};
 use contra_core::Compiler;
 use contra_topology::{generators, Topology};
 use std::time::Instant;
-
-fn policies(topo: &Topology) -> Vec<(&'static str, String)> {
-    // Waypoints must exist in the topology: use the first two switches.
-    let s = topo.switches();
-    let f1 = topo.node(s[0]).name.clone();
-    let f2 = topo.node(s[1]).name.clone();
-    vec![
-        ("MU", contra_core::policies::min_util()),
-        ("WP", contra_core::policies::waypoint(&f1, &f2)),
-        ("CA", contra_core::policies::congestion_aware()),
-    ]
-}
 
 fn time_compile(topo: &Topology, policy: &str) -> f64 {
     let start = Instant::now();
@@ -37,10 +25,15 @@ fn main() {
     } else {
         vec![4, 10, 14, 18, 20]
     };
-    eprintln!("fig09a: fat-trees (sizes {:?})", ks.iter().map(|k| generators::fat_tree_switch_count(*k)).collect::<Vec<_>>());
+    eprintln!(
+        "fig09a: fat-trees (sizes {:?})",
+        ks.iter()
+            .map(|k| generators::fat_tree_switch_count(*k))
+            .collect::<Vec<_>>()
+    );
     for &k in &ks {
         let topo = generators::fat_tree(k, 0, generators::LinkSpec::default());
-        for (name, policy) in policies(&topo) {
+        for (name, policy) in compiler_policy_suite(&topo) {
             let secs = time_compile(&topo, &policy);
             csv_row("fig09a", name, topo.num_switches(), format!("{secs:.3}"));
         }
@@ -54,7 +47,7 @@ fn main() {
     eprintln!("fig09b: random networks (sizes {sizes:?})");
     for &n in &sizes {
         let topo = generators::random_connected(n, 2 * n, generators::LinkSpec::default(), 42);
-        for (name, policy) in policies(&topo) {
+        for (name, policy) in compiler_policy_suite(&topo) {
             let secs = time_compile(&topo, &policy);
             csv_row("fig09b", name, n, format!("{secs:.3}"));
         }

@@ -6,21 +6,10 @@
 //!
 //! Output: CSV `fig,series,size,kB` on stdout.
 
-use contra_bench::{csv_row, fast_mode};
+use contra_bench::{compiler_policy_suite, csv_row, fast_mode};
 use contra_core::Compiler;
 use contra_p4gen::max_switch_state_kb;
-use contra_topology::{generators, Topology};
-
-fn policies(topo: &Topology) -> Vec<(&'static str, String)> {
-    let s = topo.switches();
-    let f1 = topo.node(s[0]).name.clone();
-    let f2 = topo.node(s[1]).name.clone();
-    vec![
-        ("MU", contra_core::policies::min_util()),
-        ("WP", contra_core::policies::waypoint(&f1, &f2)),
-        ("CA", contra_core::policies::congestion_aware()),
-    ]
-}
+use contra_topology::generators;
 
 fn main() {
     let ks: Vec<usize> = if fast_mode() {
@@ -30,7 +19,7 @@ fn main() {
     };
     for &k in &ks {
         let topo = generators::fat_tree(k, 0, generators::LinkSpec::default());
-        for (name, policy) in policies(&topo) {
+        for (name, policy) in compiler_policy_suite(&topo) {
             let cp = Compiler::new(&topo).compile_str(&policy).expect("compiles");
             csv_row(
                 "fig10a",
@@ -47,9 +36,14 @@ fn main() {
     };
     for &n in &sizes {
         let topo = generators::random_connected(n, 2 * n, generators::LinkSpec::default(), 42);
-        for (name, policy) in policies(&topo) {
+        for (name, policy) in compiler_policy_suite(&topo) {
             let cp = Compiler::new(&topo).compile_str(&policy).expect("compiles");
-            csv_row("fig10b", name, n, format!("{:.1}", max_switch_state_kb(&cp)));
+            csv_row(
+                "fig10b",
+                name,
+                n,
+                format!("{:.1}", max_switch_state_kb(&cp)),
+            );
         }
     }
     eprintln!("paper: WP/CA > MU; no more than ~70-100 kB anywhere");

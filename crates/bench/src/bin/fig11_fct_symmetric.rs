@@ -4,41 +4,33 @@
 //! Paper shape to reproduce: Contra ≈ Hula, both clearly better than ECMP
 //! at high load (paper: ~30% / ~47% lower FCT at 90%).
 //!
-//! Output: CSV `fig,system,load_pct,fct_ms` (+ completion column).
+//! Output: CSV `fig,system,load_pct,fct_ms`.
 
-use contra_bench::{
-    csv_row, load_sweep, mean_fct_after_warmup_ms, DcExperiment, SystemKind, WorkloadKind,
-};
+use contra_bench::{csv_row, load_sweep, Contra, Ecmp, Hula, RoutingSystem, Scenario, Workload};
 
 fn main() {
-    let systems = [SystemKind::Ecmp, SystemKind::contra_dc(), SystemKind::Hula];
-    for workload in [WorkloadKind::WebSearch, WorkloadKind::Cache] {
+    let (contra, hula) = (Contra::dc(), Hula::default());
+    let systems: [&dyn RoutingSystem; 3] = [&Ecmp, &contra, &hula];
+    for workload in [Workload::WebSearch, Workload::Cache] {
         let fig = match workload {
-            WorkloadKind::WebSearch => "fig11a",
-            WorkloadKind::Cache => "fig11b",
+            Workload::WebSearch => "fig11a",
+            Workload::Cache => "fig11b",
         };
-        for &load in &load_sweep() {
-            let exp = DcExperiment {
-                load,
-                workload,
-                ..DcExperiment::default()
-            };
-            for system in &systems {
-                let stats = exp.run(system);
-                let fct = mean_fct_after_warmup_ms(&stats, exp.warmup).unwrap_or(f64::NAN);
-                csv_row(
-                    fig,
-                    &system.label(),
-                    format!("{:.0}", load * 100.0),
-                    format!("{fct:.3}"),
-                );
-                eprintln!(
-                    "{fig} {} load={:.0}%: fct={fct:.3} ms completion={:.3}",
-                    system.label(),
-                    load * 100.0,
-                    stats.completion_rate()
-                );
-            }
+        let scenario = Scenario::leaf_spine(4, 2, 8).workload(workload);
+        for r in scenario.matrix(&systems, &load_sweep()) {
+            let fct = r.figures.mean_fct_ms.unwrap_or(f64::NAN);
+            csv_row(
+                fig,
+                &r.system,
+                format!("{:.0}", r.scenario.load * 100.0),
+                format!("{fct:.3}"),
+            );
+            eprintln!(
+                "{fig} {} load={:.0}%: fct={fct:.3} ms completion={:.3}",
+                r.system,
+                r.scenario.load * 100.0,
+                r.figures.completion_rate
+            );
         }
     }
     eprintln!("paper: Contra ~ Hula << ECMP at high load (30-47% FCT reduction at 90%)");

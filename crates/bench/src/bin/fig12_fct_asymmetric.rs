@@ -7,45 +7,40 @@
 //!
 //! Output: CSV `fig,system,load_pct,fct_ms`.
 
-use contra_bench::{
-    csv_row, load_sweep, mean_fct_after_warmup_ms, DcExperiment, SystemKind, WorkloadKind,
-};
+use contra_bench::{csv_row, load_sweep, Contra, Ecmp, Hula, RoutingSystem, Scenario, Workload};
 use contra_sim::Time;
 
 fn main() {
-    let systems = [SystemKind::Ecmp, SystemKind::contra_dc(), SystemKind::Hula];
-    for workload in [WorkloadKind::WebSearch, WorkloadKind::Cache] {
+    let (contra, hula) = (Contra::dc(), Hula::default());
+    let systems: [&dyn RoutingSystem; 3] = [&Ecmp, &contra, &hula];
+    for workload in [Workload::WebSearch, Workload::Cache] {
         let fig = match workload {
-            WorkloadKind::WebSearch => "fig12a",
-            WorkloadKind::Cache => "fig12b",
+            Workload::WebSearch => "fig12a",
+            Workload::Cache => "fig12b",
         };
-        for &load in &load_sweep() {
-            let exp = DcExperiment {
-                load,
-                workload,
-                // The uplink dies before traffic starts; adaptive systems
-                // detect it during warm-up, ECMP runs with reconverged
-                // tables (§6.3 asymmetric setting).
-                fail: Some(("leaf0".into(), "spine0".into(), Time::us(100))),
-                ..DcExperiment::default()
-            };
-            for system in &systems {
-                let stats = exp.run(system);
-                let fct = mean_fct_after_warmup_ms(&stats, exp.warmup).unwrap_or(f64::NAN);
-                csv_row(
-                    fig,
-                    &system.label(),
-                    format!("{:.0}", load * 100.0),
-                    format!("{fct:.3}"),
-                );
-                eprintln!(
-                    "{fig} {} load={:.0}%: fct={fct:.3} ms completion={:.3} drops={:?}",
-                    system.label(),
-                    load * 100.0,
-                    stats.completion_rate(),
-                    stats.drops
-                );
-            }
+        // The uplink dies before traffic starts; adaptive systems detect
+        // it during warm-up, ECMP keeps hashing into it (§6.3 asymmetric
+        // setting — its control plane is slow on this timescale).
+        let scenario = Scenario::leaf_spine(4, 2, 8).workload(workload).fail_link(
+            "leaf0",
+            "spine0",
+            Time::us(100),
+        );
+        for r in scenario.matrix(&systems, &load_sweep()) {
+            let fct = r.figures.mean_fct_ms.unwrap_or(f64::NAN);
+            csv_row(
+                fig,
+                &r.system,
+                format!("{:.0}", r.scenario.load * 100.0),
+                format!("{fct:.3}"),
+            );
+            eprintln!(
+                "{fig} {} load={:.0}%: fct={fct:.3} ms completion={:.3} drops={:?}",
+                r.system,
+                r.scenario.load * 100.0,
+                r.figures.completion_rate,
+                r.stats.drops
+            );
         }
     }
     eprintln!("paper: ECMP inflates 3.2-8.7x beyond 50% load; Contra/Hula only ~1.7-1.8x");

@@ -6,29 +6,35 @@
 //!
 //! Output: CSV `fig,system,queue_mss,cum_frac`.
 
-use contra_bench::{csv_row, DcExperiment, SystemKind, WorkloadKind};
+use contra_bench::{csv_row, Contra, Ecmp, RoutingSystem, Scenario, Workload};
 use contra_sim::{Time, MSS};
 
 fn main() {
-    let exp = DcExperiment {
-        load: 0.6,
-        workload: WorkloadKind::WebSearch,
-        fail: Some(("leaf0".into(), "spine0".into(), Time::us(100))),
-        queue_sampling: Some(Time::us(100)),
-        ..DcExperiment::default()
-    };
-    for system in [SystemKind::contra_dc(), SystemKind::Ecmp] {
-        let stats = exp.run(&system);
-        let cdf = stats.queue_cdf_mss(MSS);
+    let scenario = Scenario::leaf_spine(4, 2, 8)
+        .load(0.6)
+        .workload(Workload::WebSearch)
+        .fail_link("leaf0", "spine0", Time::us(100))
+        .queue_sampling(Time::us(100));
+    let contra = Contra::dc();
+    let systems: [&dyn RoutingSystem; 2] = [&contra, &Ecmp];
+    for system in systems {
+        let r = scenario.run(system);
+        let cdf = r.stats.queue_cdf_mss(MSS);
         // Thin the CDF to ≤ 64 representative points.
         let step = (cdf.len() / 64).max(1);
         for (i, (len, frac)) in cdf.iter().enumerate() {
             if i % step == 0 || i + 1 == cdf.len() {
-                csv_row("fig13", &system.label(), len, format!("{frac:.4}"));
+                csv_row("fig13", &r.system, len, format!("{frac:.4}"));
             }
         }
         let max = cdf.last().map(|&(l, _)| l).unwrap_or(0);
-        eprintln!("fig13 {}: max queue {max} MSS over {} samples", system.label(), stats.queue_samples.len());
+        eprintln!(
+            "fig13 {}: max queue {max} MSS over {} samples",
+            r.system,
+            r.stats.queue_samples.len()
+        );
     }
-    eprintln!("paper: Contra never exceeded 1000 MSS; ECMP beyond it >97% of the time on the hot link");
+    eprintln!(
+        "paper: Contra never exceeded 1000 MSS; ECMP beyond it >97% of the time on the hot link"
+    );
 }

@@ -8,42 +8,30 @@
 //!
 //! Output: CSV `fig,system,time_ms,gbps`.
 
-use contra_bench::{add_udp_load, csv_row, install_system, SystemKind};
-use contra_sim::{SimConfig, Simulator, Time};
-use contra_topology::generators;
+use contra_bench::{csv_row, Contra, Hula, RoutingSystem, Scenario};
+use contra_sim::Time;
 
 fn main() {
-    let topo = generators::leaf_spine(
-        4,
-        2,
-        8,
-        generators::LinkSpec::default(),
-        generators::LinkSpec::default(),
-    );
     let fail_at = Time::ms(50);
-    let stop = Time::ms(60);
-    for system in [SystemKind::contra_dc(), SystemKind::Hula] {
-        let mut sim = Simulator::new(
-            topo.clone(),
-            SimConfig {
-                stop_at: stop,
-                udp_bucket: Time::us(250),
-                ..SimConfig::default()
-            },
-        );
-        install_system(&mut sim, &system, &[]);
-        add_udp_load(&mut sim, &topo, 4.25e9, stop);
-        let leaf0 = topo.find("leaf0").unwrap();
-        let spine0 = topo.find("spine0").unwrap();
-        sim.fail_link_at(leaf0, spine0, fail_at);
-        let stats = sim.run();
+    let scenario = Scenario::leaf_spine(4, 2, 8)
+        .udp(4.25e9)
+        .duration(Time::ms(60))
+        .warmup(Time::ZERO)
+        .drain(Time::ZERO)
+        .udp_bucket(Time::us(250))
+        .fail_link("leaf0", "spine0", fail_at);
+    let contra = Contra::dc();
+    let hula = Hula::default();
+    let systems: [&dyn RoutingSystem; 2] = [&contra, &hula];
+    for system in systems {
+        let r = scenario.run(system);
         let mut min_after = f64::INFINITY;
         let mut recovered_at = None;
-        for (t, gbps) in stats.udp_goodput_gbps() {
+        for (t, gbps) in r.stats.udp_goodput_gbps() {
             if t >= Time::ms(48) && t <= Time::ms(54) {
                 csv_row(
                     "fig14",
-                    &system.label(),
+                    &r.system,
                     format!("{:.2}", t.as_millis_f64()),
                     format!("{gbps:.3}"),
                 );
@@ -57,7 +45,7 @@ fn main() {
         }
         eprintln!(
             "fig14 {}: min goodput after failure {min_after:.2} Gbps, recovered ≥4 Gbps at {:?} (failure at 50 ms)",
-            system.label(),
+            r.system,
             recovered_at.map(|t| t.to_string())
         );
     }

@@ -7,39 +7,31 @@
 //!
 //! Output: CSV `fig,system,load_pct,fct_ms`.
 
-use contra_bench::{
-    csv_row, load_sweep, mean_fct_after_warmup_ms, SystemKind, WanExperiment, WorkloadKind,
-};
+use contra_bench::{csv_row, load_sweep, Contra, RoutingSystem, Scenario, Sp, Spain, Workload};
 
 fn main() {
-    let systems = [SystemKind::Sp, SystemKind::Spain(4), SystemKind::contra_dc()];
-    for workload in [WorkloadKind::WebSearch, WorkloadKind::Cache] {
+    let (contra, spain) = (Contra::dc(), Spain::new(4));
+    let systems: [&dyn RoutingSystem; 3] = [&Sp, &spain, &contra];
+    for workload in [Workload::WebSearch, Workload::Cache] {
         let fig = match workload {
-            WorkloadKind::WebSearch => "fig15a",
-            WorkloadKind::Cache => "fig15b",
+            Workload::WebSearch => "fig15a",
+            Workload::Cache => "fig15b",
         };
-        for &load in &load_sweep() {
-            let exp = WanExperiment {
-                load,
-                workload,
-                ..WanExperiment::default()
-            };
-            for system in &systems {
-                let stats = exp.run(system);
-                let fct = mean_fct_after_warmup_ms(&stats, exp.warmup).unwrap_or(f64::NAN);
-                csv_row(
-                    fig,
-                    &system.label(),
-                    format!("{:.0}", load * 100.0),
-                    format!("{fct:.3}"),
-                );
-                eprintln!(
-                    "{fig} {} load={:.0}%: fct={fct:.3} ms completion={:.3}",
-                    system.label(),
-                    load * 100.0,
-                    stats.completion_rate()
-                );
-            }
+        let scenario = Scenario::abilene().workload(workload);
+        for r in scenario.matrix(&systems, &load_sweep()) {
+            let fct = r.figures.mean_fct_ms.unwrap_or(f64::NAN);
+            csv_row(
+                fig,
+                &r.system,
+                format!("{:.0}", r.scenario.load * 100.0),
+                format!("{fct:.3}"),
+            );
+            eprintln!(
+                "{fig} {} load={:.0}%: fct={fct:.3} ms completion={:.3}",
+                r.system,
+                r.scenario.load * 100.0,
+                r.figures.completion_rate
+            );
         }
     }
     eprintln!("paper: Contra < SPAIN < SP (Contra ~31%/~14% below SPAIN)");

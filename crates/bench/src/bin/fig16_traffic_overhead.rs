@@ -6,29 +6,24 @@
 //!
 //! Output: CSV `fig,system,workload_load,ratio`.
 
-use contra_bench::{csv_row, DcExperiment, SystemKind, WorkloadKind};
+use contra_bench::{csv_row, CompileCache, Contra, Ecmp, Hula, RoutingSystem, Scenario, Workload};
 
 fn main() {
-    for workload in [WorkloadKind::WebSearch, WorkloadKind::Cache] {
+    let (contra, hula) = (Contra::dc(), Hula::default());
+    let systems: [&dyn RoutingSystem; 3] = [&Ecmp, &hula, &contra];
+    let cache = CompileCache::new();
+    for workload in [Workload::WebSearch, Workload::Cache] {
         for load in [0.1, 0.6] {
-            let exp = DcExperiment {
-                load,
-                workload,
-                ..DcExperiment::default()
-            };
-            let base = exp.run(&SystemKind::Ecmp).total_wire_bytes() as f64;
-            for system in [SystemKind::Ecmp, SystemKind::Hula, SystemKind::contra_dc()] {
-                let stats = exp.run(&system);
-                let ratio = stats.total_wire_bytes() as f64 / base;
+            let scenario = Scenario::leaf_spine(4, 2, 8).workload(workload).load(load);
+            let base = scenario.run_cached(&Ecmp, &cache).figures.total_wire_bytes as f64;
+            for system in systems {
+                let r = scenario.run_cached(system, &cache);
+                let ratio = r.figures.total_wire_bytes as f64 / base;
                 let label = format!("{} {:.0}%", workload.label(), load * 100.0);
-                csv_row("fig16", &system.label(), &label, format!("{ratio:.4}"));
+                csv_row("fig16", &r.system, &label, format!("{ratio:.4}"));
                 eprintln!(
                     "fig16 {} {label}: ratio {ratio:.4} (probe bytes {})",
-                    system.label(),
-                    stats
-                        .wire_bytes
-                        .get(&contra_sim::TrafficKind::Probe)
-                        .unwrap_or(&0)
+                    r.system, r.figures.overhead_bytes
                 );
             }
         }

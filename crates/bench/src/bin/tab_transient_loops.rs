@@ -7,34 +7,42 @@
 //!
 //! Output: CSV `tab,topology,looped_pct,loop_breaks`.
 
-use contra_bench::{csv_row, DcExperiment, SystemKind, WanExperiment, WorkloadKind};
+use contra_bench::{csv_row, Contra, Scenario, Workload};
 
 fn main() {
-    let dc = DcExperiment {
-        load: 0.6,
-        workload: WorkloadKind::WebSearch,
-        trace_paths: true,
-        ..DcExperiment::default()
-    };
-    let stats = dc.run(&SystemKind::contra_dc());
-    let pct = 100.0 * stats.looped_packets as f64 / stats.delivered_packets.max(1) as f64;
-    csv_row("loops", "leaf-spine", format!("{pct:.4}"), stats.loop_breaks);
+    let r = Scenario::leaf_spine(4, 2, 8)
+        .load(0.6)
+        .workload(Workload::WebSearch)
+        .trace_paths(true)
+        .run(&Contra::dc());
+    csv_row(
+        "loops",
+        "leaf-spine",
+        format!("{:.4}", r.looped_pct()),
+        r.figures.loop_breaks,
+    );
     eprintln!(
-        "loops leaf-spine: {pct:.4}% of {} delivered packets; {} flowlet flushes (paper: 0.026%)",
-        stats.delivered_packets, stats.loop_breaks
+        "loops leaf-spine: {:.4}% of {} delivered packets; {} flowlet flushes (paper: 0.026%)",
+        r.looped_pct(),
+        r.figures.delivered_packets,
+        r.figures.loop_breaks
     );
 
-    let wan = WanExperiment {
-        load: 0.6,
-        workload: WorkloadKind::WebSearch,
-        trace_paths: true,
-        ..WanExperiment::default()
-    };
-    let stats = wan.run(&SystemKind::contra_mu());
-    let pct = 100.0 * stats.looped_packets as f64 / stats.delivered_packets.max(1) as f64;
-    csv_row("loops", "abilene", format!("{pct:.4}"), stats.loop_breaks);
+    let r = Scenario::abilene()
+        .load(0.6)
+        .workload(Workload::WebSearch)
+        .trace_paths(true)
+        .run(&Contra::mu());
+    csv_row(
+        "loops",
+        "abilene",
+        format!("{:.4}", r.looped_pct()),
+        r.figures.loop_breaks,
+    );
     eprintln!(
-        "loops abilene: {pct:.4}% of {} delivered packets; {} flowlet flushes (paper: 0.007%)",
-        stats.delivered_packets, stats.loop_breaks
+        "loops abilene: {:.4}% of {} delivered packets; {} flowlet flushes (paper: 0.007%)",
+        r.looped_pct(),
+        r.figures.delivered_packets,
+        r.figures.loop_breaks
     );
 }

@@ -5,9 +5,44 @@
 //! paper-vs-measured summary on stderr. Criterion micro-benchmarks for the
 //! compiler and the protocol live under `benches/`.
 //!
-//! Shared plumbing lives here: experiment configuration, simulator
-//! assembly for each routing system, and CSV helpers.
+//! The binaries are thin: experiment setup is a
+//! [`contra_experiments::Scenario`], the systems under test are
+//! [`contra_experiments::RoutingSystem`] values, and batched sweeps go
+//! through [`contra_experiments::Scenario::matrix`], which compiles each
+//! distinct policy once per topology. This crate adds only the CSV/CLI
+//! conveniences the binaries share.
 
-pub mod runner;
+pub use contra_experiments::*;
 
-pub use runner::*;
+/// `true` when the `CONTRA_BENCH_FAST` env var asks for smoke-test scale.
+pub fn fast_mode() -> bool {
+    std::env::var_os("CONTRA_BENCH_FAST").is_some()
+}
+
+/// Standard sweep of offered loads (the paper's x-axis).
+pub fn load_sweep() -> Vec<f64> {
+    if fast_mode() {
+        vec![0.2, 0.6]
+    } else {
+        vec![0.2, 0.4, 0.6, 0.8, 0.9]
+    }
+}
+
+/// Emits one CSV row on stdout.
+pub fn csv_row(figure: &str, series: &str, x: impl std::fmt::Display, y: impl std::fmt::Display) {
+    println!("{figure},{series},{x},{y}");
+}
+
+/// The three §6.2 compiler-scalability policies (MU, WP, CA), with the
+/// waypoints resolved to this topology's first two switches — shared by
+/// the Fig 9/10 binaries and the compiler micro-benchmarks.
+pub fn compiler_policy_suite(topo: &contra_topology::Topology) -> Vec<(&'static str, String)> {
+    let s = topo.switches();
+    let f1 = topo.node(s[0]).name.clone();
+    let f2 = topo.node(s[1]).name.clone();
+    vec![
+        ("MU", contra_core::policies::min_util()),
+        ("WP", contra_core::policies::waypoint(&f1, &f2)),
+        ("CA", contra_core::policies::congestion_aware()),
+    ]
+}

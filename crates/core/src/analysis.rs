@@ -306,7 +306,11 @@ mod tests {
 
     #[test]
     fn p1_p2_single_isotonic_pid() {
-        for src in ["minimize(path.len)", "minimize(path.util)", "minimize(path.lat)"] {
+        for src in [
+            "minimize(path.len)",
+            "minimize(path.util)",
+            "minimize(path.lat)",
+        ] {
             let a = analyze_src(src).unwrap();
             assert_eq!(a.subpolicies.len(), 1, "{src}");
             assert!(a.subpolicies[0].isotonic, "{src}");

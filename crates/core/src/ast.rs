@@ -340,7 +340,10 @@ mod tests {
                 Box::new(Expr::Attr(Attr::Lat)),
             ),
         };
-        assert_eq!(p.to_string(), "minimize(if A .* then path.util else path.lat)");
+        assert_eq!(
+            p.to_string(),
+            "minimize(if A .* then path.util else path.lat)"
+        );
     }
 
     #[test]

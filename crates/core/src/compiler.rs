@@ -350,13 +350,15 @@ mod tests {
     #[test]
     fn compiles_min_util() {
         let topo = fig6_topo();
-        let cp = Compiler::new(&topo).compile_str("minimize(path.util)").unwrap();
+        let cp = Compiler::new(&topo)
+            .compile_str("minimize(path.util)")
+            .unwrap();
         assert_eq!(cp.num_pids(), 1);
         assert_eq!(cp.programs.len(), 4);
         assert_eq!(cp.basis.attrs(), vec![Attr::Util]);
         assert!(cp.warnings.is_empty());
         // Every switch is a destination (no hosts) and sends probes.
-        for (_, prog) in &cp.programs {
+        for prog in cp.programs.values() {
             assert!(prog.sending_vnode.is_some());
         }
         // min probe period = half of max RTT (diamond+: max RTT = 2 hops
@@ -406,7 +408,9 @@ mod tests {
         t.biline(a, b, 1e9, 1_000);
         t.biline(b, h, 1e9, 1_000);
         let topo = t.build();
-        let cp = Compiler::new(&topo).compile_str("minimize(path.len)").unwrap();
+        let cp = Compiler::new(&topo)
+            .compile_str("minimize(path.len)")
+            .unwrap();
         assert_eq!(cp.destinations, vec![b]);
         assert!(cp.programs[&b].sending_vnode.is_some());
         assert!(cp.programs[&a].sending_vnode.is_none());

@@ -135,27 +135,45 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
                 i += 1;
             }
             '(' => {
-                out.push(Token { kind: Tok::LParen, at });
+                out.push(Token {
+                    kind: Tok::LParen,
+                    at,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: Tok::RParen, at });
+                out.push(Token {
+                    kind: Tok::RParen,
+                    at,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: Tok::Comma, at });
+                out.push(Token {
+                    kind: Tok::Comma,
+                    at,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { kind: Tok::Star, at });
+                out.push(Token {
+                    kind: Tok::Star,
+                    at,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Token { kind: Tok::Plus, at });
+                out.push(Token {
+                    kind: Tok::Plus,
+                    at,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Token { kind: Tok::Minus, at });
+                out.push(Token {
+                    kind: Tok::Minus,
+                    at,
+                });
                 i += 1;
             }
             '<' => {
@@ -180,7 +198,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
                 // `.8` is a number; plain `.` is the wildcard.
                 if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
                     let (n, len) = lex_number(&src[i..], at)?;
-                    out.push(Token { kind: Tok::Number(n), at });
+                    out.push(Token {
+                        kind: Tok::Number(n),
+                        at,
+                    });
                     i += len;
                 } else {
                     out.push(Token { kind: Tok::Dot, at });
@@ -189,7 +210,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
             }
             '0'..='9' => {
                 let (n, len) = lex_number(&src[i..], at)?;
-                out.push(Token { kind: Tok::Number(n), at });
+                out.push(Token {
+                    kind: Tok::Number(n),
+                    at,
+                });
                 i += len;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -216,9 +240,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
                         if bytes.get(i) == Some(&b'.') {
                             let astart = i + 1;
                             let mut j = astart;
-                            while j < bytes.len()
-                                && (bytes[j] as char).is_ascii_alphanumeric()
-                            {
+                            while j < bytes.len() && (bytes[j] as char).is_ascii_alphanumeric() {
                                 j += 1;
                             }
                             let attr = match &src[astart..j] {
@@ -270,7 +292,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
             }
         }
     }
-    out.push(Token { kind: Tok::Eof, at: src.len() });
+    out.push(Token {
+        kind: Tok::Eof,
+        at: src.len(),
+    });
     Ok(out)
 }
 

@@ -86,7 +86,11 @@ impl MetricBasis {
 
     /// The attributes in canonical order.
     pub fn attrs(&self) -> Vec<Attr> {
-        Attr::ALL.iter().copied().filter(|a| self.contains(*a)).collect()
+        Attr::ALL
+            .iter()
+            .copied()
+            .filter(|a| self.contains(*a))
+            .collect()
     }
 
     /// Bytes one probe spends on metric fields: 4 bytes per carried metric

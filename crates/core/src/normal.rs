@@ -142,8 +142,7 @@ impl Branch {
     /// Whether the branch applies for the given regex-acceptance vector and
     /// metric vector.
     pub fn applies(&self, acc: &[bool], mv: &MetricVec) -> bool {
-        self.reqs.iter().all(|&(i, want)| acc[i] == want)
-            && self.guards.iter().all(|g| g.eval(mv))
+        self.reqs.iter().all(|&(i, want)| acc[i] == want) && self.guards.iter().all(|g| g.eval(mv))
     }
 }
 
@@ -211,7 +210,10 @@ impl fmt::Display for NormError {
             }
             NormError::InfInComparison => write!(f, "`inf` cannot appear inside a comparison"),
             NormError::IfInComparison => {
-                write!(f, "conditionals are not supported inside comparison operands")
+                write!(
+                    f,
+                    "conditionals are not supported inside comparison operands"
+                )
             }
             NormError::TooManyBranches(n) => {
                 write!(f, "policy expands to {n} branches; simplify the policy")
@@ -282,10 +284,7 @@ fn intern(regexes: &mut Vec<PathRegex>, r: &PathRegex) -> usize {
     }
 }
 
-fn norm_expr(
-    e: &Expr,
-    regexes: &mut Vec<PathRegex>,
-) -> Result<Vec<(Cond, BranchRank)>, NormError> {
+fn norm_expr(e: &Expr, regexes: &mut Vec<PathRegex>) -> Result<Vec<(Cond, BranchRank)>, NormError> {
     match e {
         Expr::Const(c) => Ok(vec![(
             Cond::default(),
@@ -304,7 +303,9 @@ fn norm_expr(
                 let mut next = Vec::new();
                 for (cond, parts, is_inf) in &acc {
                     for (ccond, crank) in &comp_branches {
-                        let Some(merged) = cond.merge(ccond) else { continue };
+                        let Some(merged) = cond.merge(ccond) else {
+                            continue;
+                        };
                         match crank {
                             BranchRank::Inf => next.push((merged, parts.clone(), true)),
                             BranchRank::Finite(comps) => {
@@ -576,8 +577,14 @@ mod tests {
         assert_eq!(n.regexes.len(), 2);
         // (r0+), (r0- r1+), (r0- r1-) — contradictions pruned.
         assert_eq!(n.branches.len(), 3);
-        assert_eq!(n.rank(&[true, false], &MetricVec::zero()), Rank::scalar(0.0));
-        assert_eq!(n.rank(&[false, true], &MetricVec::zero()), Rank::scalar(1.0));
+        assert_eq!(
+            n.rank(&[true, false], &MetricVec::zero()),
+            Rank::scalar(0.0)
+        );
+        assert_eq!(
+            n.rank(&[false, true], &MetricVec::zero()),
+            Rank::scalar(1.0)
+        );
         assert_eq!(n.rank(&[false, false], &MetricVec::zero()), Rank::Inf);
         // Same regex in both positions is merged by interning.
         let n2 = norm("minimize(if A then 0 else if A then 1 else 2)");
@@ -590,14 +597,20 @@ mod tests {
     fn tuple_of_ifs_cross_product() {
         let n = norm("minimize((if A then 0 else 1, if B then 0 else 1))");
         assert_eq!(n.branches.len(), 4);
-        assert_eq!(n.rank(&[true, false], &MetricVec::zero()), Rank::tuple(vec![0.0, 1.0]));
+        assert_eq!(
+            n.rank(&[true, false], &MetricVec::zero()),
+            Rank::tuple(vec![0.0, 1.0])
+        );
     }
 
     #[test]
     fn inf_component_collapses_tuple() {
         let n = norm("minimize((0, if A then inf else 1))");
         assert_eq!(n.rank(&[true], &MetricVec::zero()), Rank::Inf);
-        assert_eq!(n.rank(&[false], &MetricVec::zero()), Rank::tuple(vec![0.0, 1.0]));
+        assert_eq!(
+            n.rank(&[false], &MetricVec::zero()),
+            Rank::tuple(vec![0.0, 1.0])
+        );
     }
 
     #[test]
@@ -630,8 +643,14 @@ mod tests {
         let n = norm("minimize(if A or B then 0 else 1)");
         // Outcomes: A+B+, A+B-, A-B+ → true; A-B- → false; 4 branches.
         assert_eq!(n.branches.len(), 4);
-        assert_eq!(n.rank(&[false, true], &MetricVec::zero()), Rank::scalar(0.0));
-        assert_eq!(n.rank(&[false, false], &MetricVec::zero()), Rank::scalar(1.0));
+        assert_eq!(
+            n.rank(&[false, true], &MetricVec::zero()),
+            Rank::scalar(0.0)
+        );
+        assert_eq!(
+            n.rank(&[false, false], &MetricVec::zero()),
+            Rank::scalar(1.0)
+        );
     }
 
     #[test]

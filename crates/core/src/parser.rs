@@ -131,7 +131,11 @@ impl Parser {
                 Ok(Expr::Attr(a))
             }
             Tok::Min | Tok::Max => {
-                let op = if self.bump() == Tok::Min { BinOp::Min } else { BinOp::Max };
+                let op = if self.bump() == Tok::Min {
+                    BinOp::Min
+                } else {
+                    BinOp::Max
+                };
                 self.expect(&Tok::LParen)?;
                 let a = self.expr()?;
                 self.expect(&Tok::Comma)?;
@@ -208,10 +212,8 @@ impl Parser {
                 });
             }
         }
+        // Attempt 2: a path regex, retried from the same saved position.
         self.pos = save;
-
-        // Attempt 2: a path regex.
-        let save = self.pos;
         match self.regex() {
             Ok(r) => Ok(BoolExpr::Regex(r)),
             Err(regex_err) => {
@@ -310,20 +312,24 @@ mod tests {
     #[test]
     fn p5_waypointing() {
         let pol = p("minimize(if .*(F1+F2).* then path.util else inf)");
-        let Expr::If(cond, t, e) = pol.expr else { panic!("expected if") };
+        let Expr::If(cond, t, e) = pol.expr else {
+            panic!("expected if")
+        };
         assert!(matches!(*t, Expr::Attr(Attr::Util)));
         assert!(matches!(*e, Expr::Inf));
-        let BoolExpr::Regex(r) = *cond else { panic!("expected regex cond") };
+        let BoolExpr::Regex(r) = *cond else {
+            panic!("expected regex cond")
+        };
         assert_eq!(r.names(), vec!["F1", "F2"]);
     }
 
     #[test]
     fn p9_congestion_aware() {
-        let pol = p(
-            "minimize(if path.util < .8 then (1, 0, path.util) \
-             else (2, path.len, path.util))",
-        );
-        let Expr::If(cond, ..) = pol.expr else { panic!("expected if") };
+        let pol = p("minimize(if path.util < .8 then (1, 0, path.util) \
+             else (2, path.len, path.util))");
+        let Expr::If(cond, ..) = pol.expr else {
+            panic!("expected if")
+        };
         assert_eq!(
             *cond,
             BoolExpr::Cmp(CmpOp::Lt, Expr::Attr(Attr::Util), Expr::Const(0.8))
@@ -339,7 +345,9 @@ mod tests {
     #[test]
     fn failover_chain() {
         let pol = p("minimize(if A B D then 0 else if A C D then 1 else inf)");
-        let Expr::If(_, _, els) = pol.expr else { panic!() };
+        let Expr::If(_, _, els) = pol.expr else {
+            panic!()
+        };
         assert!(matches!(*els, Expr::If(..)));
     }
 
@@ -359,7 +367,9 @@ mod tests {
     #[test]
     fn boolean_connectives() {
         let pol = p("minimize(if path.util < .5 and not (A .*) then 0 else 1)");
-        let Expr::If(cond, ..) = pol.expr else { panic!() };
+        let Expr::If(cond, ..) = pol.expr else {
+            panic!()
+        };
         assert!(matches!(*cond, BoolExpr::And(..)));
     }
 

@@ -16,8 +16,8 @@
 //! to any source (the paper's tag-minimization optimization); what survives
 //! is exactly the state the switches must track.
 
-use crate::normal::NormalPolicy;
 use crate::normal::BranchRank;
+use crate::normal::NormalPolicy;
 use contra_automata::Dfa;
 use contra_topology::{NodeId, Topology};
 use std::collections::BTreeMap;
@@ -79,12 +79,12 @@ impl ProductGraph {
 
         let mut work: Vec<usize> = Vec::new();
         let add = |switch: NodeId,
-                       states: Vec<usize>,
-                       index: &mut BTreeMap<(NodeId, Vec<usize>), usize>,
-                       switches_of: &mut Vec<NodeId>,
-                       states_of: &mut Vec<Vec<usize>>,
-                       out: &mut Vec<Vec<usize>>,
-                       work: &mut Vec<usize>|
+                   states: Vec<usize>,
+                   index: &mut BTreeMap<(NodeId, Vec<usize>), usize>,
+                   switches_of: &mut Vec<NodeId>,
+                   states_of: &mut Vec<Vec<usize>>,
+                   out: &mut Vec<Vec<usize>>,
+                   work: &mut Vec<usize>|
          -> usize {
             let key = (switch, states.clone());
             if let Some(&i) = index.get(&key) {
@@ -152,7 +152,10 @@ impl ProductGraph {
                     .collect()
             })
             .collect();
-        let finite_of: Vec<bool> = acc_of.iter().map(|acc| finite_possible(normal, acc)).collect();
+        let finite_of: Vec<bool> = acc_of
+            .iter()
+            .map(|acc| finite_possible(normal, acc))
+            .collect();
 
         // Usefulness: a vnode is kept if it, or anything probes reach from
         // it, can carry a finite-rank path for some source.
@@ -191,7 +194,10 @@ impl ProductGraph {
         for (new, &old) in kept.iter().enumerate() {
             let switch = switches_of[old];
             let tag = by_switch.get(&switch).map_or(0, |v| v.len()) as u16;
-            by_switch.entry(switch).or_default().push(VNodeId(new as u32));
+            by_switch
+                .entry(switch)
+                .or_default()
+                .push(VNodeId(new as u32));
             vnodes.push(VNode {
                 switch,
                 states: states_of[old].clone(),
@@ -244,9 +250,11 @@ impl ProductGraph {
     /// Looks up the virtual node at `switch` with exactly these automaton
     /// states.
     pub fn find(&self, switch: NodeId, states: &[usize]) -> Option<VNodeId> {
-        self.by_switch.get(&switch)?.iter().copied().find(|&v| {
-            self.vnodes[v.0 as usize].states == states
-        })
+        self.by_switch
+            .get(&switch)?
+            .iter()
+            .copied()
+            .find(|&v| self.vnodes[v.0 as usize].states == states)
     }
 
     /// `NEXTPGNODE` (Fig 7): the virtual node a probe tagged `from` maps to
@@ -273,8 +281,7 @@ impl ProductGraph {
 /// (metric guards are assumed satisfiable — they depend on runtime state).
 fn finite_possible(normal: &NormalPolicy, acc: &[bool]) -> bool {
     normal.branches.iter().any(|b| {
-        matches!(b.rank, BranchRank::Finite(_))
-            && b.reqs.iter().all(|&(i, want)| acc[i] == want)
+        matches!(b.rank, BranchRank::Finite(_)) && b.reqs.iter().all(|&(i, want)| acc[i] == want)
     })
 }
 

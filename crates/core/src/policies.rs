@@ -57,8 +57,7 @@ pub fn source_local(x: &str) -> String {
 /// light (< 80% bottleneck utilization), shortest paths under heavy load.
 /// The paper's "CA" policy in §6; non-isotonic, decomposed into two pids.
 pub fn congestion_aware() -> String {
-    "minimize(if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util))"
-        .to_string()
+    "minimize(if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util))".to_string()
 }
 
 /// Propane-style failover preference: use `A B D`, else `A C D`, else drop.

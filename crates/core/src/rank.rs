@@ -121,12 +121,18 @@ mod tests {
     fn lexicographic_order() {
         assert!(Rank::tuple(vec![0.0, 9.0]) < Rank::tuple(vec![1.0, 0.0]));
         assert!(Rank::tuple(vec![1.0, 2.0]) < Rank::tuple(vec![1.0, 3.0]));
-        assert_eq!(Rank::tuple(vec![1.0, 2.0]).cmp(&Rank::tuple(vec![1.0, 2.0])), Ordering::Equal);
+        assert_eq!(
+            Rank::tuple(vec![1.0, 2.0]).cmp(&Rank::tuple(vec![1.0, 2.0])),
+            Ordering::Equal
+        );
     }
 
     #[test]
     fn zero_padding_on_unequal_lengths() {
-        assert_eq!(Rank::scalar(1.0).cmp(&Rank::tuple(vec![1.0, 0.0])), Ordering::Equal);
+        assert_eq!(
+            Rank::scalar(1.0).cmp(&Rank::tuple(vec![1.0, 0.0])),
+            Ordering::Equal
+        );
         assert!(Rank::scalar(1.0) < Rank::tuple(vec![1.0, 0.5]));
         assert!(Rank::tuple(vec![1.0, -0.5]) < Rank::scalar(1.0));
     }

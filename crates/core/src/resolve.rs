@@ -50,19 +50,13 @@ pub fn resolve_regex(r: &PathRegex, topo: &Topology) -> Result<Regex, ResolveErr
             resolve_regex(a, topo)?,
             resolve_regex(b, topo)?,
         )),
-        PathRegex::Alt(a, b) => Ok(Regex::alt(
-            resolve_regex(a, topo)?,
-            resolve_regex(b, topo)?,
-        )),
+        PathRegex::Alt(a, b) => Ok(Regex::alt(resolve_regex(a, topo)?, resolve_regex(b, topo)?)),
         PathRegex::Star(inner) => Ok(Regex::star(resolve_regex(inner, topo)?)),
     }
 }
 
 /// Resolves every regex of a normalized policy, preserving order.
-pub fn resolve_regexes(
-    regexes: &[PathRegex],
-    topo: &Topology,
-) -> Result<Vec<Regex>, ResolveError> {
+pub fn resolve_regexes(regexes: &[PathRegex], topo: &Topology) -> Result<Vec<Regex>, ResolveError> {
     regexes.iter().map(|r| resolve_regex(r, topo)).collect()
 }
 

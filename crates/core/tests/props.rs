@@ -41,7 +41,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 arb_attr(),
                 0u32..20
             )
-                .prop_map(|(op, a, c)| BoolExpr::Cmp(op, Expr::Attr(a), Expr::Const(c as f64 / 10.0))),
+                .prop_map(|(op, a, c)| BoolExpr::Cmp(
+                    op,
+                    Expr::Attr(a),
+                    Expr::Const(c as f64 / 10.0)
+                )),
         ];
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(

@@ -80,7 +80,9 @@ impl ProtocolHarness {
             .unwrap_or_else(|| panic!("no link {a}→{b}"));
         let bw = self.topo.link(l).bandwidth_bps;
         self.pinned.insert(l.0, util);
-        self.links[l.0 as usize].estimator.force_utilization(bw, util, self.now);
+        self.links[l.0 as usize]
+            .estimator
+            .force_utilization(bw, util, self.now);
     }
 
     /// Pins the utilization of both directions of the cable `a – b`.
@@ -140,7 +142,9 @@ impl ProtocolHarness {
             );
             debug_assert!(matches!(pkt.kind, PacketKind::Probe(_)));
             // Down links swallow probes.
-            let Some(l) = self.topo.link_between(from, to) else { continue };
+            let Some(l) = self.topo.link_between(from, to) else {
+                continue;
+            };
             if !self.links[l.0 as usize].up {
                 continue;
             }

@@ -15,10 +15,12 @@
 
 pub mod harness;
 pub mod switch;
+pub mod system;
 pub mod tables;
 
 pub use harness::ProtocolHarness;
 pub use switch::{ContraSwitch, DataplaneConfig};
+pub use system::Contra;
 pub use tables::{
     BestTable, FlowletEntry, FlowletKey, FlowletTable, FwdEntry, FwdKey, FwdTable, LoopTable,
 };
@@ -29,6 +31,7 @@ use std::rc::Rc;
 
 /// Installs the compiled policy's switch program on every switch of the
 /// simulator. Returns the shared compiled policy handle.
+#[deprecated(since = "0.2.0", note = "use the `Contra` RoutingSystem instead")]
 pub fn install_contra(
     sim: &mut Simulator,
     cp: Rc<CompiledPolicy>,
@@ -267,11 +270,6 @@ mod tests {
             generators::LinkSpec::default(),
             generators::LinkSpec::default(),
         );
-        let cp = Rc::new(
-            Compiler::new(&topo)
-                .compile_str("minimize(path.util)")
-                .unwrap(),
-        );
         let mut sim = Simulator::new(
             topo.clone(),
             SimConfig {
@@ -280,7 +278,13 @@ mod tests {
                 ..SimConfig::default()
             },
         );
-        install_contra(&mut sim, cp, &DataplaneConfig::default());
+        let cache = contra_sim::CompileCache::new();
+        contra_sim::RoutingSystem::install(
+            &Contra::mu().with_config(DataplaneConfig::default()),
+            &mut sim,
+            &contra_sim::InstallCtx::new(&topo, &[], &cache),
+        )
+        .unwrap();
         let hosts = topo.hosts();
         // Cross-leaf flows, started after two probe periods of warm-up.
         for i in 0..4 {
@@ -311,7 +315,10 @@ mod tests {
             stats.delivered_packets
         );
         assert_eq!(
-            *stats.drops.get(&contra_sim::DropReason::TtlExpired).unwrap_or(&0),
+            *stats
+                .drops
+                .get(&contra_sim::DropReason::TtlExpired)
+                .unwrap_or(&0),
             0,
             "no packet may loop to TTL death"
         );
@@ -362,9 +369,14 @@ mod tests {
     #[test]
     fn wan_config_respects_probe_period_floor() {
         let topo = generators::abilene(40e9);
-        let cp = Compiler::new(&topo).compile_str("minimize(path.util)").unwrap();
+        let cp = Compiler::new(&topo)
+            .compile_str("minimize(path.util)")
+            .unwrap();
         let cfg = DataplaneConfig::for_policy(&cp);
         assert!(cfg.probe_period.0 >= cp.min_probe_period_ns);
-        assert!(cfg.probe_period > Time::us(256), "Abilene RTTs are ms-scale");
+        assert!(
+            cfg.probe_period > Time::us(256),
+            "Abilene RTTs are ms-scale"
+        );
     }
 }

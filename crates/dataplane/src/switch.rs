@@ -16,7 +16,9 @@
 //!   (§5.3), expiring pins through silent (failed) next hops (§5.4) and
 //!   breaking loops detected by TTL drift (§5.5).
 
-use crate::tables::{BestTable, FlowletEntry, FlowletKey, FlowletTable, FwdEntry, FwdKey, FwdTable, LoopTable};
+use crate::tables::{
+    BestTable, FlowletEntry, FlowletKey, FlowletTable, FwdEntry, FwdKey, FwdTable, LoopTable,
+};
 use contra_core::{CompiledPolicy, MetricVec, Rank, SwitchProgram, VNodeId};
 use contra_sim::{
     Packet, PacketKind, Probe, SwitchCtx, SwitchLogic, Time, INITIAL_TTL, PROBE_BASE_BYTES,
@@ -272,7 +274,8 @@ impl ContraSwitch {
         };
         // UPDATEMVEC: fold in this switch's egress toward the neighbor the
         // probe arrived from — the first link of the traffic path.
-        let mv = MetricVec::new(p.mv[0], p.mv[1], p.mv[2]).extend(ctx.util_to(from), ctx.lat_to(from));
+        let mv =
+            MetricVec::new(p.mv[0], p.mv[1], p.mv[2]).extend(ctx.util_to(from), ctx.lat_to(from));
 
         let key = FwdKey {
             dst: p.origin,
@@ -304,8 +307,7 @@ impl ContraSwitch {
                     // Last resort: the incumbent has gone silent or the
                     // entry has outlived the metric-expiration window —
                     // accept whatever is fresh (§5.4).
-                    self.nhop_failed(e.nhop, now)
-                        || now.saturating_sub(e.updated) > self.expiry()
+                    self.nhop_failed(e.nhop, now) || now.saturating_sub(e.updated) > self.expiry()
                 }
             }
         };
@@ -347,7 +349,9 @@ impl ContraSwitch {
 
         // §5.5: TTL-drift loop detection. δ grows without bound only when
         // packets of this flow(let) revisit this switch.
-        let delta = self.loops.observe(pkt.flow_hash, pkt.ttl, now, self.cfg.loop_age_out);
+        let delta = self
+            .loops
+            .observe(pkt.flow_hash, pkt.ttl, now, self.cfg.loop_age_out);
         if delta >= self.cfg.loop_delta_threshold {
             self.flowlets.flush_fid(pkt.flow_hash);
             self.loops.reset(pkt.flow_hash);

@@ -57,19 +57,17 @@ impl FwdTable {
 
     /// All rows for one destination (every tag and pid).
     pub fn rows_for(&self, dst: NodeId) -> impl Iterator<Item = (&FwdKey, &FwdEntry)> {
-        self.rows
-            .range(
-                FwdKey {
-                    dst,
-                    tag: VNodeId(0),
-                    pid: 0,
-                }..=FwdKey {
-                    dst,
-                    tag: VNodeId(u32::MAX),
-                    pid: u8::MAX,
-                },
-            )
-            .map(|(k, v)| (k, v))
+        self.rows.range(
+            FwdKey {
+                dst,
+                tag: VNodeId(0),
+                pid: 0,
+            }..=FwdKey {
+                dst,
+                tag: VNodeId(u32::MAX),
+                pid: u8::MAX,
+            },
+        )
     }
 
     /// Number of rows (state accounting).
@@ -108,6 +106,11 @@ impl BestTable {
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.best.len()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
     }
 }
 
@@ -185,6 +188,11 @@ impl FlowletTable {
     pub fn len(&self) -> usize {
         self.entries.len()
     }
+
+    /// Whether no flowlet is currently pinned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 /// Loop-detection row: min/max TTL observed for one packet hash (§5.5).
@@ -233,6 +241,11 @@ impl LoopTable {
     /// Number of tracked hashes.
     pub fn len(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Whether no hash is currently tracked.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
     }
 }
 

@@ -10,7 +10,7 @@
 
 use contra_core::{Compiler, Rank};
 use contra_dataplane::{DataplaneConfig, ProtocolHarness};
-use contra_topology::{generators, NodeId, Topology};
+use contra_topology::{generators, Topology};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

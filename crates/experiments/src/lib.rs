@@ -1,0 +1,44 @@
+//! # contra-experiments — the experiment API
+//!
+//! One vocabulary for every evaluation in the paper (and any you can
+//! imagine): a [`Scenario`] describes *where and what* (topology,
+//! workload, load, failures, measurement), a
+//! [`RoutingSystem`](contra_sim::RoutingSystem) describes *who* (Contra
+//! with some policy, Hula, ECMP, SP, SPAIN, or your own scheme), and
+//! [`Scenario::run`] produces a [`RunResult`] bundling raw
+//! [`SimStats`](contra_sim::SimStats) with the system label, the scenario
+//! parameters and derived figures of merit.
+//!
+//! ```
+//! use contra_experiments::{Contra, Ecmp, Hula, RoutingSystem, Scenario, Workload};
+//! use contra_sim::Time;
+//!
+//! let scenario = Scenario::leaf_spine(2, 2, 2)
+//!     .workload(Workload::Cache)
+//!     .duration(Time::ms(8))
+//!     .warmup(Time::ms(1))
+//!     .drain(Time::ms(10))
+//!     .seed(7);
+//! let systems: [&dyn RoutingSystem; 3] = [&Contra::dc(), &Ecmp, &Hula::default()];
+//! for r in scenario.matrix(&systems, &[0.3]) {
+//!     println!("{} @ {:.0}%: {:?} ms", r.system, r.scenario.load * 100.0,
+//!              r.figures.mean_fct_ms);
+//! }
+//! ```
+//!
+//! Sweeps share a [`CompileCache`](contra_sim::CompileCache), so a matrix
+//! over `{Contra, ECMP, Hula} × loads` compiles each distinct policy text
+//! exactly once.
+
+pub mod result;
+pub mod scenario;
+pub mod spec;
+
+pub use result::{Figures, RunResult, ScenarioInfo};
+pub use scenario::{Pairs, Scenario, Traffic, Workload};
+pub use spec::{parse_topology_spec, SpecError};
+
+// The whole experiment vocabulary in one import.
+pub use contra_baselines::{Ecmp, Hula, Sp, Spain};
+pub use contra_dataplane::Contra;
+pub use contra_sim::{CompileCache, InstallCtx, InstallError, RoutingSystem};

@@ -1,0 +1,102 @@
+//! [`RunResult`]: one simulation's outcome, self-describing.
+//!
+//! Bundles the raw [`SimStats`] with the system label, the scenario
+//! parameters that produced it and the derived figures of merit every
+//! figure binary used to recompute by hand.
+
+use contra_sim::{FlowId, SimStats, Time, TrafficKind};
+use contra_topology::NodeId;
+
+/// The scenario parameters a result was produced under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioInfo {
+    /// Scenario label (e.g. `"leaf-spine(4,2,8)"`).
+    pub scenario: String,
+    /// Offered load fraction.
+    pub load: f64,
+    /// Workload label (`"websearch"`, `"cache"`, `"udp"`, `"none"`).
+    pub workload: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Warm-up instant (FCT figures exclude earlier flows).
+    pub warmup: Time,
+    /// Arrival stop instant.
+    pub duration: Time,
+}
+
+/// Derived figures of merit (§6's y-axes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figures {
+    /// Mean FCT in ms over completed flows that started after warm-up.
+    pub mean_fct_ms: Option<f64>,
+    /// 99th-percentile FCT in ms over the same flows.
+    pub p99_fct_ms: Option<f64>,
+    /// Fraction of flows that completed.
+    pub completion_rate: f64,
+    /// Every byte placed on the wire, summed over hops (§6.5).
+    pub total_wire_bytes: u64,
+    /// Probe bytes on the wire — the routing-protocol overhead of Fig 16.
+    pub overhead_bytes: u64,
+    /// Payload packets that ever traversed a forwarding loop (§6.5).
+    pub looped_packets: u64,
+    /// Loop-breaking flowlet flushes reported by switch logic (§5.5).
+    pub loop_breaks: u64,
+    /// Payload packets delivered to their destination host.
+    pub delivered_packets: u64,
+}
+
+impl Figures {
+    /// Computes the figures from raw stats, excluding flows that started
+    /// before `warmup` from the FCT aggregates.
+    pub fn derive(stats: &SimStats, warmup: Time) -> Figures {
+        let mut fcts: Vec<f64> = stats
+            .flows
+            .iter()
+            .filter(|f| f.start >= warmup)
+            .filter_map(|f| f.fct().map(|t| t.as_millis_f64()))
+            .collect();
+        fcts.sort_by(|a, b| a.partial_cmp(b).expect("FCTs are finite"));
+        let mean_fct_ms = if fcts.is_empty() {
+            None
+        } else {
+            Some(fcts.iter().sum::<f64>() / fcts.len() as f64)
+        };
+        let p99_fct_ms = fcts
+            .get(((fcts.len() as f64 * 0.99).ceil() as usize).saturating_sub(1))
+            .copied();
+        Figures {
+            mean_fct_ms,
+            p99_fct_ms,
+            completion_rate: stats.completion_rate(),
+            total_wire_bytes: stats.total_wire_bytes(),
+            overhead_bytes: *stats.wire_bytes.get(&TrafficKind::Probe).unwrap_or(&0),
+            looped_packets: stats.looped_packets,
+            loop_breaks: stats.loop_breaks,
+            delivered_packets: stats.delivered_packets,
+        }
+    }
+}
+
+/// One scenario run under one routing system.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The system's display name ([`contra_sim::RoutingSystem::name`]).
+    pub system: String,
+    /// The parameters that produced this result.
+    pub scenario: ScenarioInfo,
+    /// Derived figures of merit.
+    pub figures: Figures,
+    /// The raw statistics, for anything [`Figures`] doesn't cover.
+    pub stats: SimStats,
+    /// Per-packet switch paths, when the scenario enabled
+    /// [`crate::Scenario::trace_paths`].
+    pub traces: Option<Vec<(FlowId, Vec<NodeId>)>>,
+}
+
+impl RunResult {
+    /// The share of packets that ever looped, as a percentage of
+    /// delivered packets (the §6.5 table's quantity).
+    pub fn looped_pct(&self) -> f64 {
+        100.0 * self.figures.looped_packets as f64 / self.figures.delivered_packets.max(1) as f64
+    }
+}

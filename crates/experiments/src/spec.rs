@@ -1,0 +1,92 @@
+//! Textual topology specs: scenarios as data.
+//!
+//! The same one-line syntax serves the `contra_compile` CLI and
+//! [`crate::Scenario::from_spec`]:
+//!
+//! * `fat-tree:K` — K-ary fat-tree (switches only),
+//! * `leaf-spine:LEAVES,SPINES,HOSTS_PER_LEAF`,
+//! * `abilene` — the §6.4 backbone (40 Gbps),
+//! * `random:N` — connected random graph with ~2N extra edges (seed 42),
+//! * `zoo:FILE` — a Topology-Zoo GraphML file.
+
+use contra_topology::{generators, zoo, Topology};
+
+/// Why a spec failed to parse.
+#[derive(Debug)]
+pub enum SpecError {
+    /// Unknown family or malformed parameters.
+    Malformed(String),
+    /// A `zoo:` file could not be read or parsed.
+    Zoo(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Malformed(s) => write!(
+                f,
+                "bad topology spec {s:?} (expected fat-tree:K | leaf-spine:L,S,H | abilene | random:N | zoo:FILE)"
+            ),
+            SpecError::Zoo(e) => write!(f, "zoo topology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses a topology spec string.
+pub fn parse_topology_spec(spec: &str) -> Result<Topology, SpecError> {
+    let default = generators::LinkSpec::default();
+    let malformed = || SpecError::Malformed(spec.to_string());
+    if let Some(k) = spec.strip_prefix("fat-tree:") {
+        let k: usize = k.parse().map_err(|_| malformed())?;
+        Ok(generators::fat_tree(k, 0, default))
+    } else if let Some(rest) = spec.strip_prefix("leaf-spine:") {
+        let parts: Vec<usize> = rest
+            .split(',')
+            .map(|p| p.parse().map_err(|_| malformed()))
+            .collect::<Result<_, _>>()?;
+        if parts.len() != 3 {
+            return Err(malformed());
+        }
+        Ok(generators::leaf_spine(
+            parts[0], parts[1], parts[2], default, default,
+        ))
+    } else if spec == "abilene" {
+        Ok(generators::abilene(40e9))
+    } else if let Some(n) = spec.strip_prefix("random:") {
+        let n: usize = n.parse().map_err(|_| malformed())?;
+        Ok(generators::random_connected(n, 2 * n, default, 42))
+    } else if let Some(path) = spec.strip_prefix("zoo:") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError::Zoo(format!("reading {path}: {e}")))?;
+        zoo::parse_graphml(&text, 10e9, 1_000_000).map_err(|e| SpecError::Zoo(e.to_string()))
+    } else {
+        Err(malformed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_to_the_right_sizes() {
+        assert_eq!(
+            parse_topology_spec("fat-tree:4").unwrap().num_switches(),
+            20
+        );
+        assert_eq!(parse_topology_spec("abilene").unwrap().num_switches(), 11);
+        let ls = parse_topology_spec("leaf-spine:2,2,3").unwrap();
+        assert_eq!(ls.num_switches(), 4);
+        assert_eq!(ls.hosts().len(), 6);
+        assert_eq!(parse_topology_spec("random:30").unwrap().num_switches(), 30);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in ["", "fat-tree:", "leaf-spine:4,2", "mesh:9", "random:x"] {
+            assert!(parse_topology_spec(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

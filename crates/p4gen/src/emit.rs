@@ -103,7 +103,10 @@ pub fn emit_switch_program(cp: &CompiledPolicy, switch: NodeId) -> String {
     w.line("bit<32> version;  // per-origin round number (§5.1)");
     w.line("bit<16> tag;      // sender's virtual node");
     for m in &metrics {
-        w.line(&format!("bit<32> m_{};   // fixed-point metric", attr_field(*m)));
+        w.line(&format!(
+            "bit<32> m_{};   // fixed-point metric",
+            attr_field(*m)
+        ));
     }
     w.close("}");
     w.open("struct headers_t {");
@@ -142,7 +145,10 @@ pub fn emit_switch_program(cp: &CompiledPolicy, switch: NodeId) -> String {
     // ---- registers (runtime tables, Fig 7 + §5) --------------------------
     w.line("// FwdT: one slot per (destination, tag, pid); dataplane-written.");
     for m in &metrics {
-        w.line(&format!("register<bit<32>>(FWDT_SIZE) fwdt_m_{};", attr_field(*m)));
+        w.line(&format!(
+            "register<bit<32>>(FWDT_SIZE) fwdt_m_{};",
+            attr_field(*m)
+        ));
     }
     w.line("register<bit<32>>(FWDT_SIZE) fwdt_version;");
     w.line("register<bit<16>>(FWDT_SIZE) fwdt_ntag;");
@@ -228,7 +234,9 @@ pub fn emit_switch_program(cp: &CompiledPolicy, switch: NodeId) -> String {
             Attr::Lat => w.line(&format!("// m_{f} = m_{f} + port_lat[smeta.ingress_port]")),
             Attr::Len => w.line(&format!("// m_{f} = m_{f} + 1")),
         }
-        w.line(&format!("fwdt_m_{f}.write(meta.fwdt_index, hdr.probe.m_{f});"));
+        w.line(&format!(
+            "fwdt_m_{f}.write(meta.fwdt_index, hdr.probe.m_{f});"
+        ));
     }
     w.line("fwdt_version.write(meta.fwdt_index, hdr.probe.version);");
     w.line("fwdt_ntag.write(meta.fwdt_index, hdr.probe.tag);");
@@ -304,7 +312,13 @@ pub fn emit_switch_program(cp: &CompiledPolicy, switch: NodeId) -> String {
             pids - 1
         ));
     }
-    w.line(&format!("// ports: {:?}", ports.iter().map(|(n, p)| format!("{}→{}", n.0, p)).collect::<Vec<_>>()));
+    w.line(&format!(
+        "// ports: {:?}",
+        ports
+            .iter()
+            .map(|(n, p)| format!("{}→{}", n.0, p))
+            .collect::<Vec<_>>()
+    ));
     let _ = topo_name;
     w.finish()
 }

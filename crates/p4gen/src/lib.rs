@@ -86,7 +86,9 @@ mod tests {
     #[test]
     fn const_entries_match_compiled_maps() {
         let topo = fig6_topo();
-        let cp = Compiler::new(&topo).compile_str("minimize(path.util)").unwrap();
+        let cp = Compiler::new(&topo)
+            .compile_str("minimize(path.util)")
+            .unwrap();
         let b = topo.find("B").unwrap();
         let p4 = emit_switch_program(&cp, b);
         let prog = &cp.programs[&b];
@@ -106,7 +108,9 @@ mod tests {
     #[test]
     fn emit_all_covers_every_switch() {
         let topo = generators::fat_tree(4, 0, generators::LinkSpec::default());
-        let cp = Compiler::new(&topo).compile_str("minimize(path.util)").unwrap();
+        let cp = Compiler::new(&topo)
+            .compile_str("minimize(path.util)")
+            .unwrap();
         let all = emit_all(&cp, &topo);
         assert_eq!(all.len(), 20);
         for (name, p4) in &all {

@@ -98,7 +98,9 @@ mod tests {
         let mut prev = 0.0;
         for k in [4usize, 8] {
             let topo = generators::fat_tree(k, 0, generators::LinkSpec::default());
-            let cp = Compiler::new(&topo).compile_str("minimize(path.util)").unwrap();
+            let cp = Compiler::new(&topo)
+                .compile_str("minimize(path.util)")
+                .unwrap();
             let kb = max_switch_state_kb(&cp);
             assert!(kb > prev, "k={k}: {kb} kB");
             prev = kb;
@@ -129,7 +131,9 @@ mod tests {
         // The paper: ≤ ~70 kB at 500 switches, "a tiny fraction" of tens
         // of MB of SRAM.
         let topo = generators::fat_tree(10, 0, generators::LinkSpec::default());
-        let cp = Compiler::new(&topo).compile_str("minimize(path.util)").unwrap();
+        let cp = Compiler::new(&topo)
+            .compile_str("minimize(path.util)")
+            .unwrap();
         let kb = max_switch_state_kb(&cp);
         assert!(kb < 200.0, "{kb} kB");
     }

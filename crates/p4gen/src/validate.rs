@@ -26,11 +26,17 @@ pub fn validate(src: &str) -> Vec<ValidationError> {
     let code = strip_comments(src);
 
     // Balance.
-    for (open, close, name) in [('{', '}', "braces"), ('(', ')', "parens"), ('[', ']', "brackets")] {
+    for (open, close, name) in [
+        ('{', '}', "braces"),
+        ('(', ')', "parens"),
+        ('[', ']', "brackets"),
+    ] {
         let o = code.chars().filter(|&c| c == open).count();
         let c = code.chars().filter(|&c| c == close).count();
         if o != c {
-            errors.push(ValidationError(format!("unbalanced {name}: {o} open vs {c} close")));
+            errors.push(ValidationError(format!(
+                "unbalanced {name}: {o} open vs {c} close"
+            )));
         }
     }
 
@@ -42,13 +48,17 @@ pub fn validate(src: &str) -> Vec<ValidationError> {
     // Applications reference declared tables.
     for applied in find_applies(&code) {
         if !tables.contains(&applied) {
-            errors.push(ValidationError(format!("`{applied}.apply()` but table `{applied}` not declared")));
+            errors.push(ValidationError(format!(
+                "`{applied}.apply()` but table `{applied}` not declared"
+            )));
         }
     }
     // Every declared table is applied somewhere.
     for t in &tables {
         if !code.contains(&format!("{t}.apply()")) {
-            errors.push(ValidationError(format!("table `{t}` declared but never applied")));
+            errors.push(ValidationError(format!(
+                "table `{t}` declared but never applied"
+            )));
         }
     }
 
@@ -60,7 +70,9 @@ pub fn validate(src: &str) -> Vec<ValidationError> {
         for name in rest[..end].split(';') {
             let name = name.trim();
             if !name.is_empty() && !actions.contains(name) {
-                errors.push(ValidationError(format!("action `{name}` listed but not declared")));
+                errors.push(ValidationError(format!(
+                    "action `{name}` listed but not declared"
+                )));
             }
         }
         rest = &rest[end..];
@@ -76,7 +88,10 @@ pub fn validate(src: &str) -> Vec<ValidationError> {
             let line = line.trim();
             if let Some((key, _)) = line.split_once(':') {
                 if !key.trim().is_empty() && !keys.insert(key.trim().to_string()) {
-                    errors.push(ValidationError(format!("duplicate const entry key `{}`", key.trim())));
+                    errors.push(ValidationError(format!(
+                        "duplicate const entry key `{}`",
+                        key.trim()
+                    )));
                 }
             }
         }
@@ -88,7 +103,9 @@ pub fn validate(src: &str) -> Vec<ValidationError> {
         errors.push(ValidationError("parser has no `state start`".into()));
     }
     if code.matches(") main;").count() != 1 {
-        errors.push(ValidationError("program must instantiate exactly one `main`".into()));
+        errors.push(ValidationError(
+            "program must instantiate exactly one `main`".into(),
+        ));
     }
     errors
 }

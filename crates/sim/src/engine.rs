@@ -6,9 +6,7 @@
 //! The same inputs always produce byte-identical statistics.
 
 use crate::link::{DropReason, EnqueueOutcome, LinkState};
-use crate::packet::{
-    flow_hash, FlowId, Packet, PacketKind, HDR_BYTES, INITIAL_TTL, MSS,
-};
+use crate::packet::{flow_hash, FlowId, Packet, PacketKind, HDR_BYTES, INITIAL_TTL, MSS};
 use crate::stats::{FlowRecord, QueueSample, SimStats, TrafficKind};
 use crate::switch::{SwitchCtx, SwitchLogic};
 use crate::time::Time;
@@ -88,7 +86,11 @@ pub enum FlowSpec {
 enum Event {
     /// Packet fully received at `node`, having traversed the link from
     /// `from`.
-    Arrive { node: NodeId, from: NodeId, pkt: Packet },
+    Arrive {
+        node: NodeId,
+        from: NodeId,
+        pkt: Packet,
+    },
     /// Link serializer finished a packet.
     TxDone { link: LinkId, epoch: u64 },
     /// Periodic switch timer.
@@ -251,19 +253,24 @@ impl Simulator {
     pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
         let id = FlowId(self.flows.len() as u32);
         let (src, dst, start) = match &spec {
-            FlowSpec::Tcp { src, dst, start, .. } => (*src, *dst, *start),
-            FlowSpec::Udp { src, dst, start, .. } => (*src, *dst, *start),
+            FlowSpec::Tcp {
+                src, dst, start, ..
+            } => (*src, *dst, *start),
+            FlowSpec::Udp {
+                src, dst, start, ..
+            } => (*src, *dst, *start),
         };
-        assert!(!self.topo.is_switch(src) && !self.topo.is_switch(dst), "flows run host-to-host");
+        assert!(
+            !self.topo.is_switch(src) && !self.topo.is_switch(dst),
+            "flows run host-to-host"
+        );
         assert_ne!(src, dst, "flow to self");
         let (kind, size_bytes, total_pkts) = match spec {
             FlowSpec::Tcp { bytes, .. } => {
                 let pkts = bytes.div_ceil(MSS as u64).max(1) as u32;
                 (FlowKind::Tcp, bytes, pkts)
             }
-            FlowSpec::Udp { rate_bps, stop, .. } => {
-                (FlowKind::Udp { rate_bps, stop }, 0, u32::MAX)
-            }
+            FlowSpec::Udp { rate_bps, stop, .. } => (FlowKind::Udp { rate_bps, stop }, 0, u32::MAX),
         };
         self.flows.push(FlowState {
             kind,
@@ -410,24 +417,25 @@ impl Simulator {
             self.stats.on_drop(DropReason::NoRoute);
             return;
         };
-        if pkt.carries_payload() || matches!(pkt.kind, PacketKind::Ack { .. }) {
-            if self.topo.is_switch(from) && self.topo.is_switch(to) {
-                if pkt.ttl == 0 {
-                    if std::env::var_os("CONTRA_SIM_DEBUG_TTL").is_some() {
-                        eprintln!(
-                            "TTL death: {:?} flow={:?} seq={} dst_sw={} trace_tail={:?}",
-                            pkt.kind,
-                            pkt.flow,
-                            pkt.seq,
-                            pkt.dst_switch,
-                            &pkt.trace[pkt.trace.len().saturating_sub(8)..]
-                        );
-                    }
-                    self.stats.on_drop(DropReason::TtlExpired);
-                    return;
+        if (pkt.carries_payload() || matches!(pkt.kind, PacketKind::Ack { .. }))
+            && self.topo.is_switch(from)
+            && self.topo.is_switch(to)
+        {
+            if pkt.ttl == 0 {
+                if std::env::var_os("CONTRA_SIM_DEBUG_TTL").is_some() {
+                    eprintln!(
+                        "TTL death: {:?} flow={:?} seq={} dst_sw={} trace_tail={:?}",
+                        pkt.kind,
+                        pkt.flow,
+                        pkt.seq,
+                        pkt.dst_switch,
+                        &pkt.trace[pkt.trace.len().saturating_sub(8)..]
+                    );
                 }
-                pkt.ttl -= 1;
+                self.stats.on_drop(DropReason::TtlExpired);
+                return;
             }
+            pkt.ttl -= 1;
         }
         let kind = traffic_kind(&pkt);
         let size = pkt.size_bytes;
@@ -457,7 +465,14 @@ impl Simulator {
         let from = self.topo.link(lid).src;
         let arrive_at = self.now + tx + delay;
         let done_at = self.now + tx;
-        self.push(arrive_at, Event::Arrive { node: to, from, pkt });
+        self.push(
+            arrive_at,
+            Event::Arrive {
+                node: to,
+                from,
+                pkt,
+            },
+        );
         self.push(done_at, Event::TxDone { link: lid, epoch });
     }
 
@@ -569,6 +584,7 @@ impl Simulator {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn mk_packet(
         &mut self,
         kind: PacketKind,
@@ -734,7 +750,7 @@ impl Simulator {
         }
         // Timeout: multiplicative back-off, go-back-N from the hole.
         f.ssthresh = (f.cwnd / 2.0).max(2.0);
-        f.cwnd = self.cfg.init_cwnd.min(2.0).max(1.0);
+        f.cwnd = self.cfg.init_cwnd.clamp(1.0, 2.0);
         f.in_recovery = false;
         f.dup_acks = 0;
         f.next_seq = f.cum_acked;

@@ -12,6 +12,11 @@
 //!   software analogue of one switch's P4 program. The Contra dataplane
 //!   (`contra-dataplane`) and all baselines (`contra-baselines`) implement
 //!   this trait.
+//! * **Routing systems** as [`RoutingSystem`] values — whole schemes
+//!   (Contra-with-a-policy, Hula, ECMP, …) that install themselves on a
+//!   simulator through an [`InstallCtx`], sharing policy compilation via
+//!   [`CompileCache`]. This is the seam the experiment layer
+//!   (`contra-experiments`) sweeps over.
 //! * **Failures**: cable down/up events, with queued packets lost.
 //! * **Measurement**: flow completion times, per-kind wire bytes (traffic
 //!   overhead), drops by cause, queue-occupancy sampling, UDP goodput
@@ -26,6 +31,7 @@ pub mod link;
 pub mod packet;
 pub mod stats;
 pub mod switch;
+pub mod system;
 pub mod time;
 
 pub use engine::{FlowSpec, SimConfig, Simulator};
@@ -35,6 +41,7 @@ pub use packet::{
 };
 pub use stats::{FlowRecord, QueueSample, SimStats, TrafficKind};
 pub use switch::{SwitchCtx, SwitchLogic};
+pub use system::{CompileCache, InstallCtx, InstallError, RoutingSystem};
 pub use time::{tx_time, Time};
 
 #[cfg(test)]
@@ -177,13 +184,11 @@ mod tests {
         });
         let stats = sim.run();
         assert_eq!(stats.completion_rate(), 1.0);
-        let slowest = stats
-            .flows
-            .iter()
-            .map(|f| f.fct().unwrap())
-            .max()
-            .unwrap();
-        assert!(slowest >= Time::us(3_000), "sharing must slow flows: {slowest}");
+        let slowest = stats.flows.iter().map(|f| f.fct().unwrap()).max().unwrap();
+        assert!(
+            slowest >= Time::us(3_000),
+            "sharing must slow flows: {slowest}"
+        );
     }
 
     #[test]
@@ -210,8 +215,15 @@ mod tests {
         sim.fail_link_at(s0, s1, Time::us(300));
         sim.recover_link_at(s0, s1, Time::ms(2));
         let stats = sim.run();
-        assert_eq!(stats.completion_rate(), 1.0, "flow must finish after recovery");
-        assert!(stats.flows[0].retransmits > 0, "failure must cost retransmissions");
+        assert_eq!(
+            stats.completion_rate(),
+            1.0,
+            "flow must finish after recovery"
+        );
+        assert!(
+            stats.flows[0].retransmits > 0,
+            "failure must cost retransmissions"
+        );
         assert!(*stats.drops.get(&DropReason::LinkDown).unwrap_or(&0) > 0);
     }
 

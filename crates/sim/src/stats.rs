@@ -157,9 +157,7 @@ impl SimStats {
         let w = self.udp_bucket.as_secs_f64();
         self.udp_delivered
             .iter()
-            .map(|(&b, &bytes)| {
-                (Time(b * self.udp_bucket.0), bytes as f64 * 8.0 / w / 1e9)
-            })
+            .map(|(&b, &bytes)| (Time(b * self.udp_bucket.0), bytes as f64 * 8.0 / w / 1e9))
             .collect()
     }
 

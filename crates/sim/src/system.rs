@@ -1,0 +1,229 @@
+//! The pluggable routing-system abstraction.
+//!
+//! A [`RoutingSystem`] is anything that can populate a [`Simulator`] with
+//! switch logic: the synthesized Contra dataplane, Hula, ECMP, SPAIN,
+//! static shortest paths, or any custom scheme. The trait is the seam the
+//! experiment layer (`contra-experiments`) sweeps over — evaluating a new
+//! system against the paper's scenarios means implementing two methods,
+//! not writing a new binary.
+//!
+//! Installation happens through an [`InstallCtx`], which carries the
+//! topology, any pre-failed cables (systems that model slow control
+//! planes may deliberately ignore them), and a shared [`CompileCache`] so
+//! that matrix sweeps compile each distinct policy text exactly once
+//! instead of once per run.
+
+use crate::engine::Simulator;
+use contra_core::{CompileError, CompiledPolicy, Compiler};
+use contra_topology::{NodeId, Topology};
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// A routing scheme that can be installed on every switch of a simulator.
+pub trait RoutingSystem {
+    /// Stable display name used for CSV series and test labels.
+    ///
+    /// This is an explicit property of the system, never derived from
+    /// policy source text — reformatting a policy must not relabel a
+    /// series (the bug the old `SystemKind::label()` string-matching
+    /// had).
+    fn name(&self) -> String;
+
+    /// Installs this system's switch logic on every switch of `sim`.
+    fn install(&self, sim: &mut Simulator, ctx: &InstallCtx<'_>) -> Result<(), InstallError>;
+}
+
+/// Everything a [`RoutingSystem`] may consult while installing itself.
+pub struct InstallCtx<'a> {
+    /// The topology the simulator runs on.
+    pub topology: &'a Topology,
+    /// Cables already failed (or scheduled to fail) in this run. Systems
+    /// with reconverging control planes may route around them; systems
+    /// modeling the paper's slow-control-plane baselines ignore them.
+    pub failed: &'a [(NodeId, NodeId)],
+    /// Shared policy-compilation cache for the surrounding sweep.
+    pub cache: &'a CompileCache,
+}
+
+impl<'a> InstallCtx<'a> {
+    /// Bundles an installation context.
+    pub fn new(
+        topology: &'a Topology,
+        failed: &'a [(NodeId, NodeId)],
+        cache: &'a CompileCache,
+    ) -> InstallCtx<'a> {
+        InstallCtx {
+            topology,
+            failed,
+            cache,
+        }
+    }
+}
+
+/// Why a [`RoutingSystem::install`] call failed.
+#[derive(Debug)]
+pub enum InstallError {
+    /// A policy failed to compile for this topology.
+    Compile {
+        /// The offending policy source text.
+        policy: String,
+        /// The compiler's diagnosis.
+        error: CompileError,
+    },
+    /// The system cannot run on this topology or configuration.
+    Unsupported {
+        /// The system's display name.
+        system: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstallError::Compile { policy, error } => {
+                write!(f, "compiling {policy:?}: {error}")
+            }
+            InstallError::Unsupported { system, reason } => {
+                write!(f, "{system} unsupported here: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstallError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InstallError::Compile { error, .. } => Some(error),
+            InstallError::Unsupported { .. } => None,
+        }
+    }
+}
+
+/// Memoizes policy compilation across the runs of a sweep.
+///
+/// Keyed by (topology fingerprint, policy text): a matrix sweep holding
+/// one cache compiles `minimize(path.util)` once for all loads and seeds,
+/// and reusing the cache across topologies is safe — different fabrics
+/// simply occupy different slots.
+#[derive(Default)]
+pub struct CompileCache {
+    entries: RefCell<HashMap<(u64, String), Rc<CompiledPolicy>>>,
+    compiles: Cell<usize>,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> CompileCache {
+        CompileCache::default()
+    }
+
+    /// Returns the compiled form of `policy` on `topo`, compiling at most
+    /// once per distinct (topology, policy text) pair.
+    pub fn get_or_compile(
+        &self,
+        topo: &Topology,
+        policy: &str,
+    ) -> Result<Rc<CompiledPolicy>, CompileError> {
+        let key = (topology_fingerprint(topo), policy.to_string());
+        if let Some(cp) = self.entries.borrow().get(&key) {
+            return Ok(cp.clone());
+        }
+        let cp = Rc::new(Compiler::new(topo).compile_str(policy)?);
+        self.compiles.set(self.compiles.get() + 1);
+        self.entries.borrow_mut().insert(key, cp.clone());
+        Ok(cp)
+    }
+
+    /// How many actual compiler invocations this cache has performed —
+    /// the quantity sweep tests assert on.
+    pub fn compiles(&self) -> usize {
+        self.compiles.get()
+    }
+
+    /// Number of distinct cached (topology, policy) pairs.
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.borrow().is_empty()
+    }
+}
+
+/// Structural hash of a topology: node names/kinds and directed links
+/// with their capacities. Two topologies with equal fingerprints compile
+/// policies identically for our purposes.
+fn topology_fingerprint(topo: &Topology) -> u64 {
+    let mut h = DefaultHasher::new();
+    for n in topo.nodes() {
+        n.name.hash(&mut h);
+        std::mem::discriminant(&n.kind).hash(&mut h);
+    }
+    for l in topo.links() {
+        (l.src.0, l.dst.0).hash(&mut h);
+        l.bandwidth_bps.to_bits().hash(&mut h);
+        l.delay_ns.hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond(bw: f64) -> Topology {
+        let mut t = Topology::builder();
+        let a = t.switch("A");
+        let b = t.switch("B");
+        let c = t.switch("C");
+        let d = t.switch("D");
+        t.biline(a, b, bw, 1_000);
+        t.biline(a, c, bw, 1_000);
+        t.biline(b, d, bw, 1_000);
+        t.biline(c, d, bw, 1_000);
+        t.build()
+    }
+
+    #[test]
+    fn cache_compiles_each_policy_once() {
+        let topo = diamond(10e9);
+        let cache = CompileCache::new();
+        let a = cache.get_or_compile(&topo, "minimize(path.util)").unwrap();
+        let b = cache.get_or_compile(&topo, "minimize(path.util)").unwrap();
+        assert!(Rc::ptr_eq(&a, &b), "second lookup must be a cache hit");
+        assert_eq!(cache.compiles(), 1);
+        cache.get_or_compile(&topo, "minimize(path.len)").unwrap();
+        assert_eq!(cache.compiles(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_distinguishes_topologies() {
+        let cache = CompileCache::new();
+        cache
+            .get_or_compile(&diamond(10e9), "minimize(path.util)")
+            .unwrap();
+        cache
+            .get_or_compile(&diamond(40e9), "minimize(path.util)")
+            .unwrap();
+        assert_eq!(
+            cache.compiles(),
+            2,
+            "different link speeds are different topologies"
+        );
+    }
+
+    #[test]
+    fn cache_surfaces_compile_errors() {
+        let cache = CompileCache::new();
+        let err = cache.get_or_compile(&diamond(10e9), "minimize(inf)");
+        assert!(err.is_err());
+        assert_eq!(cache.compiles(), 0, "failed compilations are not counted");
+    }
+}

@@ -45,8 +45,12 @@ pub fn leaf_spine(
     edge: LinkSpec,
 ) -> Topology {
     let mut tb = Topology::builder();
-    let leaf_ids: Vec<NodeId> = (0..leaves).map(|i| tb.switch(&format!("leaf{i}"))).collect();
-    let spine_ids: Vec<NodeId> = (0..spines).map(|i| tb.switch(&format!("spine{i}"))).collect();
+    let leaf_ids: Vec<NodeId> = (0..leaves)
+        .map(|i| tb.switch(&format!("leaf{i}")))
+        .collect();
+    let spine_ids: Vec<NodeId> = (0..spines)
+        .map(|i| tb.switch(&format!("spine{i}")))
+        .collect();
     for &l in &leaf_ids {
         for &s in &spine_ids {
             tb.biline(l, s, fabric.bandwidth_bps, fabric.delay_ns);
@@ -66,7 +70,10 @@ pub fn leaf_spine(
 /// hosts hang off each edge switch (pass 0 for pure-fabric scalability
 /// sweeps).
 pub fn fat_tree(k: usize, hosts_per_edge: usize, spec: LinkSpec) -> Topology {
-    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even, got {k}");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity must be even, got {k}"
+    );
     let half = k / 2;
     let mut tb = Topology::builder();
 
@@ -165,7 +172,7 @@ pub fn abilene(bandwidth_bps: f64) -> Topology {
         "NewYork",
     ];
     let ids: Vec<NodeId> = names.iter().map(|n| tb.switch(n)).collect();
-    let idx = |name: &str| ids[names.iter().position(|&n| n == name).unwrap() as usize];
+    let idx = |name: &str| ids[names.iter().position(|&n| n == name).unwrap()];
     // (a, b, one-way delay in microseconds).
     let links = [
         ("Seattle", "Sunnyvale", 4_100u64),
@@ -201,7 +208,12 @@ pub fn with_hosts(topo: &Topology, per_switch: usize, edge: LinkSpec) -> Topolog
         });
     }
     for l in topo.links() {
-        tb.line(map[l.src.0 as usize], map[l.dst.0 as usize], l.bandwidth_bps, l.delay_ns);
+        tb.line(
+            map[l.src.0 as usize],
+            map[l.dst.0 as usize],
+            l.bandwidth_bps,
+            l.delay_ns,
+        );
     }
     for sw in topo.switches() {
         for h in 0..per_switch {

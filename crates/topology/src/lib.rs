@@ -128,7 +128,10 @@ impl Topology {
 
     /// Number of switches.
     pub fn num_switches(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Switch).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Switch)
+            .count()
     }
 
     /// All host IDs in ascending order.
@@ -154,7 +157,10 @@ impl Topology {
 
     /// Switch out-neighbors only.
     pub fn switch_neighbors(&self, n: NodeId) -> Vec<NodeId> {
-        self.neighbors(n).into_iter().filter(|&m| self.is_switch(m)).collect()
+        self.neighbors(n)
+            .into_iter()
+            .filter(|&m| self.is_switch(m))
+            .collect()
     }
 
     /// The directed link from `a` to `b`, if any.
@@ -289,7 +295,12 @@ impl TopologyBuilder {
             let id = LinkId(i as u32);
             out[l.src.0 as usize].push(id);
             let prev = by_pair.insert((l.src, l.dst), id);
-            assert!(prev.is_none(), "parallel links between {} and {} are not supported", l.src, l.dst);
+            assert!(
+                prev.is_none(),
+                "parallel links between {} and {} are not supported",
+                l.src,
+                l.dst
+            );
         }
         Topology {
             nodes: self.nodes,

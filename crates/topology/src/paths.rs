@@ -54,7 +54,7 @@ pub fn dijkstra_delay(topo: &Topology, src: NodeId) -> Vec<Option<u64>> {
         for &lid in topo.out_links(n) {
             let l = topo.link(lid);
             let nd = d + l.delay_ns;
-            if dist[l.dst.0 as usize].map_or(true, |old| nd < old) {
+            if dist[l.dst.0 as usize].is_none_or(|old| nd < old) {
                 dist[l.dst.0 as usize] = Some(nd);
                 heap.push(Reverse((nd, l.dst)));
             }
@@ -123,7 +123,9 @@ pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> 
                 }
             }
             let banned_nodes: Vec<NodeId> = root[..i].to_vec();
-            if let Some(spur) = constrained_shortest(topo, spur_node, dst, &banned_nodes, &banned_links) {
+            if let Some(spur) =
+                constrained_shortest(topo, spur_node, dst, &banned_nodes, &banned_links)
+            {
                 let mut cand = root;
                 cand.extend_from_slice(&spur[1..]);
                 if !found.contains(&cand) && !candidates.contains(&cand) {
@@ -173,10 +175,7 @@ fn constrained_shortest(
         let mut nbrs = topo.neighbors(n);
         nbrs.sort_unstable();
         for m in nbrs {
-            if seen[m.0 as usize]
-                || banned_nodes.contains(&m)
-                || banned_links.contains(&(n, m))
-            {
+            if seen[m.0 as usize] || banned_nodes.contains(&m) || banned_links.contains(&(n, m)) {
                 continue;
             }
             seen[m.0 as usize] = true;

@@ -81,14 +81,20 @@ pub fn parse_graphml(text: &str, bandwidth_bps: f64, delay_ns: u64) -> Result<To
         if s == t {
             continue;
         }
-        let key = if s < t { (s.clone(), t.clone()) } else { (t.clone(), s.clone()) };
+        let key = if s < t {
+            (s.clone(), t.clone())
+        } else {
+            (t.clone(), s.clone())
+        };
         if seen.contains(&key) {
             continue;
         }
         seen.push(key);
         let (a, b) = (
-            *ids.get(&s).ok_or_else(|| ZooError(format!("edge references unknown node {s}")))?,
-            *ids.get(&t).ok_or_else(|| ZooError(format!("edge references unknown node {t}")))?,
+            *ids.get(&s)
+                .ok_or_else(|| ZooError(format!("edge references unknown node {s}")))?,
+            *ids.get(&t)
+                .ok_or_else(|| ZooError(format!("edge references unknown node {t}")))?,
         );
         tb.biline(a, b, bandwidth_bps, delay_ns);
     }

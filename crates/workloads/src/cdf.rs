@@ -150,7 +150,10 @@ mod tests {
             let sample_mean = sum / n as f64;
             let analytic = cdf.mean();
             let err = (sample_mean - analytic).abs() / analytic;
-            assert!(err < 0.05, "{name}: sample {sample_mean} vs analytic {analytic}");
+            assert!(
+                err < 0.05,
+                "{name}: sample {sample_mean} vs analytic {analytic}"
+            );
         }
     }
 

@@ -46,7 +46,11 @@ pub fn poisson_flows(
     pairs: &PairPolicy,
     spec: &WorkloadSpec,
 ) -> Vec<FlowSpec> {
-    assert!(spec.load > 0.0 && spec.load <= 1.5, "load {} out of range", spec.load);
+    assert!(
+        spec.load > 0.0 && spec.load <= 1.5,
+        "load {} out of range",
+        spec.load
+    );
     assert!(spec.until > spec.start);
     let mut rng = StdRng::seed_from_u64(spec.seed);
 
@@ -186,7 +190,12 @@ mod tests {
         assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same flows");
         assert!(!a.is_empty());
         for f in &a {
-            let FlowSpec::Tcp { src, dst, start, .. } = f else { panic!() };
+            let FlowSpec::Tcp {
+                src, dst, start, ..
+            } = f
+            else {
+                panic!()
+            };
             assert_ne!(topo.host_switch(*src), topo.host_switch(*dst));
             assert!(*start >= spec.start);
         }
@@ -215,7 +224,9 @@ mod tests {
             &spec,
         );
         for f in &flows {
-            let FlowSpec::Tcp { src, dst, .. } = f else { panic!() };
+            let FlowSpec::Tcp { src, dst, .. } = f else {
+                panic!()
+            };
             assert!(pairs.contains(&(*src, *dst)));
         }
     }

@@ -1,74 +1,32 @@
-//! Datacenter load balancing: run the paper's §6.3 scenario end to end —
-//! Contra (least-utilized shortest paths) vs ECMP on a leaf-spine fabric
-//! with a production-like workload — and print the FCT comparison.
+//! Datacenter load balancing: the paper's §6.3 comparison — Contra
+//! (least-utilized shortest paths) vs ECMP vs Hula on a leaf-spine fabric
+//! with a production-like workload — as one matrix sweep.
 //!
 //! ```sh
 //! cargo run --release --example datacenter_loadbalance
 //! ```
 
-use contra::core::Compiler;
-use contra::dataplane::{install_contra, DataplaneConfig};
-use contra::baselines::install_ecmp;
-use contra::sim::{SimConfig, Simulator, Time};
-use contra::topology::generators;
-use contra::workloads::{poisson_flows, uplink_capacity_bps, web_search, PairPolicy, WorkloadSpec};
-use std::rc::Rc;
-
-fn run(use_contra: bool, load: f64) -> (f64, f64) {
-    let topo = generators::leaf_spine(
-        4,
-        2,
-        8,
-        generators::LinkSpec::default(),
-        generators::LinkSpec::default(),
-    );
-    let mut sim = Simulator::new(
-        topo.clone(),
-        SimConfig {
-            stop_at: Time::ms(60),
-            ..SimConfig::default()
-        },
-    );
-    if use_contra {
-        let cp = Rc::new(
-            Compiler::new(&topo)
-                .compile_str("minimize((path.len, path.util))")
-                .expect("compiles"),
-        );
-        install_contra(&mut sim, cp, &DataplaneConfig::default());
-    } else {
-        install_ecmp(&mut sim);
-    }
-    let flows = poisson_flows(
-        &topo,
-        &web_search(),
-        &PairPolicy::HalfSendersHalfReceivers,
-        &WorkloadSpec {
-            load,
-            capacity_bps: uplink_capacity_bps(&topo),
-            start: Time::ms(2),
-            until: Time::ms(25),
-            seed: 7,
-        },
-    );
-    for f in flows {
-        sim.add_flow(f);
-    }
-    let stats = sim.run();
-    (
-        stats.mean_fct_ms().unwrap_or(f64::NAN),
-        stats.completion_rate(),
-    )
-}
+use contra::experiments::{Contra, Ecmp, Hula, RoutingSystem, Scenario};
+use contra::sim::Time;
 
 fn main() {
-    println!("load  ECMP_fct_ms  Contra_fct_ms  (web-search workload, 32 hosts, 4:1 oversub)");
-    for load in [0.3, 0.6, 0.8] {
-        let (ecmp, ec) = run(false, load);
-        let (contra, cc) = run(true, load);
+    let scenario = Scenario::leaf_spine(4, 2, 8)
+        .duration(Time::ms(25))
+        .warmup(Time::ms(2))
+        .drain(Time::ms(35))
+        .seed(7);
+    let (contra, hula) = (Contra::dc(), Hula::default());
+    let systems: [&dyn RoutingSystem; 3] = [&Ecmp, &contra, &hula];
+
+    println!("load  system  fct_ms  completion   (web-search workload, 32 hosts, 4:1 oversub)");
+    for r in scenario.matrix(&systems, &[0.3, 0.6, 0.8]) {
         println!(
-            "{:>4.0}%  {ecmp:>10.3}  {contra:>12.3}   (completion {ec:.3}/{cc:.3})",
-            load * 100.0
+            "{:>4.0}%  {:<6}  {:>6.3}  {:>10.3}",
+            r.scenario.load * 100.0,
+            r.system,
+            r.figures.mean_fct_ms.unwrap_or(f64::NAN),
+            r.figures.completion_rate
         );
     }
+    println!("expected: Contra ~ Hula, both well under ECMP at high load");
 }

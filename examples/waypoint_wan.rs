@@ -1,52 +1,62 @@
 //! WAN waypointing: compile a service-chaining policy for the Abilene
-//! backbone and watch the protocol steer traffic through the waypoint —
-//! something neither Hula nor ECMP can express at all.
+//! backbone and watch *live traffic* steered through the waypoint —
+//! something neither Hula nor ECMP can express at all. Every delivered
+//! packet's trace is checked against the policy.
 //!
 //! ```sh
-//! cargo run --example waypoint_wan
+//! cargo run --release --example waypoint_wan
 //! ```
 
-use contra::core::Compiler;
-use contra::dataplane::{DataplaneConfig, ProtocolHarness};
-use contra::topology::generators;
-use std::rc::Rc;
+use contra::experiments::{Contra, Scenario, Workload};
+use contra::sim::Time;
 
 fn main() {
-    let topo = generators::abilene(40e9);
-    let ny = topo.find("NewYork").unwrap();
-    let la = topo.find("LosAngeles").unwrap();
-    let kc = topo.find("KansasCity").unwrap();
-
     // All traffic must traverse the scrubbing site in Kansas City; among
     // compliant paths, take the least utilized.
-    let cp = Rc::new(
-        Compiler::new(&topo)
-            .compile_str("minimize(if .* KansasCity .* then path.util else inf)")
-            .expect("compiles"),
-    );
+    let policy = "minimize(if .* KansasCity .* then path.util else inf)";
+    let scenario = Scenario::abilene()
+        .workload(Workload::Cache)
+        .load(0.3)
+        .duration(Time::ms(250))
+        .warmup(Time::ms(120))
+        .drain(Time::ms(250))
+        .trace_paths(true);
+    let r = scenario.run(&Contra::new(policy).labeled("Contra-WP"));
+
+    let kc = scenario.topology().find("KansasCity").unwrap();
+    let traces = r.traces.as_ref().expect("tracing was enabled");
+    let compliant = traces.iter().filter(|(_, tr)| tr.contains(&kc)).count();
     println!(
-        "compiled: {} virtual nodes across 11 PoPs; probe period floor {:.2} ms",
-        cp.total_tags(),
-        cp.min_probe_period_ns as f64 / 1e6
+        "{}: {} delivered packets, {}/{} traces cross KansasCity, completion {:.3}",
+        r.system,
+        r.figures.delivered_packets,
+        compliant,
+        traces.len(),
+        r.figures.completion_rate
     );
+    assert_eq!(
+        compliant,
+        traces.len(),
+        "every packet must cross the waypoint"
+    );
+    assert!(r.figures.completion_rate > 0.9, "traffic must still flow");
 
-    let mut h = ProtocolHarness::new(&topo, cp, DataplaneConfig::default());
-    // Congest the direct southern route.
-    h.set_util_bidir(topo.find("Houston").unwrap(), topo.find("Atlanta").unwrap(), 0.7);
-    h.run_rounds(3);
-
-    let path = h.traffic_path(ny, la).expect("compliant path exists");
-    let names: Vec<&str> = path.iter().map(|&n| topo.node(n).name.as_str()).collect();
-    println!("NewYork → LosAngeles: {}", names.join(" → "));
-    assert!(path.contains(&kc), "path must pass the waypoint");
-
-    // Fail the Indianapolis–KansasCity link on the chosen path: traffic
-    // must find another way that *still* crosses Kansas City.
-    h.fail_link(kc, topo.find("Indianapolis").unwrap());
-    h.run_rounds(12);
-    let path2 = h.traffic_path(ny, la).expect("still reachable through KC");
-    let names2: Vec<&str> = path2.iter().map(|&n| topo.node(n).name.as_str()).collect();
-    println!("after Indianapolis–KC failure: {}", names2.join(" → "));
-    assert!(path2.contains(&kc), "waypoint still enforced after failure");
-    assert_ne!(path, path2, "the failed link forced a reroute");
+    // A failure on a waypoint-adjacent link must not break compliance:
+    // rerouted packets still cross Kansas City.
+    let failed = scenario
+        .clone()
+        .fail_link("Indianapolis", "KansasCity", Time::ms(180))
+        .run(&Contra::new(policy).labeled("Contra-WP"));
+    let traces = failed.traces.as_ref().unwrap();
+    let compliant = traces.iter().filter(|(_, tr)| tr.contains(&kc)).count();
+    println!(
+        "after Indianapolis–KC failure at 180 ms: {}/{} traces still cross KansasCity",
+        compliant,
+        traces.len()
+    );
+    assert_eq!(
+        compliant,
+        traces.len(),
+        "waypoint enforced across the failure"
+    );
 }

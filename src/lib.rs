@@ -8,13 +8,42 @@
 //!   primary contribution),
 //! * [`automata`] — regular expressions over switch IDs and their automata,
 //! * [`topology`] — network topologies, generators and path algorithms,
-//! * [`sim`] — the packet-level discrete-event network simulator,
-//! * [`dataplane`] — the synthesized Contra dataplane programs at runtime,
-//! * [`baselines`] — ECMP, shortest-path, Hula and SPAIN comparators,
+//! * [`sim`] — the packet-level discrete-event network simulator and the
+//!   pluggable [`sim::RoutingSystem`] abstraction,
+//! * [`dataplane`] — the synthesized Contra dataplane programs at runtime
+//!   ([`dataplane::Contra`] is Contra-as-a-`RoutingSystem`),
+//! * [`baselines`] — ECMP, shortest-path, Hula and SPAIN comparators, each
+//!   a `RoutingSystem` value,
+//! * [`experiments`] — the experiment API: [`experiments::Scenario`]
+//!   builders, [`experiments::RunResult`] figures of merit and matrix
+//!   sweeps with shared policy compilation,
 //! * [`workloads`] — flow-size distributions and arrival processes,
 //! * [`p4gen`] — the P4₁₆ backend.
 //!
-//! ## Quickstart
+//! ## Quickstart: run an experiment
+//!
+//! A scenario describes the topology, workload and measurement; a
+//! [`sim::RoutingSystem`] describes who routes. Sweeping systems × loads
+//! is one call:
+//!
+//! ```
+//! use contra::experiments::{Contra, Ecmp, Hula, RoutingSystem, Scenario, Workload};
+//! use contra::sim::Time;
+//!
+//! let scenario = Scenario::leaf_spine(2, 2, 2)   // leaves, spines, hosts/leaf
+//!     .workload(Workload::Cache)
+//!     .duration(Time::ms(8))
+//!     .warmup(Time::ms(1))
+//!     .drain(Time::ms(10));
+//! let systems: [&dyn RoutingSystem; 3] = [&Contra::dc(), &Ecmp, &Hula::default()];
+//! for r in scenario.matrix(&systems, &[0.3]) {
+//!     println!("{} @ {:.0}%: {:?} ms (completion {:.2})",
+//!              r.system, r.scenario.load * 100.0,
+//!              r.figures.mean_fct_ms, r.figures.completion_rate);
+//! }
+//! ```
+//!
+//! ## Quickstart: compile a policy
 //!
 //! ```
 //! use contra::core::{parse_policy, Compiler};
@@ -38,6 +67,7 @@ pub use contra_automata as automata;
 pub use contra_baselines as baselines;
 pub use contra_core as core;
 pub use contra_dataplane as dataplane;
+pub use contra_experiments as experiments;
 pub use contra_p4gen as p4gen;
 pub use contra_sim as sim;
 pub use contra_topology as topology;

@@ -1,76 +1,51 @@
 //! Integration: the paper's headline comparisons, at smoke-test scale —
-//! the *shapes* of Figs 11, 12 and 15 must hold in miniature.
+//! the *shapes* of Figs 11, 12 and 15 must hold in miniature, expressed
+//! through the `Scenario`/`RoutingSystem` experiment API.
 
-use contra::baselines::{install_ecmp, install_sp};
-use contra::core::Compiler;
-use contra::dataplane::{install_contra, DataplaneConfig};
-use contra::sim::{SimConfig, SimStats, Simulator, Time};
-use contra::topology::generators;
-use contra::workloads::{poisson_flows, uplink_capacity_bps, web_search, PairPolicy, WorkloadSpec};
-use std::rc::Rc;
+use contra::dataplane::{Contra, DataplaneConfig};
+use contra::experiments::{Ecmp, Pairs, Scenario, Sp, Workload};
+use contra::sim::Time;
 
-fn dc_run(contra: bool, load: f64, fail: bool) -> SimStats {
-    let topo = generators::leaf_spine(
-        4,
-        2,
-        8,
-        generators::LinkSpec::default(),
-        generators::LinkSpec::default(),
-    );
-    let mut sim = Simulator::new(
-        topo.clone(),
-        SimConfig {
-            stop_at: Time::ms(45),
-            ..SimConfig::default()
-        },
-    );
-    let failed_cable = (topo.find("leaf0").unwrap(), topo.find("spine0").unwrap());
-    if contra {
-        let cp = Rc::new(
-            Compiler::new(&topo)
-                .compile_str("minimize((path.len, path.util))")
-                .unwrap(),
-        );
-        install_contra(&mut sim, cp, &DataplaneConfig::default());
-    } else {
+/// The §6.3 fabric at short duration: arrivals 2–18 ms, drained by 45 ms.
+fn dc_scenario(load: f64, fail: bool) -> Scenario {
+    let s = Scenario::leaf_spine(4, 2, 8)
+        .load(load)
+        .workload(Workload::WebSearch)
+        .duration(Time::ms(18))
+        .warmup(Time::ms(2))
+        .drain(Time::ms(27))
+        .seed(11);
+    if fail {
         // Plain ECMP: on the experiment's timescale its control plane has
         // not reconverged around the failure (the paper's setting — it
-        // observes "heavy traffic loss" from ECMP on the asymmetric fabric).
-        install_ecmp(&mut sim);
+        // observes "heavy traffic loss" from ECMP on the asymmetric
+        // fabric).
+        s.fail_link("leaf0", "spine0", Time::us(100))
+    } else {
+        s
     }
-    if fail {
-        sim.fail_link_at(failed_cable.0, failed_cable.1, Time::us(100));
-    }
-    let flows = poisson_flows(
-        &topo,
-        &web_search(),
-        &PairPolicy::HalfSendersHalfReceivers,
-        &WorkloadSpec {
-            load,
-            capacity_bps: uplink_capacity_bps(&topo),
-            start: Time::ms(2),
-            until: Time::ms(18),
-            seed: 11,
-        },
-    );
-    for f in flows {
-        sim.add_flow(f);
-    }
-    sim.run()
+}
+
+fn dc_contra() -> Contra {
+    Contra::dc().with_config(DataplaneConfig::default())
 }
 
 /// Fig 11 in miniature: at moderate-high load Contra's FCT beats ECMP's on
 /// the symmetric fabric.
 #[test]
 fn contra_beats_ecmp_on_symmetric_fabric() {
-    let ecmp = dc_run(false, 0.7, false);
-    let contra = dc_run(true, 0.7, false);
-    let (fe, fc) = (ecmp.mean_fct_ms().unwrap(), contra.mean_fct_ms().unwrap());
+    let scenario = dc_scenario(0.7, false);
+    let ecmp = scenario.run(&Ecmp);
+    let contra = scenario.run(&dc_contra());
+    let (fe, fc) = (
+        ecmp.stats.mean_fct_ms().unwrap(),
+        contra.stats.mean_fct_ms().unwrap(),
+    );
     assert!(
         fc < fe,
         "Contra ({fc:.3} ms) must beat ECMP ({fe:.3} ms) at 70% load"
     );
-    assert!(contra.completion_rate() > 0.99);
+    assert!(contra.figures.completion_rate > 0.99);
 }
 
 /// Fig 12 in miniature: with a failed uplink, ECMP suffers heavy traffic
@@ -78,18 +53,20 @@ fn contra_beats_ecmp_on_symmetric_fabric() {
 /// around it and completes essentially everything.
 #[test]
 fn asymmetric_fabric_hurts_ecmp_more_than_contra() {
-    let ecmp = dc_run(false, 0.7, true);
-    let contra = dc_run(true, 0.7, true);
+    let scenario = dc_scenario(0.7, true);
+    let ecmp = scenario.run(&Ecmp);
+    let contra = scenario.run(&dc_contra());
     assert!(
-        ecmp.completion_rate() < 0.97,
+        ecmp.figures.completion_rate < 0.97,
         "unrepaired ECMP must lose flows through the dead uplink, got {:.3}",
-        ecmp.completion_rate()
+        ecmp.figures.completion_rate
     );
     assert!(
-        contra.completion_rate() > 0.98 && contra.completion_rate() > ecmp.completion_rate() + 0.02,
+        contra.figures.completion_rate > 0.98
+            && contra.figures.completion_rate > ecmp.figures.completion_rate + 0.02,
         "Contra must route around the failure, got {:.3} vs ECMP {:.3}",
-        contra.completion_rate(),
-        ecmp.completion_rate()
+        contra.figures.completion_rate,
+        ecmp.figures.completion_rate
     );
     // Note: comparing mean FCT *among completed flows* here would be
     // survivorship-biased — ECMP's blackholed flows never finish, so its
@@ -100,64 +77,25 @@ fn asymmetric_fabric_hurts_ecmp_more_than_contra() {
 /// multipath beats static shortest paths.
 #[test]
 fn contra_beats_sp_on_abilene() {
-    let topo = generators::with_hosts(
-        &generators::abilene(40e9),
-        1,
-        generators::LinkSpec {
-            bandwidth_bps: 40e9,
-            delay_ns: 1_000,
-        },
-    );
-    let hosts = topo.hosts();
-    let pairs = vec![
+    let base = Scenario::abilene().load(0.8).seed(3).min_rto(Time::ms(10));
+    let hosts = base.topology().hosts();
+    let scenario = base.clone().pairs(Pairs::Fixed(vec![
         (hosts[0], hosts[10]),
         (hosts[2], hosts[8]),
         (hosts[1], hosts[5]),
         (hosts[4], hosts[9]),
-    ];
-    let run = |contra: bool| {
-        let mut sim = Simulator::new(
-            topo.clone(),
-            SimConfig {
-                stop_at: Time::ms(700),
-                util_tau: Time::ms(20),
-                min_rto: Time::ms(10),
-                ..SimConfig::default()
-            },
-        );
-        if contra {
-            let cp = Rc::new(
-                Compiler::new(&topo)
-                    .compile_str("minimize(path.util)")
-                    .unwrap(),
-            );
-            let cfg = DataplaneConfig::for_policy(&cp);
-            install_contra(&mut sim, cp, &cfg);
-        } else {
-            install_sp(&mut sim);
-        }
-        let flows = poisson_flows(
-            &topo,
-            &web_search(),
-            &PairPolicy::FixedPairs(pairs.clone()),
-            &WorkloadSpec {
-                load: 0.8,
-                capacity_bps: 40e9,
-                start: Time::ms(120),
-                until: Time::ms(400),
-                seed: 3,
-            },
-        );
-        for f in flows {
-            sim.add_flow(f);
-        }
-        sim.run()
-    };
-    let sp = run(false);
-    let contra = run(true);
-    let (fs, fc) = (sp.mean_fct_ms().unwrap(), contra.mean_fct_ms().unwrap());
+    ]));
+    let sp = scenario.run(&Sp);
+    let contra = scenario.run(&Contra::mu());
+    let (fs, fc) = (
+        sp.stats.mean_fct_ms().unwrap(),
+        contra.stats.mean_fct_ms().unwrap(),
+    );
     assert!(
         fc < fs,
         "Contra ({fc:.3} ms) must beat SP ({fs:.3} ms) on Abilene at 80% load"
     );
 }
+
+// Scenario-metadata round-tripping is covered by the experiments crate's
+// own suite (crates/experiments/tests/api.rs).

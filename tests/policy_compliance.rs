@@ -1,53 +1,47 @@
 //! Integration: policy compliance of *actual forwarded traffic* in the
 //! packet-level simulator — the paper's "packets only use allowed paths"
-//! guarantee (Fig 1), checked against delivered packet traces.
+//! guarantee (Fig 1), checked against delivered packet traces from
+//! `Scenario` runs.
 
-use contra::core::Compiler;
-use contra::dataplane::{install_contra, DataplaneConfig};
-use contra::sim::{FlowSpec, SimConfig, Simulator, Time};
-use contra::topology::{generators, Topology};
-use std::rc::Rc;
+use contra::dataplane::{Contra, DataplaneConfig};
+use contra::experiments::{InstallError, Scenario, Traffic};
+use contra::sim::{CompileCache, FlowSpec, Time};
 
 /// Two leaves, two spines, hosts — with a policy that forbids one spine.
 #[test]
 fn waypoint_traffic_always_crosses_the_waypoint() {
-    let topo = generators::leaf_spine(
-        2,
-        2,
-        2,
-        generators::LinkSpec::default(),
-        generators::LinkSpec::default(),
-    );
     // All traffic must go through spine0 — spine1 is, say, out of
     // compliance for this tenant.
-    let cp = Rc::new(
-        Compiler::new(&topo)
-            .compile_str("minimize(if .* spine0 .* then path.util else inf)")
-            .unwrap(),
-    );
-    let mut sim = Simulator::new(
-        topo.clone(),
-        SimConfig {
-            stop_at: Time::ms(30),
-            trace_paths: true,
-            ..SimConfig::default()
-        },
-    );
-    install_contra(&mut sim, cp.clone(), &DataplaneConfig::default());
-    let hosts = topo.hosts();
+    let policy = "minimize(if .* spine0 .* then path.util else inf)";
+    let mut scenario = Scenario::leaf_spine(2, 2, 2)
+        .traffic(Traffic::None)
+        .duration(Time::ms(30))
+        .warmup(Time::ZERO)
+        .drain(Time::ZERO)
+        .trace_paths(true);
+    let hosts = scenario.topology().hosts();
     for i in 0..8u64 {
-        sim.add_flow(FlowSpec::Tcp {
+        scenario = scenario.flow(FlowSpec::Tcp {
             src: hosts[(i % 2) as usize],
             dst: hosts[2 + (i % 2) as usize],
             bytes: 120_000,
             start: Time::us(600 + 40 * i),
         });
     }
-    let (stats, traces) = sim.run_traced();
-    assert_eq!(stats.completion_rate(), 1.0);
+    // One cache serves both the run and the compliance oracle below, so
+    // the policy compiles exactly once.
+    let cache = CompileCache::new();
+    let r = scenario.run_cached(
+        &Contra::new(policy).with_config(DataplaneConfig::default()),
+        &cache,
+    );
+    let cp = cache.get_or_compile(scenario.topology(), policy).unwrap();
+    assert_eq!(cache.compiles(), 1, "run and oracle share one compilation");
+    assert_eq!(r.figures.completion_rate, 1.0);
+    let traces = r.traces.as_ref().expect("tracing was enabled");
     assert!(!traces.is_empty());
-    let spine0 = topo.find("spine0").unwrap();
-    for (flow, tr) in &traces {
+    let spine0 = scenario.topology().find("spine0").unwrap();
+    for (flow, tr) in traces {
         let syms: Vec<u32> = tr.iter().map(|n| n.0).collect();
         assert!(
             tr.contains(&spine0),
@@ -64,108 +58,81 @@ fn waypoint_traffic_always_crosses_the_waypoint() {
 /// Link-preference policy on a WAN: traffic must use the named link.
 #[test]
 fn link_preference_respected_on_abilene() {
-    let topo = generators::with_hosts(
-        &generators::abilene(40e9),
-        1,
-        generators::LinkSpec {
-            bandwidth_bps: 40e9,
-            delay_ns: 1_000,
-        },
-    );
     // Both directions of the preferred link are allowed — a one-direction
     // preference would force ACKs onto a 9-hop detour whose RTT stalls TCP
     // (the reverse path must satisfy the policy too!).
-    let cp = Rc::new(
-        Compiler::new(&topo)
-            .compile_str(
-                "minimize(if .* (Denver KansasCity + KansasCity Denver) .* \
-                 then path.util else inf)",
-            )
-            .unwrap(),
-    );
+    let policy = "minimize(if .* (Denver KansasCity + KansasCity Denver) .* \
+                  then path.util else inf)";
+    let base = Scenario::abilene();
+    let cache = CompileCache::new();
+    let cp = cache.get_or_compile(base.topology(), policy).unwrap();
     let cfg = DataplaneConfig::for_policy(&cp);
     let warmup_ns = cfg.probe_period.0 * 6;
-    let mut sim = Simulator::new(
-        topo.clone(),
-        SimConfig {
-            stop_at: Time(warmup_ns * 8),
-            trace_paths: true,
-            util_tau: Time::ms(20),
-            // WAN RTTs through the mandated link are ~32 ms; the minimum
-            // RTO must exceed them or every first ACK loses to a spurious
-            // timeout.
-            min_rto: Time::ms(50),
-            ..SimConfig::default()
-        },
+    let sea = base.topology().find("Seattle_h0").unwrap();
+    let ny = base.topology().find("NewYork_h0").unwrap();
+    let scenario = base
+        .traffic(Traffic::None)
+        .duration(Time(warmup_ns * 8))
+        .warmup(Time(warmup_ns))
+        .drain(Time::ZERO)
+        .trace_paths(true)
+        .flow(FlowSpec::Tcp {
+            src: sea,
+            dst: ny,
+            bytes: 60_000,
+            start: Time(warmup_ns),
+        });
+    let r = scenario.run_cached(&Contra::new(policy), &cache);
+    assert_eq!(
+        cache.compiles(),
+        1,
+        "the run reused the oracle's compilation"
     );
-    install_contra(&mut sim, cp, &cfg);
-    let sea = topo.find("Seattle_h0").unwrap();
-    let ny = topo.find("NewYork_h0").unwrap();
-    sim.add_flow(FlowSpec::Tcp {
-        src: sea,
-        dst: ny,
-        bytes: 60_000,
-        start: Time(warmup_ns),
-    });
-    let (stats, traces) = sim.run_traced();
-    assert_eq!(stats.completion_rate(), 1.0, "flow must finish");
-    let den = topo.find("Denver").unwrap();
-    let kc = topo.find("KansasCity").unwrap();
-    for (_, tr) in &traces {
-        let adjacent = tr
-            .windows(2)
-            .any(|w| w == [den, kc] || w == [kc, den]);
+    assert_eq!(r.figures.completion_rate, 1.0, "flow must finish");
+    let den = scenario.topology().find("Denver").unwrap();
+    let kc = scenario.topology().find("KansasCity").unwrap();
+    for (_, tr) in r.traces.as_ref().expect("tracing was enabled") {
+        let adjacent = tr.windows(2).any(|w| w == [den, kc] || w == [kc, den]);
         assert!(adjacent, "trace {tr:?} missed the Denver–KansasCity link");
     }
 }
 
-/// With an all-∞ policy nothing is ever delivered — but also nothing
-/// crashes: the compiler rejects it upfront.
+/// With an all-∞ policy nothing is ever routable — the compiler rejects
+/// it upfront, and the scenario surfaces that as an install error.
 #[test]
-fn impossible_policy_is_rejected_at_compile_time() {
-    let topo = generators::abilene(40e9);
-    let err = Compiler::new(&topo).compile_str("minimize(inf)");
-    assert!(err.is_err());
+fn impossible_policy_is_rejected_at_install_time() {
+    let err = Scenario::abilene()
+        .try_run(&Contra::new("minimize(inf)"))
+        .unwrap_err();
+    match err {
+        InstallError::Compile { policy, .. } => assert_eq!(policy, "minimize(inf)"),
+        other => panic!("expected a compile error, got: {other}"),
+    }
 }
 
 /// Deterministic end-to-end run: identical stats on repeat.
 #[test]
 fn full_simulation_is_deterministic() {
     let run = || {
-        let topo: Topology = generators::leaf_spine(
-            2,
-            2,
-            2,
-            generators::LinkSpec::default(),
-            generators::LinkSpec::default(),
-        );
-        let cp = Rc::new(
-            Compiler::new(&topo)
-                .compile_str("minimize((path.len, path.util))")
-                .unwrap(),
-        );
-        let mut sim = Simulator::new(
-            topo.clone(),
-            SimConfig {
-                stop_at: Time::ms(20),
-                ..SimConfig::default()
-            },
-        );
-        install_contra(&mut sim, cp, &DataplaneConfig::default());
-        let hosts = topo.hosts();
+        let mut scenario = Scenario::leaf_spine(2, 2, 2)
+            .traffic(Traffic::None)
+            .duration(Time::ms(20))
+            .warmup(Time::ZERO)
+            .drain(Time::ZERO);
+        let hosts = scenario.topology().hosts();
         for i in 0..6u64 {
-            sim.add_flow(FlowSpec::Tcp {
+            scenario = scenario.flow(FlowSpec::Tcp {
                 src: hosts[(i % 2) as usize],
                 dst: hosts[2 + (i % 2) as usize],
                 bytes: 100_000 + 7_000 * i,
                 start: Time::us(600 + 30 * i),
             });
         }
-        let stats = sim.run();
+        let r = scenario.run(&Contra::dc().with_config(DataplaneConfig::default()));
         (
-            stats.flows.iter().map(|f| f.finish).collect::<Vec<_>>(),
-            stats.total_wire_bytes(),
-            stats.delivered_packets,
+            r.stats.flows.iter().map(|f| f.finish).collect::<Vec<_>>(),
+            r.figures.total_wire_bytes,
+            r.figures.delivered_packets,
         )
     };
     assert_eq!(run(), run());
