@@ -10,27 +10,24 @@
 
 use contra_sim::{Packet, SwitchCtx, SwitchLogic};
 use contra_topology::{paths, NodeId, Topology};
-use std::collections::BTreeMap;
 
 /// Load-oblivious hash-based multipath over shortest paths.
 pub struct EcmpSwitch {
-    /// Per destination switch: all shortest-path next hops.
-    next_hops: BTreeMap<NodeId, Vec<NodeId>>,
+    /// Per destination switch (dense, indexed by node id): all
+    /// shortest-path next hops. Consulted once per packet per hop.
+    next_hops: Vec<Vec<NodeId>>,
 }
 
 impl EcmpSwitch {
     /// Precomputes shortest-path next-hop sets for `switch`.
     pub fn new(topo: &Topology, switch: NodeId) -> EcmpSwitch {
-        let mut next_hops = BTreeMap::new();
+        let mut next_hops = vec![Vec::new(); topo.num_nodes()];
         for dst in topo.switches() {
             if dst == switch {
                 continue;
             }
             let sets = paths::ecmp_next_hops(topo, dst);
-            let hops = sets[switch.0 as usize].clone();
-            if !hops.is_empty() {
-                next_hops.insert(dst, hops);
-            }
+            next_hops[dst.0 as usize] = sets[switch.0 as usize].clone();
         }
         EcmpSwitch { next_hops }
     }
@@ -55,37 +52,42 @@ impl SwitchLogic for EcmpSwitch {
             ctx.send(host, pkt);
             return;
         }
-        let Some(hops) = self.next_hops.get(&pkt.dst_switch) else {
-            ctx.drop_no_route(pkt);
-            return;
-        };
-        // Idealized repair: hash over the *live* subset.
-        let live: Vec<NodeId> = hops.iter().copied().filter(|&h| ctx.link_up(h)).collect();
-        if live.is_empty() {
+        let hops = &self.next_hops[pkt.dst_switch.0 as usize];
+        // Idealized repair: hash over the *live* subset — selected by
+        // counting, without materializing the subset.
+        let n_live = hops.iter().filter(|&&h| ctx.link_up(h)).count();
+        if n_live == 0 {
             ctx.drop_no_route(pkt);
             return;
         }
-        let pick = live[(pkt.flow_hash % live.len() as u64) as usize];
+        let k = (pkt.flow_hash % n_live as u64) as usize;
+        let pick = hops
+            .iter()
+            .copied()
+            .filter(|&h| ctx.link_up(h))
+            .nth(k)
+            .expect("k < n_live");
         ctx.send(pick, pkt);
     }
 }
 
 /// Single static shortest path; no load awareness, no failure awareness.
 pub struct SpSwitch {
-    next_hop: BTreeMap<NodeId, NodeId>,
+    /// Dense next-hop array indexed by destination node id.
+    next_hop: Vec<Option<NodeId>>,
 }
 
 impl SpSwitch {
     /// Precomputes the deterministic shortest-path next hop per
     /// destination.
     pub fn new(topo: &Topology, switch: NodeId) -> SpSwitch {
-        let mut next_hop = BTreeMap::new();
+        let mut next_hop = vec![None; topo.num_nodes()];
         for dst in topo.switches() {
             if dst == switch {
                 continue;
             }
             if let Some(p) = paths::shortest_path(topo, switch, dst) {
-                next_hop.insert(dst, p[1]);
+                next_hop[dst.0 as usize] = Some(p[1]);
             }
         }
         SpSwitch { next_hop }
@@ -99,8 +101,8 @@ impl SwitchLogic for SpSwitch {
             ctx.send(host, pkt);
             return;
         }
-        match self.next_hop.get(&pkt.dst_switch) {
-            Some(&nh) => ctx.send(nh, pkt),
+        match self.next_hop[pkt.dst_switch.0 as usize] {
+            Some(nh) => ctx.send(nh, pkt),
             None => ctx.drop_no_route(pkt),
         }
     }

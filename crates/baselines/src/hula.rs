@@ -17,10 +17,11 @@
 //! shared with Contra's configuration for an apples-to-apples comparison.
 
 use contra_sim::{
-    Packet, PacketKind, Probe, SwitchCtx, SwitchLogic, Time, INITIAL_TTL, PROBE_BASE_BYTES,
+    FxHashMap, Packet, PacketKind, Probe, SwitchCtx, SwitchLogic, Time, INITIAL_TTL,
+    PROBE_BASE_BYTES,
 };
 use contra_topology::{NodeId, Topology};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Position of a switch in the two-tier fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,11 +89,14 @@ pub struct HulaSwitch {
     switch: NodeId,
     role: HulaRole,
     cfg: HulaConfig,
-    /// Best known path per destination ToR.
-    best: BTreeMap<NodeId, BestEntry>,
-    /// Flowlet pins per (dst guaranteed by fid? Hula keys on fid only).
-    flowlets: HashMap<u64, FlowletEntry>,
-    last_probe_from: BTreeMap<NodeId, Time>,
+    /// Best known path per destination ToR, indexed by node id (dense:
+    /// consulted per packet).
+    best: Vec<Option<BestEntry>>,
+    /// Flowlet pins keyed by fid (Hula keys on fid only). Deterministic
+    /// Fx hashing — SipHash is both slower and per-process seeded.
+    flowlets: FxHashMap<u64, FlowletEntry>,
+    /// Last probe heard per neighbor id (`Time::ZERO` = never).
+    last_probe_from: Vec<Time>,
     /// Leaf neighbors (down-links) and spine neighbors (up-links).
     up_neighbors: Vec<NodeId>,
     down_neighbors: Vec<NodeId>,
@@ -120,20 +124,16 @@ impl HulaSwitch {
             switch,
             role,
             cfg,
-            best: BTreeMap::new(),
-            flowlets: HashMap::new(),
-            last_probe_from: BTreeMap::new(),
+            best: vec![None; topo.num_nodes()],
+            flowlets: FxHashMap::default(),
+            last_probe_from: vec![Time::ZERO; topo.num_nodes()],
             up_neighbors: up,
             down_neighbors: down,
         }
     }
 
     fn nhop_failed(&self, nhop: NodeId, now: Time) -> bool {
-        let last = self
-            .last_probe_from
-            .get(&nhop)
-            .copied()
-            .unwrap_or(Time::ZERO);
+        let last = self.last_probe_from[nhop.0 as usize];
         now.saturating_sub(last) > Time(self.cfg.probe_period.0 * self.cfg.failure_periods as u64)
     }
 
@@ -164,19 +164,17 @@ impl HulaSwitch {
             pid: 0,
             ttl: INITIAL_TTL,
             flow_hash: 0,
-            trace: Vec::new(),
-            looped: false,
         }
     }
 
     fn process_probe(&mut self, ctx: &mut SwitchCtx<'_>, p: Probe, from: NodeId) {
         let now = ctx.now;
-        self.last_probe_from.insert(from, now);
+        self.last_probe_from[from.0 as usize] = now;
         if p.origin == self.switch {
             return;
         }
         let util = p.mv[0].max(ctx.util_to(from));
-        let accept = match self.best.get(&p.origin) {
+        let accept = match &self.best[p.origin.0 as usize] {
             None => true,
             Some(e) => {
                 // Better path, refresh from the incumbent next hop, or
@@ -187,14 +185,11 @@ impl HulaSwitch {
         if !accept {
             return;
         }
-        self.best.insert(
-            p.origin,
-            BestEntry {
-                util,
-                nhop: from,
-                updated: now,
-            },
-        );
+        self.best[p.origin.0 as usize] = Some(BestEntry {
+            util,
+            nhop: from,
+            updated: now,
+        });
         // Replication discipline: spines received from a leaf replicate to
         // every *other* leaf; leaves do not propagate further (two tiers).
         if self.role == HulaRole::Spine {
@@ -219,24 +214,20 @@ impl HulaSwitch {
             return;
         }
         // Flowlet fast path.
-        if let Some(e) = self.flowlets.get(&pkt.flow_hash).cloned() {
-            if now.saturating_sub(e.last) <= self.cfg.flowlet_timeout
-                && !self.nhop_failed(e.nhop, now)
+        if let Some(e) = self.flowlets.get(&pkt.flow_hash) {
+            let (nhop, last) = (e.nhop, e.last);
+            if now.saturating_sub(last) <= self.cfg.flowlet_timeout && !self.nhop_failed(nhop, now)
             {
-                self.flowlets.insert(
-                    pkt.flow_hash,
-                    FlowletEntry {
-                        nhop: e.nhop,
-                        last: now,
-                    },
-                );
+                if let Some(e) = self.flowlets.get_mut(&pkt.flow_hash) {
+                    e.last = now;
+                }
                 pkt.tag = 0;
-                ctx.send(e.nhop, pkt);
+                ctx.send(nhop, pkt);
                 return;
             }
             self.flowlets.remove(&pkt.flow_hash);
         }
-        match self.best.get(&pkt.dst_switch) {
+        match &self.best[pkt.dst_switch.0 as usize] {
             Some(e) if self.entry_valid(e, now) => {
                 let nhop = e.nhop;
                 self.flowlets
@@ -249,13 +240,14 @@ impl HulaSwitch {
 
     /// Current best-table size (state accounting in tests).
     pub fn best_entries(&self) -> usize {
-        self.best.len()
+        self.best.iter().filter(|e| e.is_some()).count()
     }
 }
 
 impl SwitchLogic for HulaSwitch {
     fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: Packet, from: NodeId) {
-        match pkt.kind.clone() {
+        match pkt.kind {
+            // Moves the probe out instead of cloning the whole kind.
             PacketKind::Probe(p) => self.process_probe(ctx, p, from),
             _ => self.forward(ctx, pkt, from),
         }

@@ -1,0 +1,212 @@
+//! End-to-end simulator throughput: events/sec and wall-clock per scenario,
+//! across leaf-spine / fat-tree / Abilene under Contra, ECMP, SP (+ Hula on
+//! leaf-spine), written to `BENCH_sim.json` so the perf trajectory of the
+//! engine is a tracked number instead of folklore.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p contra-bench --bin sim_throughput            # full
+//! CONTRA_BENCH_FAST=1 cargo run --release -p contra-bench --bin sim_throughput  # smoke
+//! ```
+//!
+//! Each run is repeated and the best (max events/sec) repetition is kept —
+//! the engine is deterministic, so repetitions differ only by machine
+//! noise. The JSON also carries the pre-overhaul baseline (events/sec
+//! measured at the commit before the flat-adjacency/slab/register-array
+//! rewrite, on the same scenarios and machine class) so the speedup is a
+//! recorded fact in the same file.
+
+use contra_baselines::{Ecmp, Hula, Sp};
+use contra_bench::{fast_mode, Scenario};
+use contra_dataplane::Contra;
+use contra_experiments::RunResult;
+use contra_sim::{CompileCache, RoutingSystem, Time};
+
+/// Pre-change baseline, events/sec, measured at the seed engine (PR 1,
+/// commit 72eb027) with the same instrumentation and scenarios:
+/// `(mode, topology, system, events_per_sec)`.
+const BASELINE: &[(&str, &str, &str, f64)] = &[
+    ("full", "leaf-spine(4,2,8)", "Contra", 3744550.7),
+    ("full", "leaf-spine(4,2,8)", "Hula", 4082936.2),
+    ("full", "leaf-spine(4,2,8)", "ECMP", 4091449.2),
+    ("full", "leaf-spine(4,2,8)", "SP", 4436750.9),
+    ("full", "fat-tree(4)", "Contra", 3231465.9),
+    ("full", "fat-tree(4)", "ECMP", 3529703.7),
+    ("full", "fat-tree(4)", "SP", 3950014.1),
+    ("full", "abilene", "Contra", 2958183.7),
+    ("full", "abilene", "ECMP", 3342150.9),
+    ("full", "abilene", "SP", 3417251.3),
+    ("fast", "leaf-spine(4,2,8)", "Contra", 3482472.5),
+    ("fast", "leaf-spine(4,2,8)", "Hula", 4964747.5),
+    ("fast", "leaf-spine(4,2,8)", "ECMP", 4788324.7),
+    ("fast", "leaf-spine(4,2,8)", "SP", 4667355.5),
+    ("fast", "fat-tree(4)", "Contra", 3624560.2),
+    ("fast", "fat-tree(4)", "ECMP", 3263511.0),
+    ("fast", "fat-tree(4)", "SP", 4446254.5),
+    ("fast", "abilene", "Contra", 3822200.5),
+    ("fast", "abilene", "ECMP", 3596828.3),
+    ("fast", "abilene", "SP", 4098833.3),
+];
+
+fn baseline_for(mode: &str, topo: &str, system: &str) -> Option<f64> {
+    BASELINE
+        .iter()
+        .find(|(m, t, s, _)| *m == mode && *t == topo && *s == system)
+        .map(|&(_, _, _, eps)| eps)
+}
+
+/// The benchmark matrix. Fast mode shrinks durations to smoke scale so CI
+/// can keep the harness from rotting without paying full sweeps.
+fn scenarios() -> Vec<(Scenario, Vec<Box<dyn RoutingSystem>>)> {
+    let fast = fast_mode();
+    let dc = |s: Scenario| {
+        if fast {
+            s.duration(Time::ms(6))
+                .warmup(Time::ms(2))
+                .drain(Time::ms(8))
+        } else {
+            s
+        }
+    };
+    let wan = |s: Scenario| {
+        if fast {
+            s.duration(Time::ms(160)).drain(Time::ms(80))
+        } else {
+            s
+        }
+    };
+    vec![
+        (
+            dc(Scenario::leaf_spine(4, 2, 8).load(0.6)),
+            vec![
+                Box::new(Contra::dc()) as Box<dyn RoutingSystem>,
+                Box::new(Hula::default()),
+                Box::new(Ecmp),
+                Box::new(Sp),
+            ],
+        ),
+        (
+            dc(Scenario::fat_tree(4, 2).load(0.5)),
+            vec![
+                Box::new(Contra::dc()) as Box<dyn RoutingSystem>,
+                Box::new(Ecmp),
+                Box::new(Sp),
+            ],
+        ),
+        (
+            wan(Scenario::abilene().load(0.3)),
+            vec![
+                Box::new(Contra::mu()) as Box<dyn RoutingSystem>,
+                Box::new(Ecmp),
+                Box::new(Sp),
+            ],
+        ),
+    ]
+}
+
+struct Row {
+    topology: String,
+    system: String,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    baseline_eps: Option<f64>,
+}
+
+fn best_of(
+    scenario: &Scenario,
+    system: &dyn RoutingSystem,
+    cache: &CompileCache,
+    reps: u32,
+) -> RunResult {
+    let mut best: Option<RunResult> = None;
+    for _ in 0..reps {
+        let r = scenario.run_cached(system, cache);
+        if best.as_ref().is_none_or(|b| r.wall_secs < b.wall_secs) {
+            best = Some(r);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn main() {
+    let mode = if fast_mode() { "fast" } else { "full" };
+    let reps = if fast_mode() { 1 } else { 3 };
+    let mut rows: Vec<Row> = Vec::new();
+    for (scenario, systems) in scenarios() {
+        let cache = CompileCache::new();
+        for system in &systems {
+            let r = best_of(&scenario, system.as_ref(), &cache, reps);
+            let eps = r.stats.events_processed as f64 / r.wall_secs.max(1e-12);
+            let baseline_eps = baseline_for(mode, scenario.label(), &r.system);
+            eprintln!(
+                "{:<20} {:<8} {:>9} events  {:>8.1} ms  {:>6.2} Mev/s{}",
+                scenario.label(),
+                r.system,
+                r.stats.events_processed,
+                r.wall_secs * 1e3,
+                eps / 1e6,
+                match baseline_eps {
+                    Some(b) => format!("  ({:.2}x baseline)", eps / b),
+                    None => String::new(),
+                }
+            );
+            rows.push(Row {
+                topology: scenario.label().to_string(),
+                system: r.system.clone(),
+                events: r.stats.events_processed,
+                wall_secs: r.wall_secs,
+                events_per_sec: eps,
+                baseline_eps,
+            });
+        }
+    }
+
+    let speedups: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| r.baseline_eps.map(|b| r.events_per_sec / b))
+        .collect();
+    let geomean = (!speedups.is_empty())
+        .then(|| (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp());
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"sim_throughput\",\n");
+    json.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"topology\": \"{}\", \"system\": \"{}\", \"events\": {}, \
+             \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \
+             \"baseline_events_per_sec\": {}, \"speedup\": {}}}{}\n",
+            r.topology,
+            r.system,
+            r.events,
+            r.wall_secs,
+            r.events_per_sec,
+            r.baseline_eps
+                .map(|b| format!("{b:.1}"))
+                .unwrap_or_else(|| "null".into()),
+            r.baseline_eps
+                .map(|b| format!("{:.3}", r.events_per_sec / b))
+                .unwrap_or_else(|| "null".into()),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"geomean_speedup\": {}\n",
+        geomean
+            .map(|g| format!("{g:.3}"))
+            .unwrap_or_else(|| "null".into())
+    ));
+    json.push_str("}\n");
+
+    let out = "BENCH_sim.json";
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    if let Some(g) = geomean {
+        eprintln!("geomean speedup over pre-change baseline: {g:.2}x");
+    }
+    eprintln!("wrote {out}");
+}

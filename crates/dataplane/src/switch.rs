@@ -24,7 +24,6 @@ use contra_sim::{
     Packet, PacketKind, Probe, SwitchCtx, SwitchLogic, Time, INITIAL_TTL, PROBE_BASE_BYTES,
 };
 use contra_topology::NodeId;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Tunables of the runtime protocol. Paper values as defaults.
@@ -46,6 +45,12 @@ pub struct DataplaneConfig {
     pub loop_delta_threshold: u8,
     /// Aging window for loop-detection rows.
     pub loop_age_out: Time,
+    /// Register slots of the policy-aware flowlet table (rounded up to a
+    /// power of two). Like SRAM on the switch, the table never grows:
+    /// exceeding it makes flowlets alias (counted, not fatal).
+    pub flowlet_slots: usize,
+    /// Register slots of the TTL-drift loop-detection table.
+    pub loop_slots: usize,
 }
 
 impl Default for DataplaneConfig {
@@ -57,6 +62,8 @@ impl Default for DataplaneConfig {
             expiry_periods: 8,
             loop_delta_threshold: 6,
             loop_age_out: Time::ms(1),
+            flowlet_slots: crate::tables::DEFAULT_FLOWLET_SLOTS,
+            loop_slots: crate::tables::DEFAULT_LOOP_SLOTS,
         }
     }
 }
@@ -88,8 +95,10 @@ pub struct ContraSwitch {
     best: BestTable,
     flowlets: FlowletTable,
     loops: LoopTable,
-    /// Last probe heard from each neighbor (failure detection, §5.4).
-    last_probe_from: BTreeMap<NodeId, Time>,
+    /// Last probe heard from each neighbor, indexed by node id (failure
+    /// detection, §5.4; `Time::ZERO` = never heard). Consulted per packet,
+    /// so it is a flat array, not a map.
+    last_probe_from: Vec<Time>,
     /// Own origin version counter (§5.1).
     version: u32,
     /// Probes originated + forwarded (overhead accounting in tests).
@@ -103,15 +112,16 @@ impl ContraSwitch {
             cp.programs.contains_key(&switch),
             "no compiled program for {switch}"
         );
+        let (flowlet_slots, loop_slots) = (cfg.flowlet_slots, cfg.loop_slots);
         ContraSwitch {
             cp,
             switch,
             cfg,
             fwdt: FwdTable::default(),
             best: BestTable::default(),
-            flowlets: FlowletTable::default(),
-            loops: LoopTable::default(),
-            last_probe_from: BTreeMap::new(),
+            flowlets: FlowletTable::with_slots(flowlet_slots),
+            loops: LoopTable::with_slots(loop_slots),
+            last_probe_from: Vec::new(),
             version: 0,
             probes_sent: 0,
         }
@@ -134,10 +144,18 @@ impl ContraSwitch {
     fn nhop_failed(&self, nhop: NodeId, now: Time) -> bool {
         let last = self
             .last_probe_from
-            .get(&nhop)
+            .get(nhop.0 as usize)
             .copied()
             .unwrap_or(Time::ZERO);
         now.saturating_sub(last) > Time(self.cfg.probe_period.0 * self.cfg.failure_periods as u64)
+    }
+
+    fn note_probe_from(&mut self, from: NodeId, now: Time) {
+        let i = from.0 as usize;
+        if i >= self.last_probe_from.len() {
+            self.last_probe_from.resize(i + 1, Time::ZERO);
+        }
+        self.last_probe_from[i] = now;
     }
 
     fn entry_valid(&self, e: &FwdEntry, now: Time) -> bool {
@@ -246,8 +264,6 @@ impl ContraSwitch {
             pid,
             ttl: INITIAL_TTL,
             flow_hash: 0,
-            trace: Vec::new(),
-            looped: false,
         }
     }
 
@@ -255,7 +271,7 @@ impl ContraSwitch {
     fn process_probe(&mut self, ctx: &mut SwitchCtx<'_>, p: Probe, from: NodeId) {
         let now = ctx.now;
         // Any probe from `from` proves the cable is alive.
-        self.last_probe_from.insert(from, now);
+        self.note_probe_from(from, now);
 
         // A probe that has looped back to its own origin describes a path
         // *through* the destination — but traffic is delivered on first
@@ -327,13 +343,14 @@ impl ContraSwitch {
         self.rescan_best(p.origin, now);
 
         // Re-multicast along product-graph edges with the updated vector
-        // and our own tag, carrying the origin's version through.
-        if let Some(fanout) = self.prog().multicast.get(&n).cloned() {
-            for (nbr, _w) in fanout {
+        // and our own tag, carrying the origin's version through (no
+        // fan-out clone: probe processing is per-packet work).
+        if let Some(fanout) = self.prog().multicast.get(&n) {
+            for &(nbr, _w) in fanout {
                 let probe = self.mk_probe(p.origin, p.pid, p.version, n, &mv, nbr, now);
                 ctx.send(nbr, probe);
-                self.probes_sent += 1;
             }
+            self.probes_sent += fanout.len() as u64;
         }
     }
 
@@ -377,17 +394,20 @@ impl ContraSwitch {
             pid,
             fid: pkt.flow_hash,
         };
-        if let Some(e) = self.flowlets.lookup(flkey, now, self.cfg.flowlet_timeout) {
-            if !self.nhop_failed(e.nhop, now) {
-                self.flowlets.touch(flkey, now);
-                pkt.tag = e.ntag.0;
+        if let Some((nhop, ntag)) = self
+            .flowlets
+            .lookup_touch(flkey, now, self.cfg.flowlet_timeout)
+        {
+            if !self.nhop_failed(nhop, now) {
+                pkt.tag = ntag.0;
                 pkt.pid = pid;
-                ctx.send(e.nhop, pkt);
+                ctx.send(nhop, pkt);
                 return;
             }
             // §5.4: next hop silent — expire every pin through it so
-            // traffic reroutes now rather than at flowlet timeout.
-            self.flowlets.flush_nhop(e.nhop);
+            // traffic reroutes now rather than at flowlet timeout (the
+            // flush also undoes the speculative `last` refresh).
+            self.flowlets.flush_nhop(nhop);
         }
 
         let key = FwdKey {
@@ -417,7 +437,8 @@ impl ContraSwitch {
 
 impl SwitchLogic for ContraSwitch {
     fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: Packet, from: NodeId) {
-        match pkt.kind.clone() {
+        match pkt.kind {
+            // Moves the probe out instead of cloning the whole kind.
             PacketKind::Probe(p) => self.process_probe(ctx, p, from),
             _ => self.forward(ctx, pkt, from),
         }

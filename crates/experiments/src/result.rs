@@ -91,6 +91,9 @@ pub struct RunResult {
     /// Per-packet switch paths, when the scenario enabled
     /// [`crate::Scenario::trace_paths`].
     pub traces: Option<Vec<(FlowId, Vec<NodeId>)>>,
+    /// Wall-clock seconds the event loop took (excludes compilation and
+    /// installation — this is the engine's own throughput window).
+    pub wall_secs: f64,
 }
 
 impl RunResult {
@@ -98,5 +101,10 @@ impl RunResult {
     /// delivered packets (the §6.5 table's quantity).
     pub fn looped_pct(&self) -> f64 {
         100.0 * self.figures.looped_packets as f64 / self.figures.delivered_packets.max(1) as f64
+    }
+
+    /// Engine throughput in millions of events per wall-clock second.
+    pub fn mevents_per_sec(&self) -> f64 {
+        self.stats.events_processed as f64 / self.wall_secs.max(1e-12) / 1e6
     }
 }

@@ -431,12 +431,14 @@ impl Scenario {
             warmup: self.warmup,
             duration: self.duration,
         };
+        let started = std::time::Instant::now();
         let (stats, traces) = if self.trace_paths {
             let (stats, traces) = sim.run_traced();
             (stats, Some(traces))
         } else {
             (sim.run(), None)
         };
+        let wall_secs = started.elapsed().as_secs_f64();
         let figures = Figures::derive(&stats, self.warmup);
         Ok(RunResult {
             system: system.name(),
@@ -444,6 +446,7 @@ impl Scenario {
             figures,
             stats,
             traces,
+            wall_secs,
         })
     }
 

@@ -5,6 +5,7 @@
 //! the workload layer, and switch logic runs strictly one event at a time.
 //! The same inputs always produce byte-identical statistics.
 
+use crate::fx::FxHashMap;
 use crate::link::{DropReason, EnqueueOutcome, LinkState};
 use crate::packet::{flow_hash, FlowId, Packet, PacketKind, HDR_BYTES, INITIAL_TTL, MSS};
 use crate::stats::{FlowRecord, QueueSample, SimStats, TrafficKind};
@@ -85,11 +86,14 @@ pub enum FlowSpec {
 #[derive(Debug)]
 enum Event {
     /// Packet fully received at `node`, having traversed the link from
-    /// `from`.
+    /// `from`. The packet itself sits in the engine's slab (`PacketPool`)
+    /// so heap entries stay a few words wide — sift-up/down copies every
+    /// entry it touches, which made inline packets the single biggest
+    /// per-event cost.
     Arrive {
         node: NodeId,
         from: NodeId,
-        pkt: Packet,
+        pkt: u32,
     },
     /// Link serializer finished a packet.
     TxDone { link: LinkId, epoch: u64 },
@@ -175,6 +179,47 @@ impl FlowState {
     }
 }
 
+/// Slab of in-flight packets referenced by heap events. Slots are
+/// recycled LIFO, so the working set stays cache-resident.
+#[derive(Debug, Default)]
+struct PacketPool {
+    slots: Vec<Option<Packet>>,
+    free: Vec<u32>,
+}
+
+impl PacketPool {
+    #[inline]
+    fn insert(&mut self, pkt: Packet) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i as usize].is_none());
+                self.slots[i as usize] = Some(pkt);
+                i
+            }
+            None => {
+                self.slots.push(Some(pkt));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    #[inline]
+    fn take(&mut self, i: u32) -> Packet {
+        let pkt = self.slots[i as usize].take().expect("packet slot is live");
+        self.free.push(i);
+        pkt
+    }
+}
+
+/// Side-table record of one traced packet's switch path (`trace_paths`).
+#[derive(Debug, Default)]
+struct TraceRec {
+    path: Vec<NodeId>,
+    /// Set once the packet has revisited a switch (counted once per
+    /// packet).
+    looped: bool,
+}
+
 /// The simulator: topology + links + switch logic + transports + clock.
 pub struct Simulator {
     topo: Topology,
@@ -187,6 +232,24 @@ pub struct Simulator {
     seq: u64,
     now: Time,
     next_pkt_id: u64,
+    /// In-flight packets referenced by `Event::Arrive`.
+    pool: PacketPool,
+    /// Recycled output buffer lent to [`SwitchCtx`] for each dispatch, so
+    /// switch handlers never allocate in steady state.
+    out_buf: Vec<(NodeId, Packet)>,
+    /// Directed link indices whose endpoints are both switches —
+    /// precomputed so periodic queue sampling does not rescan (and
+    /// re-classify) every link.
+    fabric_links: Vec<u32>,
+    /// Per-link "both endpoints are switches" flag (TTL accounting).
+    fabric_link: Vec<bool>,
+    /// `CONTRA_SIM_DEBUG_TTL`, read once at construction — `env::var_os`
+    /// takes a process-global lock and must stay off the drop path.
+    debug_ttl: bool,
+    /// Switch paths of in-flight traced packets, keyed by packet id
+    /// (populated only with `trace_paths`; entries move to
+    /// `delivered_traces` on delivery and die with their packet on drop).
+    traces: FxHashMap<u64, TraceRec>,
     /// Run statistics (read after [`Simulator::run`]).
     pub stats: SimStats,
     /// Delivered payload packet traces (only with `trace_paths`): for each
@@ -211,6 +274,17 @@ impl Simulator {
             .collect();
         let n = topo.num_nodes();
         let stats = SimStats::new(cfg.udp_bucket);
+        let fabric_link: Vec<bool> = topo
+            .links()
+            .iter()
+            .map(|l| topo.is_switch(l.src) && topo.is_switch(l.dst))
+            .collect();
+        let fabric_links: Vec<u32> = fabric_link
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f)
+            .map(|(i, _)| i as u32)
+            .collect();
         let mut sim = Simulator {
             topo,
             cfg,
@@ -222,6 +296,12 @@ impl Simulator {
             seq: 0,
             now: Time::ZERO,
             next_pkt_id: 0,
+            pool: PacketPool::default(),
+            out_buf: Vec::new(),
+            fabric_links,
+            fabric_link,
+            debug_ttl: std::env::var_os("CONTRA_SIM_DEBUG_TTL").is_some(),
+            traces: FxHashMap::default(),
             stats,
             delivered_traces: Vec::new(),
         };
@@ -341,6 +421,7 @@ impl Simulator {
                 break;
             }
             self.now = entry.at;
+            self.stats.events_processed += 1;
             self.dispatch(entry.ev);
         }
         self.stats
@@ -355,6 +436,7 @@ impl Simulator {
                 break;
             }
             self.now = entry.at;
+            self.stats.events_processed += 1;
             self.dispatch(entry.ev);
         }
         (self.stats, self.delivered_traces)
@@ -389,15 +471,13 @@ impl Simulator {
                 }
             }
             Event::QueueSample => {
-                for (i, l) in self.topo.links().iter().enumerate() {
-                    // Fabric links only: switch → switch.
-                    if self.topo.is_switch(l.src) && self.topo.is_switch(l.dst) {
-                        self.stats.queue_samples.push(QueueSample {
-                            at: self.now,
-                            link: i as u32,
-                            bytes: self.links[i].queued_bytes(),
-                        });
-                    }
+                // Fabric links only (switch → switch), precomputed once.
+                for &i in &self.fabric_links {
+                    self.stats.queue_samples.push(QueueSample {
+                        at: self.now,
+                        link: i,
+                        bytes: self.links[i as usize].queued_bytes(),
+                    });
                 }
                 if let Some(every) = self.cfg.queue_sample_every {
                     let at = self.now + every;
@@ -415,30 +495,33 @@ impl Simulator {
         let Some(lid) = self.topo.link_between(from, to) else {
             debug_assert!(false, "no link {from}→{to}");
             self.stats.on_drop(DropReason::NoRoute);
+            self.forget_trace(pkt.id);
             return;
         };
-        if (pkt.carries_payload() || matches!(pkt.kind, PacketKind::Ack { .. }))
-            && self.topo.is_switch(from)
-            && self.topo.is_switch(to)
+        if self.fabric_link[lid.0 as usize]
+            && (pkt.carries_payload() || matches!(pkt.kind, PacketKind::Ack { .. }))
         {
             if pkt.ttl == 0 {
-                if std::env::var_os("CONTRA_SIM_DEBUG_TTL").is_some() {
+                if self.debug_ttl {
+                    let tail: &[NodeId] = self
+                        .traces
+                        .get(&pkt.id)
+                        .map(|r| &r.path[r.path.len().saturating_sub(8)..])
+                        .unwrap_or(&[]);
                     eprintln!(
-                        "TTL death: {:?} flow={:?} seq={} dst_sw={} trace_tail={:?}",
-                        pkt.kind,
-                        pkt.flow,
-                        pkt.seq,
-                        pkt.dst_switch,
-                        &pkt.trace[pkt.trace.len().saturating_sub(8)..]
+                        "TTL death: {:?} flow={:?} seq={} dst_sw={} trace_tail={tail:?}",
+                        pkt.kind, pkt.flow, pkt.seq, pkt.dst_switch,
                     );
                 }
                 self.stats.on_drop(DropReason::TtlExpired);
+                self.forget_trace(pkt.id);
                 return;
             }
             pkt.ttl -= 1;
         }
         let kind = traffic_kind(&pkt);
         let size = pkt.size_bytes;
+        let id = pkt.id;
         let link = &mut self.links[lid.0 as usize];
         match link.enqueue(pkt) {
             EnqueueOutcome::StartTx => {
@@ -450,7 +533,19 @@ impl Simulator {
             }
             EnqueueOutcome::Dropped(reason) => {
                 self.stats.on_drop(reason);
+                self.forget_trace(id);
             }
+        }
+    }
+
+    /// Drops the side-table trace of a packet that died in flight (no-op
+    /// unless `trace_paths` is on). Packets lost to `LinkDown` queue
+    /// flushes keep their record until the run ends — their ids are gone
+    /// by then, and a traced failure run is a debugging mode.
+    #[inline]
+    fn forget_trace(&mut self, pkt_id: u64) {
+        if self.cfg.trace_paths {
+            self.traces.remove(&pkt_id);
         }
     }
 
@@ -465,12 +560,13 @@ impl Simulator {
         let from = self.topo.link(lid).src;
         let arrive_at = self.now + tx + delay;
         let done_at = self.now + tx;
+        let slot = self.pool.insert(pkt);
         self.push(
             arrive_at,
             Event::Arrive {
                 node: to,
                 from,
-                pkt,
+                pkt: slot,
             },
         );
         self.push(done_at, Event::TxDone { link: lid, epoch });
@@ -488,7 +584,8 @@ impl Simulator {
 
     // ---- switch dispatch ----------------------------------------------
 
-    fn on_arrive(&mut self, node: NodeId, from: NodeId, mut pkt: Packet) {
+    fn on_arrive(&mut self, node: NodeId, from: NodeId, slot: u32) {
+        let pkt = self.pool.take(slot);
         if !self.topo.is_switch(node) {
             self.host_receive(node, pkt);
             return;
@@ -497,55 +594,73 @@ impl Simulator {
         if self.cfg.trace_paths
             && (pkt.carries_payload() || matches!(pkt.kind, PacketKind::Ack { .. }))
         {
-            if pkt.trace.contains(&node.0) && !pkt.looped {
-                pkt.looped = true;
+            let rec = self.traces.entry(pkt.id).or_default();
+            if rec.path.contains(&node) && !rec.looped {
+                rec.looped = true;
                 self.stats.looped_packets += 1;
             }
-            pkt.trace.push(node.0);
+            rec.path.push(node);
         }
         let Some(mut logic) = self.logics[node.0 as usize].take() else {
             // No logic installed (test harness omission): drop.
             self.stats.on_drop(DropReason::NoRoute);
+            self.forget_trace(pkt.id);
             return;
         };
-        let mut ctx = SwitchCtx::new(node, self.now, &self.topo, &self.links);
+        let mut ctx = SwitchCtx::new(
+            node,
+            self.now,
+            &self.topo,
+            &self.links,
+            std::mem::take(&mut self.out_buf),
+        );
         logic.on_packet(&mut ctx, pkt, from);
         let SwitchCtx {
-            out,
+            out: mut outs,
             loop_breaks,
             no_route,
             ..
         } = ctx;
         self.logics[node.0 as usize] = Some(logic);
         self.stats.loop_breaks += loop_breaks;
-        for _ in 0..no_route {
+        for id in no_route {
             self.stats.on_drop(DropReason::NoRoute);
+            self.forget_trace(id);
         }
-        for (next, p) in out {
+        for (next, p) in outs.drain(..) {
             self.transmit(node, next, p);
         }
+        self.out_buf = outs;
     }
 
     fn on_tick(&mut self, node: NodeId) {
         let Some(mut logic) = self.logics[node.0 as usize].take() else {
             return;
         };
-        let mut ctx = SwitchCtx::new(node, self.now, &self.topo, &self.links);
+        let mut ctx = SwitchCtx::new(
+            node,
+            self.now,
+            &self.topo,
+            &self.links,
+            std::mem::take(&mut self.out_buf),
+        );
         logic.on_tick(&mut ctx);
         let SwitchCtx {
-            out,
+            out: mut outs,
             loop_breaks,
             no_route,
             ..
         } = ctx;
         self.logics[node.0 as usize] = Some(logic);
         self.stats.loop_breaks += loop_breaks;
-        for _ in 0..no_route {
+        for id in no_route {
             self.stats.on_drop(DropReason::NoRoute);
+            self.forget_trace(id);
         }
-        for (next, p) in out {
+        for (next, p) in outs.drain(..) {
             self.transmit(node, next, p);
         }
+        self.out_buf = outs;
         if let Some(t) = self.tick_of[node.0 as usize] {
             let at = self.now + t;
             self.push(at, Event::Tick { node });
@@ -554,26 +669,37 @@ impl Simulator {
 
     // ---- host / transport ----------------------------------------------
 
+    /// Moves a delivered packet's side-table trace into
+    /// `delivered_traces` (no re-allocation: the recorded path is reused).
+    fn deliver_trace(&mut self, pkt: &Packet) {
+        let path = self
+            .traces
+            .remove(&pkt.id)
+            .map(|r| r.path)
+            .unwrap_or_default();
+        self.delivered_traces.push((pkt.flow, path));
+    }
+
     fn host_receive(&mut self, host: NodeId, pkt: Packet) {
-        match pkt.kind.clone() {
+        match &pkt.kind {
             PacketKind::Data => {
                 debug_assert_eq!(pkt.dst_host, host);
                 self.stats.delivered_packets += 1;
                 if self.cfg.trace_paths {
-                    self.delivered_traces
-                        .push((pkt.flow, pkt.trace.iter().map(|&s| NodeId(s)).collect()));
+                    self.deliver_trace(&pkt);
                 }
                 self.tcp_receive_data(pkt);
             }
             PacketKind::Ack { ack_seq, echo_ts } => {
+                let (ack_seq, echo_ts) = (*ack_seq, *echo_ts);
+                self.forget_trace(pkt.id);
                 self.tcp_receive_ack(pkt.flow.0, ack_seq, echo_ts);
             }
             PacketKind::Udp => {
                 debug_assert_eq!(pkt.dst_host, host);
                 self.stats.delivered_packets += 1;
                 if self.cfg.trace_paths {
-                    self.delivered_traces
-                        .push((pkt.flow, pkt.trace.iter().map(|&s| NodeId(s)).collect()));
+                    self.deliver_trace(&pkt);
                 }
                 let payload = pkt.size_bytes.saturating_sub(HDR_BYTES);
                 self.stats.on_udp_delivered(self.now, payload);
@@ -584,6 +710,9 @@ impl Simulator {
         }
     }
 
+    /// Builds a transport packet. `dst_switch` is passed in from the flow
+    /// state — `Topology::host_switch` walks (and allocates) the host's
+    /// neighbor list, far too slow for once-per-packet use.
     #[allow(clippy::too_many_arguments)]
     fn mk_packet(
         &mut self,
@@ -593,6 +722,7 @@ impl Simulator {
         size: u32,
         src: NodeId,
         dst: NodeId,
+        dst_switch: NodeId,
         hash: u64,
     ) -> Packet {
         self.next_pkt_id += 1;
@@ -601,7 +731,7 @@ impl Simulator {
             kind,
             src_host: src,
             dst_host: dst,
-            dst_switch: self.topo.host_switch(dst),
+            dst_switch,
             flow: FlowId(flow),
             seq,
             size_bytes: size,
@@ -610,8 +740,6 @@ impl Simulator {
             pid: 0,
             ttl: INITIAL_TTL,
             flow_hash: hash,
-            trace: Vec::new(),
-            looped: false,
         }
     }
 
@@ -633,8 +761,8 @@ impl Simulator {
             }
             let seq = f.next_seq;
             let size = self.data_size(f, seq);
-            let (src, dst, hash) = (f.src, f.dst, f.hash_fwd);
-            let pkt = self.mk_packet(PacketKind::Data, flow, seq, size, src, dst, hash);
+            let (src, dst, dst_sw, hash) = (f.src, f.dst, f.dst_switch, f.hash_fwd);
+            let pkt = self.mk_packet(PacketKind::Data, flow, seq, size, src, dst, dst_sw, hash);
             self.flows[flow as usize].next_seq += 1;
             let sw = self.flows[flow as usize].src_switch;
             self.transmit(src, sw, pkt);
@@ -645,14 +773,21 @@ impl Simulator {
         let flow = pkt.flow.0;
         let f = &mut self.flows[flow as usize];
         let seq = pkt.seq;
-        if seq >= f.rcv_next {
+        if seq == f.rcv_next {
+            // In-order fast path (the overwhelmingly common case): advance
+            // without touching the out-of-order set, then drain any
+            // segments it unblocks.
+            f.rcv_next += 1;
+            if !f.rcv_ooo.is_empty() {
+                while f.rcv_ooo.remove(&f.rcv_next) {
+                    f.rcv_next += 1;
+                }
+            }
+        } else if seq > f.rcv_next {
             f.rcv_ooo.insert(seq);
         }
-        while f.rcv_ooo.remove(&f.rcv_next) {
-            f.rcv_next += 1;
-        }
         let ack_seq = f.rcv_next;
-        let (src, dst, hash) = (f.dst, f.src, f.hash_rev);
+        let (src, dst, dst_sw, hash) = (f.dst, f.src, f.src_switch, f.hash_rev);
         let echo_ts = pkt.sent_at;
         // ACK travels from the receiver host back to the sender host.
         let ack = self.mk_packet(
@@ -662,6 +797,7 @@ impl Simulator {
             HDR_BYTES,
             src,
             dst,
+            dst_sw,
             hash,
         );
         let sw = self.flows[flow as usize].dst_switch;
@@ -722,9 +858,9 @@ impl Simulator {
                 f.recovery_point = f.next_seq;
                 f.retransmits += 1;
                 let seq = f.cum_acked;
-                let (src, dst, hash) = (f.src, f.dst, f.hash_fwd);
+                let (src, dst, dst_sw, hash) = (f.src, f.dst, f.dst_switch, f.hash_fwd);
                 let size = self.data_size(&self.flows[flow as usize], seq);
-                let pkt = self.mk_packet(PacketKind::Data, flow, seq, size, src, dst, hash);
+                let pkt = self.mk_packet(PacketKind::Data, flow, seq, size, src, dst, dst_sw, hash);
                 let sw = self.flows[flow as usize].src_switch;
                 self.transmit(src, sw, pkt);
                 self.arm_rto(flow);
@@ -770,8 +906,8 @@ impl Simulator {
         }
         let size = MSS + HDR_BYTES;
         let seq = f.next_seq;
-        let (src, dst, hash) = (f.src, f.dst, f.hash_fwd);
-        let pkt = self.mk_packet(PacketKind::Udp, flow, seq, size, src, dst, hash);
+        let (src, dst, dst_sw, hash) = (f.src, f.dst, f.dst_switch, f.hash_fwd);
+        let pkt = self.mk_packet(PacketKind::Udp, flow, seq, size, src, dst, dst_sw, hash);
         self.flows[flow as usize].next_seq += 1;
         let sw = self.flows[flow as usize].src_switch;
         self.transmit(src, sw, pkt);

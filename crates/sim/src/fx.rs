@@ -1,0 +1,97 @@
+//! Deterministic Fx-style hashing for hot-path tables.
+//!
+//! `std` `HashMap`s default to randomly-seeded SipHash: safe against
+//! adversarial keys, but slow and — worse for a simulator whose contract
+//! is byte-identical runs — seeded differently per process. Dataplane
+//! tables key on ids the simulation itself generates, so the cheap
+//! multiply-xor folding of rustc's FxHasher is the right trade. The
+//! constant is the golden-ratio multiplier rustc uses.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher; deterministic across processes and platforms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher64`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher64>;
+
+/// A `HashMap` with deterministic Fx hashing.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// One-shot mix of a `u64` into a well-spread `u64` (Fibonacci hashing
+/// finalizer) — used to index fixed-size register arrays.
+#[inline]
+pub fn fx_mix64(x: u64) -> u64 {
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let hash = |x: u64| {
+            let mut h = FxHasher64::default();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43));
+    }
+
+    #[test]
+    fn mix_spreads_small_keys() {
+        let a = fx_mix64(1) >> 52;
+        let b = fx_mix64(2) >> 52;
+        assert_ne!(a, b, "high bits must differ for adjacent keys");
+    }
+}

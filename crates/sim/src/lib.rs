@@ -27,6 +27,7 @@
 //! results on every run — a property the test suite checks.
 
 pub mod engine;
+pub mod fx;
 pub mod link;
 pub mod packet;
 pub mod stats;
@@ -35,11 +36,12 @@ pub mod system;
 pub mod time;
 
 pub use engine::{FlowSpec, SimConfig, Simulator};
+pub use fx::{fx_mix64, FxBuildHasher, FxHashMap, FxHasher64};
 pub use link::{DropReason, LinkState, UtilEstimator};
 pub use packet::{
     flow_hash, FlowId, Packet, PacketKind, Probe, HDR_BYTES, INITIAL_TTL, MSS, PROBE_BASE_BYTES,
 };
-pub use stats::{FlowRecord, QueueSample, SimStats, TrafficKind};
+pub use stats::{FlowRecord, QueueSample, SimStats, TrafficKind, WireBytes};
 pub use switch::{SwitchCtx, SwitchLogic};
 pub use system::{CompileCache, InstallCtx, InstallError, RoutingSystem};
 pub use time::{tx_time, Time};

@@ -231,8 +231,6 @@ mod tests {
             pid: 0,
             ttl: INITIAL_TTL,
             flow_hash: 0,
-            trace: Vec::new(),
-            looped: false,
         }
     }
 

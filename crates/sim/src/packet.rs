@@ -84,11 +84,6 @@ pub struct Packet {
     pub ttl: u8,
     /// Hash of the flow five-tuple — flowlet tables key on this.
     pub flow_hash: u64,
-    /// Switch ids visited, recorded only when the engine's `trace_paths`
-    /// option is on (exact loop accounting and policy-compliance tests).
-    pub trace: Vec<u32>,
-    /// Set once the packet has revisited a switch (counted once per packet).
-    pub looped: bool,
 }
 
 /// Initial TTL for data traffic.
@@ -177,8 +172,6 @@ mod tests {
             pid: 0,
             ttl: INITIAL_TTL,
             flow_hash: 0,
-            trace: Vec::new(),
-            looped: false,
         };
         assert!(p.is_probe());
         assert!(!p.carries_payload());

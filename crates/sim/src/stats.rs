@@ -44,6 +44,70 @@ impl FlowRecord {
     }
 }
 
+/// Per-kind wire-byte counters with a map-like surface.
+///
+/// [`SimStats::on_wire`] runs once per packet per hop — the hottest stats
+/// call in the engine — so the storage is a flat array indexed by
+/// [`TrafficKind`] discriminant rather than a tree. Iteration and `get`
+/// mimic the `BTreeMap<TrafficKind, u64>` this replaced: kinds that never
+/// saw a byte are absent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireBytes {
+    bytes: [u64; 4],
+}
+
+impl WireBytes {
+    const KINDS: [TrafficKind; 4] = [
+        TrafficKind::Data,
+        TrafficKind::Ack,
+        TrafficKind::Udp,
+        TrafficKind::Probe,
+    ];
+
+    /// Adds bytes for a kind.
+    #[inline]
+    pub fn add(&mut self, kind: TrafficKind, bytes: u64) {
+        self.bytes[kind as usize] += bytes;
+    }
+
+    /// The counter for a kind, `None` if no byte of that kind was ever
+    /// recorded (matching map semantics).
+    pub fn get(&self, kind: &TrafficKind) -> Option<&u64> {
+        let v = &self.bytes[*kind as usize];
+        (*v != 0).then_some(v)
+    }
+
+    /// Counters of every kind that saw traffic, in `TrafficKind` order.
+    pub fn iter(&self) -> impl Iterator<Item = (TrafficKind, &u64)> {
+        Self::KINDS
+            .iter()
+            .map(|&k| (k, &self.bytes[k as usize]))
+            .filter(|(_, v)| **v != 0)
+    }
+
+    /// Non-zero counters, in `TrafficKind` order.
+    pub fn values(&self) -> impl Iterator<Item = &u64> {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+impl std::ops::Index<&TrafficKind> for WireBytes {
+    type Output = u64;
+
+    fn index(&self, kind: &TrafficKind) -> &u64 {
+        &self.bytes[*kind as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a WireBytes {
+    type Item = (TrafficKind, &'a u64);
+    type IntoIter = std::vec::IntoIter<(TrafficKind, &'a u64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter().collect::<Vec<_>>().into_iter()
+    }
+}
+
 /// A periodic queue-occupancy sample (Fig 13).
 #[derive(Debug, Clone, Copy)]
 pub struct QueueSample {
@@ -62,7 +126,7 @@ pub struct SimStats {
     pub flows: Vec<FlowRecord>,
     /// Bytes placed on the wire, per traffic kind, summed over every hop —
     /// the "amount of traffic sent over the network" of §6.5.
-    pub wire_bytes: BTreeMap<TrafficKind, u64>,
+    pub wire_bytes: WireBytes,
     /// Packet drops by reason (sum over all links/switches).
     pub drops: BTreeMap<DropReason, u64>,
     /// Queue samples (only when sampling is enabled).
@@ -74,6 +138,9 @@ pub struct SimStats {
     pub delivered_packets: u64,
     /// Loop-breaking events reported by switch logic (§5.5).
     pub loop_breaks: u64,
+    /// Events popped off the engine's heap — the denominator of the
+    /// events/sec throughput figure tracked in `BENCH_sim.json`.
+    pub events_processed: u64,
     /// UDP bytes delivered, bucketed by [`SimStats::udp_bucket`] for
     /// throughput-over-time plots (Fig 14).
     pub udp_delivered: BTreeMap<u64, u64>,
@@ -91,8 +158,9 @@ impl SimStats {
     }
 
     /// Records wire bytes for a transmission.
+    #[inline]
     pub fn on_wire(&mut self, kind: TrafficKind, bytes: u32) {
-        *self.wire_bytes.entry(kind).or_insert(0) += bytes as u64;
+        self.wire_bytes.add(kind, bytes as u64);
     }
 
     /// Records a drop.

@@ -41,25 +41,32 @@ pub struct SwitchCtx<'a> {
     pub(crate) out: Vec<(NodeId, Packet)>,
     /// Loop-break events reported by the logic (§5.5 statistics).
     pub(crate) loop_breaks: u64,
-    /// Packets the logic declined to forward (no usable entry).
-    pub(crate) no_route: u64,
+    /// Ids of packets the logic declined to forward (no usable entry) —
+    /// ids, not just a count, so the engine can release their side-table
+    /// traces. Empty in steady state, so it never allocates there.
+    pub(crate) no_route: Vec<u64>,
 }
 
 impl<'a> SwitchCtx<'a> {
+    /// Builds a context around a (possibly recycled) output buffer — the
+    /// engine lends its scratch buffer so per-event dispatch does not
+    /// allocate.
     pub(crate) fn new(
         switch: NodeId,
         now: Time,
         topo: &'a Topology,
         links: &'a [LinkState],
+        out: Vec<(NodeId, Packet)>,
     ) -> SwitchCtx<'a> {
+        debug_assert!(out.is_empty());
         SwitchCtx {
             switch,
             now,
             topo,
             links,
-            out: Vec::new(),
+            out,
             loop_breaks: 0,
-            no_route: 0,
+            no_route: Vec::new(),
         }
     }
 
@@ -73,7 +80,7 @@ impl<'a> SwitchCtx<'a> {
         topo: &'a Topology,
         links: &'a [LinkState],
     ) -> SwitchCtx<'a> {
-        Self::new(switch, now, topo, links)
+        Self::new(switch, now, topo, links, Vec::new())
     }
 
     /// Drains the packets emitted so far as `(next_hop, packet)` pairs.
@@ -96,8 +103,8 @@ impl<'a> SwitchCtx<'a> {
 
     /// Declares that no usable route existed for a packet (it is dropped
     /// and counted).
-    pub fn drop_no_route(&mut self, _pkt: Packet) {
-        self.no_route += 1;
+    pub fn drop_no_route(&mut self, pkt: Packet) {
+        self.no_route.push(pkt.id);
     }
 
     /// Records a flowlet loop-break event (§5.5).

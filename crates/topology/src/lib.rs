@@ -19,7 +19,6 @@ pub mod generators;
 pub mod paths;
 pub mod zoo;
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a node (switch or host) inside one [`Topology`].
@@ -74,7 +73,11 @@ pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
     out: Vec<Vec<LinkId>>,
-    by_pair: BTreeMap<(NodeId, NodeId), LinkId>,
+    /// Flat adjacency index: per source node, out-neighbors sorted by id
+    /// with their link. [`Topology::link_between`] runs on every simulated
+    /// hop, so the pair lookup must be O(log degree) over a contiguous
+    /// array, not a tree walk over all (src, dst) pairs.
+    adj: Vec<Vec<(NodeId, LinkId)>>,
 }
 
 impl Topology {
@@ -165,7 +168,16 @@ impl Topology {
 
     /// The directed link from `a` to `b`, if any.
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
-        self.by_pair.get(&(a, b)).copied()
+        let row = self.adj.get(a.0 as usize)?;
+        row.binary_search_by_key(&b, |&(n, _)| n)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    /// Out-neighbors with their links, sorted by neighbor id
+    /// (allocation-free adjacency for hot loops).
+    pub fn adjacency(&self, n: NodeId) -> &[(NodeId, LinkId)] {
+        &self.adj[n.0 as usize]
     }
 
     /// Looks a node up by name.
@@ -290,23 +302,24 @@ impl TopologyBuilder {
     /// Finalizes the topology, computing adjacency indices.
     pub fn build(self) -> Topology {
         let mut out = vec![Vec::new(); self.nodes.len()];
-        let mut by_pair = BTreeMap::new();
+        let mut adj: Vec<Vec<(NodeId, LinkId)>> = vec![Vec::new(); self.nodes.len()];
         for (i, l) in self.links.iter().enumerate() {
             let id = LinkId(i as u32);
             out[l.src.0 as usize].push(id);
-            let prev = by_pair.insert((l.src, l.dst), id);
-            assert!(
-                prev.is_none(),
-                "parallel links between {} and {} are not supported",
-                l.src,
-                l.dst
-            );
+            let row = &mut adj[l.src.0 as usize];
+            match row.binary_search_by_key(&l.dst, |&(n, _)| n) {
+                Ok(_) => panic!(
+                    "parallel links between {} and {} are not supported",
+                    l.src, l.dst
+                ),
+                Err(pos) => row.insert(pos, (l.dst, id)),
+            }
         }
         Topology {
             nodes: self.nodes,
             links: self.links,
             out,
-            by_pair,
+            adj,
         }
     }
 }

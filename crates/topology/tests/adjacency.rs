@@ -1,0 +1,76 @@
+//! The flat adjacency index must agree with the pair-map it replaced.
+//!
+//! `Topology::link_between` used to consult a `BTreeMap<(NodeId, NodeId),
+//! LinkId>`; it is now a binary search over per-node sorted neighbor
+//! arrays. These properties rebuild the old map from `links()` on random
+//! topologies and require exact agreement — over every node pair, present
+//! or absent.
+
+use contra_topology::{generators, LinkId, NodeId, Topology};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The replaced structure, rebuilt the way `TopologyBuilder::build` used
+/// to populate it.
+fn pair_map(topo: &Topology) -> BTreeMap<(NodeId, NodeId), LinkId> {
+    topo.links()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| ((l.src, l.dst), LinkId(i as u32)))
+        .collect()
+}
+
+fn assert_agrees(topo: &Topology) {
+    let map = pair_map(topo);
+    for a in 0..topo.num_nodes() as u32 {
+        for b in 0..topo.num_nodes() as u32 {
+            let (a, b) = (NodeId(a), NodeId(b));
+            assert_eq!(
+                topo.link_between(a, b),
+                map.get(&(a, b)).copied(),
+                "flat index disagrees with the pair map for {a}→{b}"
+            );
+        }
+    }
+    // The adjacency rows cover exactly the out-links, sorted by neighbor.
+    for n in 0..topo.num_nodes() as u32 {
+        let row = topo.adjacency(NodeId(n));
+        assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "row sorted");
+        assert_eq!(row.len(), topo.out_links(NodeId(n)).len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flat_index_agrees_on_random_graphs(n in 2usize..40, extra in 0usize..60, seed in 0u64..1000) {
+        assert_agrees(&generators::random_connected(
+            n,
+            extra,
+            generators::LinkSpec::default(),
+            seed,
+        ));
+    }
+
+    #[test]
+    fn flat_index_agrees_on_fabrics(leaves in 2usize..6, spines in 1usize..4, hosts in 1usize..4) {
+        assert_agrees(&generators::leaf_spine(
+            leaves,
+            spines,
+            hosts,
+            generators::LinkSpec::default(),
+            generators::LinkSpec::default(),
+        ));
+    }
+}
+
+#[test]
+fn flat_index_agrees_on_named_topologies() {
+    assert_agrees(&generators::with_hosts(
+        &generators::abilene(40e9),
+        1,
+        generators::LinkSpec::default(),
+    ));
+    assert_agrees(&generators::fat_tree(4, 2, generators::LinkSpec::default()));
+}
