@@ -1,14 +1,20 @@
 //! Figure 10: switch state (kB) of the generated programs vs topology
-//! size, for MU/WP/CA on fat-trees and random networks.
+//! size, for MU/WP/CA on fat-trees and random networks — plus the
+//! state-vs-quality trade-off behind the §5.3 sizing discussion:
+//! register-array collisions as the flowlet table shrinks.
 //!
 //! Paper shape to reproduce: WP and CA need more state than MU (tags and
-//! pids respectively); everything stays well under ~100 kB.
+//! pids respectively); everything stays well under ~100 kB. Collisions
+//! (fig10c) grow as `flowlet_slots` falls below the live flowlet count.
 //!
-//! Output: CSV `fig,series,size,kB` on stdout.
+//! Output: CSV `fig,series,size,kB` (fig10a/b) and
+//! `fig,series,flowlet_slots,collisions` (fig10c) on stdout.
 
-use contra_bench::{compiler_policy_suite, csv_row, fast_mode};
+use contra_bench::{compiler_policy_suite, csv_row, fast_mode, Scenario};
 use contra_core::Compiler;
+use contra_dataplane::{Contra, DataplaneConfig};
 use contra_p4gen::max_switch_state_kb;
+use contra_sim::Time;
 use contra_topology::generators;
 
 fn main() {
@@ -45,6 +51,31 @@ fn main() {
                 format!("{:.1}", max_switch_state_kb(&cp)),
             );
         }
+    }
+    // fig10c: modeled register collisions vs flowlet-table size on the
+    // §6.3 leaf-spine under load — the quality cost of shrinking SRAM.
+    let slot_sweep: Vec<usize> = if fast_mode() {
+        vec![16, 1024]
+    } else {
+        vec![16, 64, 256, 1024, 4096, 8192]
+    };
+    let scenario = Scenario::leaf_spine(4, 2, 8)
+        .load(0.6)
+        .duration(Time::ms(8))
+        .warmup(Time::ms(2))
+        .drain(Time::ms(10));
+    for &slots in &slot_sweep {
+        let system = Contra::dc().with_config(DataplaneConfig {
+            flowlet_slots: slots,
+            ..DataplaneConfig::default()
+        });
+        let r = scenario.run(&system);
+        csv_row("fig10c", "Contra", slots, r.figures.register_collisions);
+        eprintln!(
+            "fig10c flowlet_slots={slots}: {} register collisions \
+             ({} flowlet / {} loop)",
+            r.figures.register_collisions, r.stats.flowlet_collisions, r.stats.loop_collisions
+        );
     }
     eprintln!("paper: WP/CA > MU; no more than ~70-100 kB anywhere");
 }

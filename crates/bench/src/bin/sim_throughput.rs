@@ -12,41 +12,55 @@
 //!
 //! Each run is repeated and the best (max events/sec) repetition is kept —
 //! the engine is deterministic, so repetitions differ only by machine
-//! noise. The JSON also carries the pre-overhaul baseline (events/sec
-//! measured at the commit before the flat-adjacency/slab/register-array
-//! rewrite, on the same scenarios and machine class) so the speedup is a
-//! recorded fact in the same file.
+//! noise. The JSON also carries the pre-change baseline (events/sec
+//! measured at the commit before the timing-wheel scheduler landed, on
+//! the same scenarios and machine class) so the speedup is a recorded
+//! fact in the same file.
+//!
+//! With `CONTRA_BENCH_REGRESSION_GATE` set (as CI does), the binary also
+//! measures every cell under the heap scheduler — the recorded baseline's
+//! engine, still in this binary behind `SchedulerKind::Heap` — and exits
+//! nonzero when any cell regresses more than 10% below its recorded
+//! baseline *after rescaling the baseline by the measured machine speed*
+//! (geomean of heap-now / heap-recorded), or when the wheel loses >10% to
+//! the same-run heap outright. Absolute events/sec depend on the machine;
+//! calibrating against the in-binary pre-change engine makes the gate
+//! portable to slower CI runners while still catching real regressions.
 
 use contra_baselines::{Ecmp, Hula, Sp};
 use contra_bench::{fast_mode, Scenario};
 use contra_dataplane::Contra;
 use contra_experiments::RunResult;
-use contra_sim::{CompileCache, RoutingSystem, Time};
+use contra_sim::{CompileCache, RoutingSystem, SchedulerKind, Time};
 
-/// Pre-change baseline, events/sec, measured at the seed engine (PR 1,
-/// commit 72eb027) with the same instrumentation and scenarios:
-/// `(mode, topology, system, events_per_sec)`.
+/// Pre-change baseline, events/sec, measured at the flat-hot-path engine
+/// before the timing-wheel event scheduler (PR 2, commit fd51bd8; its
+/// `BinaryHeap` event queue is still runnable via
+/// `SimConfig::scheduler = SchedulerKind::Heap`), with the same
+/// instrumentation and scenarios: `(mode, topology, system,
+/// events_per_sec)`. History: the PR 1 seed engine measured a 1.62x
+/// geomean *below* these numbers on the same machine class.
 const BASELINE: &[(&str, &str, &str, f64)] = &[
-    ("full", "leaf-spine(4,2,8)", "Contra", 3744550.7),
-    ("full", "leaf-spine(4,2,8)", "Hula", 4082936.2),
-    ("full", "leaf-spine(4,2,8)", "ECMP", 4091449.2),
-    ("full", "leaf-spine(4,2,8)", "SP", 4436750.9),
-    ("full", "fat-tree(4)", "Contra", 3231465.9),
-    ("full", "fat-tree(4)", "ECMP", 3529703.7),
-    ("full", "fat-tree(4)", "SP", 3950014.1),
-    ("full", "abilene", "Contra", 2958183.7),
-    ("full", "abilene", "ECMP", 3342150.9),
-    ("full", "abilene", "SP", 3417251.3),
-    ("fast", "leaf-spine(4,2,8)", "Contra", 3482472.5),
-    ("fast", "leaf-spine(4,2,8)", "Hula", 4964747.5),
-    ("fast", "leaf-spine(4,2,8)", "ECMP", 4788324.7),
-    ("fast", "leaf-spine(4,2,8)", "SP", 4667355.5),
-    ("fast", "fat-tree(4)", "Contra", 3624560.2),
-    ("fast", "fat-tree(4)", "ECMP", 3263511.0),
-    ("fast", "fat-tree(4)", "SP", 4446254.5),
-    ("fast", "abilene", "Contra", 3822200.5),
-    ("fast", "abilene", "ECMP", 3596828.3),
-    ("fast", "abilene", "SP", 4098833.3),
+    ("full", "leaf-spine(4,2,8)", "Contra", 6331488.4),
+    ("full", "leaf-spine(4,2,8)", "Hula", 6706216.3),
+    ("full", "leaf-spine(4,2,8)", "ECMP", 6756128.2),
+    ("full", "leaf-spine(4,2,8)", "SP", 6995270.4),
+    ("full", "fat-tree(4)", "Contra", 5793953.8),
+    ("full", "fat-tree(4)", "ECMP", 6380214.2),
+    ("full", "fat-tree(4)", "SP", 7129114.6),
+    ("full", "abilene", "Contra", 3662615.7),
+    ("full", "abilene", "ECMP", 5130709.6),
+    ("full", "abilene", "SP", 5335788.8),
+    ("fast", "leaf-spine(4,2,8)", "Contra", 6537826.1),
+    ("fast", "leaf-spine(4,2,8)", "Hula", 7325584.9),
+    ("fast", "leaf-spine(4,2,8)", "ECMP", 5958495.2),
+    ("fast", "leaf-spine(4,2,8)", "SP", 5813303.2),
+    ("fast", "fat-tree(4)", "Contra", 5797628.0),
+    ("fast", "fat-tree(4)", "ECMP", 7125124.6),
+    ("fast", "fat-tree(4)", "SP", 6943411.6),
+    ("fast", "abilene", "Contra", 6355590.4),
+    ("fast", "abilene", "ECMP", 6570254.8),
+    ("fast", "abilene", "SP", 6950326.0),
 ];
 
 fn baseline_for(mode: &str, topo: &str, system: &str) -> Option<f64> {
@@ -112,6 +126,9 @@ struct Row {
     wall_secs: f64,
     events_per_sec: f64,
     baseline_eps: Option<f64>,
+    /// Same cell under `SchedulerKind::Heap` — the recorded baseline's
+    /// engine re-measured on *this* machine. Only taken in gate mode.
+    heap_eps: Option<f64>,
 }
 
 fn best_of(
@@ -133,6 +150,7 @@ fn best_of(
 fn main() {
     let mode = if fast_mode() { "fast" } else { "full" };
     let reps = if fast_mode() { 1 } else { 3 };
+    let gate = std::env::var_os("CONTRA_BENCH_REGRESSION_GATE").is_some();
     let mut rows: Vec<Row> = Vec::new();
     for (scenario, systems) in scenarios() {
         let cache = CompileCache::new();
@@ -140,8 +158,24 @@ fn main() {
             let r = best_of(&scenario, system.as_ref(), &cache, reps);
             let eps = r.stats.events_processed as f64 / r.wall_secs.max(1e-12);
             let baseline_eps = baseline_for(mode, scenario.label(), &r.system);
+            // Gate mode: re-measure the cell on the in-binary pre-change
+            // engine (heap scheduler) to calibrate the recorded baseline
+            // to this machine's speed.
+            let heap_eps = gate.then(|| {
+                let h = best_of(
+                    &scenario.clone().scheduler(SchedulerKind::Heap),
+                    system.as_ref(),
+                    &cache,
+                    reps,
+                );
+                assert_eq!(
+                    h.stats.events_processed, r.stats.events_processed,
+                    "schedulers must process identical event streams"
+                );
+                h.stats.events_processed as f64 / h.wall_secs.max(1e-12)
+            });
             eprintln!(
-                "{:<20} {:<8} {:>9} events  {:>8.1} ms  {:>6.2} Mev/s{}",
+                "{:<20} {:<8} {:>9} events  {:>8.1} ms  {:>6.2} Mev/s{}{}",
                 scenario.label(),
                 r.system,
                 r.stats.events_processed,
@@ -149,6 +183,10 @@ fn main() {
                 eps / 1e6,
                 match baseline_eps {
                     Some(b) => format!("  ({:.2}x baseline)", eps / b),
+                    None => String::new(),
+                },
+                match heap_eps {
+                    Some(h) => format!("  ({:.2}x same-run heap)", eps / h),
                     None => String::new(),
                 }
             );
@@ -159,6 +197,7 @@ fn main() {
                 wall_secs: r.wall_secs,
                 events_per_sec: eps,
                 baseline_eps,
+                heap_eps,
             });
         }
     }
@@ -179,7 +218,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"topology\": \"{}\", \"system\": \"{}\", \"events\": {}, \
              \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \
-             \"baseline_events_per_sec\": {}, \"speedup\": {}}}{}\n",
+             \"baseline_events_per_sec\": {}, \"speedup\": {}, \
+             \"heap_events_per_sec\": {}}}{}\n",
             r.topology,
             r.system,
             r.events,
@@ -190,6 +230,9 @@ fn main() {
                 .unwrap_or_else(|| "null".into()),
             r.baseline_eps
                 .map(|b| format!("{:.3}", r.events_per_sec / b))
+                .unwrap_or_else(|| "null".into()),
+            r.heap_eps
+                .map(|h| format!("{h:.1}"))
                 .unwrap_or_else(|| "null".into()),
             if i + 1 < rows.len() { "," } else { "" }
         ));
@@ -209,4 +252,66 @@ fn main() {
         eprintln!("geomean speedup over pre-change baseline: {g:.2}x");
     }
     eprintln!("wrote {out}");
+
+    // Regression gate (CI): fail when any cell drops more than 10% below
+    // its recorded baseline. Absolute events/sec vary with the machine,
+    // so the recorded baseline is first rescaled by how fast *this*
+    // machine runs the baseline's own engine (the heap scheduler, still
+    // in this binary): machine_factor = geomean(heap-now / recorded).
+    // A second, machine-free check requires the wheel not to lose >10%
+    // to the same-run heap on any cell.
+    if gate {
+        let factors: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| match (r.heap_eps, r.baseline_eps) {
+                (Some(h), Some(b)) => Some(h / b),
+                _ => None,
+            })
+            .collect();
+        let machine_factor = if factors.is_empty() {
+            1.0
+        } else {
+            (factors.iter().map(|f| f.ln()).sum::<f64>() / factors.len() as f64).exp()
+        };
+        eprintln!(
+            "gate: machine factor {machine_factor:.2}x the baseline recording \
+             (heap scheduler re-measured on this machine)"
+        );
+        let mut regressed: Vec<String> = Vec::new();
+        for r in &rows {
+            if let Some(b) = r.baseline_eps {
+                let scaled = b * machine_factor;
+                if r.events_per_sec < 0.9 * scaled {
+                    regressed.push(format!(
+                        "{} / {}: {:.2} Mev/s vs machine-scaled baseline {:.2} Mev/s ({:.0}%)",
+                        r.topology,
+                        r.system,
+                        r.events_per_sec / 1e6,
+                        scaled / 1e6,
+                        100.0 * r.events_per_sec / scaled,
+                    ));
+                }
+            }
+            if let Some(h) = r.heap_eps {
+                if r.events_per_sec < 0.9 * h {
+                    regressed.push(format!(
+                        "{} / {}: wheel {:.2} Mev/s vs same-run heap {:.2} Mev/s ({:.0}%)",
+                        r.topology,
+                        r.system,
+                        r.events_per_sec / 1e6,
+                        h / 1e6,
+                        100.0 * r.events_per_sec / h,
+                    ));
+                }
+            }
+        }
+        if !regressed.is_empty() {
+            eprintln!("REGRESSION: cells >10% below the recorded baseline:");
+            for line in &regressed {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("regression gate passed: no cell below 90% of baseline");
+    }
 }

@@ -466,4 +466,8 @@ impl SwitchLogic for ContraSwitch {
     fn tick_interval(&self) -> Option<Time> {
         Some(self.cfg.probe_period)
     }
+
+    fn register_collisions(&self) -> (u64, u64) {
+        (self.flowlets.collisions(), self.loops.collisions())
+    }
 }

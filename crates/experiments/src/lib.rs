@@ -41,4 +41,4 @@ pub use spec::{parse_topology_spec, SpecError};
 // The whole experiment vocabulary in one import.
 pub use contra_baselines::{Ecmp, Hula, Sp, Spain};
 pub use contra_dataplane::Contra;
-pub use contra_sim::{CompileCache, InstallCtx, InstallError, RoutingSystem};
+pub use contra_sim::{CompileCache, InstallCtx, InstallError, RoutingSystem, SchedulerKind};

@@ -43,6 +43,11 @@ pub struct Figures {
     pub loop_breaks: u64,
     /// Payload packets delivered to their destination host.
     pub delivered_packets: u64,
+    /// Modeled register-array collisions (flowlet + loop tables summed
+    /// over all switches) — the state-vs-quality artifact of the paper's
+    /// §5.3 sizing discussion. Split counts live in
+    /// [`SimStats::flowlet_collisions`] / [`SimStats::loop_collisions`].
+    pub register_collisions: u64,
 }
 
 impl Figures {
@@ -61,9 +66,7 @@ impl Figures {
         } else {
             Some(fcts.iter().sum::<f64>() / fcts.len() as f64)
         };
-        let p99_fct_ms = fcts
-            .get(((fcts.len() as f64 * 0.99).ceil() as usize).saturating_sub(1))
-            .copied();
+        let p99_fct_ms = contra_sim::percentile(&fcts, 99.0);
         Figures {
             mean_fct_ms,
             p99_fct_ms,
@@ -73,6 +76,7 @@ impl Figures {
             looped_packets: stats.looped_packets,
             loop_breaks: stats.loop_breaks,
             delivered_packets: stats.delivered_packets,
+            register_collisions: stats.flowlet_collisions + stats.loop_collisions,
         }
     }
 }

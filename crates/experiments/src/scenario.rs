@@ -8,7 +8,8 @@
 
 use crate::result::{Figures, RunResult, ScenarioInfo};
 use contra_sim::{
-    CompileCache, FlowSpec, InstallCtx, InstallError, RoutingSystem, SimConfig, Simulator, Time,
+    CompileCache, FlowSpec, InstallCtx, InstallError, RoutingSystem, SchedulerKind, SimConfig,
+    Simulator, Time,
 };
 use contra_topology::{generators, NodeId, Topology};
 use contra_workloads::{cache, poisson_flows, web_search, EmpiricalCdf, PairPolicy, WorkloadSpec};
@@ -97,6 +98,7 @@ pub struct Scenario {
     util_tau: Option<Time>,
     min_rto: Option<Time>,
     udp_bucket: Option<Time>,
+    scheduler: SchedulerKind,
     extra_flows: Vec<FlowSpec>,
 }
 
@@ -124,6 +126,7 @@ impl Scenario {
             util_tau: None,
             min_rto: None,
             udp_bucket: None,
+            scheduler: SchedulerKind::default(),
             extra_flows: Vec::new(),
         }
     }
@@ -302,6 +305,15 @@ impl Scenario {
         self
     }
 
+    /// Selects the engine's event scheduler (default: the timing wheel).
+    /// Both schedulers produce byte-identical results; the heap remains
+    /// available as a differential oracle — the golden suite runs one
+    /// scenario under each and requires equal fingerprints.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Scenario {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// Adds an explicit flow on top of (or instead of, with
     /// [`Traffic::None`]) the generated traffic.
     pub fn flow(mut self, flow: FlowSpec) -> Scenario {
@@ -395,6 +407,7 @@ impl Scenario {
             stop_at: self.duration + self.drain,
             queue_sample_every: self.queue_sampling,
             trace_paths: self.trace_paths,
+            scheduler: self.scheduler,
             ..SimConfig::default()
         };
         if let Some(tau) = self.util_tau {

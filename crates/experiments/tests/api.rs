@@ -128,6 +128,41 @@ fn random_pairs_are_deterministic() {
     }
 }
 
+/// Register-array telemetry (§5.3 sizing): an undersized flowlet table
+/// must report the aliasing it models — nonzero collisions surfaced
+/// through `SimStats` into `Figures::register_collisions` — while the
+/// default sizing on the same scenario stays collision-free.
+#[test]
+fn undersized_flowlet_table_reports_collisions() {
+    use contra_dataplane::DataplaneConfig;
+    let scenario = Scenario::leaf_spine(4, 2, 8)
+        .load(0.6)
+        .duration(Time::ms(8))
+        .warmup(Time::ms(2))
+        .drain(Time::ms(10));
+    let starved = Contra::dc().with_config(DataplaneConfig {
+        flowlet_slots: 1, // rounds up to the 16-slot register-array floor
+        ..DataplaneConfig::default()
+    });
+    let r = scenario.run(&starved);
+    assert!(
+        r.stats.flowlet_collisions > 0,
+        "thousands of flowlets through 16 slots per switch must alias"
+    );
+    assert_eq!(
+        r.figures.register_collisions,
+        r.stats.flowlet_collisions + r.stats.loop_collisions
+    );
+    // Scheduler occupancy telemetry rides along on every run.
+    assert!(r.stats.sched_peak_pending > 0);
+
+    let roomy = scenario.run(&Contra::dc());
+    assert_eq!(
+        roomy.figures.register_collisions, 0,
+        "default sizing must not alias on this scenario"
+    );
+}
+
 /// The old `DcExperiment` smoke test, through the new API: every
 /// datacenter system completes nearly all flows at light load.
 #[test]

@@ -2,10 +2,17 @@
 //!
 //! The engine's contract (see `contra_sim::engine`) is byte-identical
 //! statistics for identical inputs. These tests pin one leaf-spine, one
-//! fat-tree and one Abilene scenario per routing system to fingerprints
-//! captured *before* the flat-adjacency/slab/register-array overhaul;
-//! any refactor that changes a single drop counter, FCT bit pattern or
-//! wire-byte total fails loudly.
+//! fat-tree and one Abilene scenario per routing system to recorded
+//! fingerprints; any refactor that changes a single drop counter, FCT
+//! bit pattern or wire-byte total fails loudly.
+//!
+//! History: captured before the flat-adjacency/slab/register-array
+//! overhaul (PR 2), carried unchanged through the timing-wheel scheduler
+//! (PR 3 — every field survived byte-identical, confirming the wheel
+//! preserves the `(at, seq)` order exactly), with only the `p50=`/`p99=`
+//! fields re-recorded for PR 3's documented percentile fix
+//! (`round((p/100)·(n-1))` → ceil-based nearest rank; mean, completion,
+//! drops, wire bytes and delivery counts did not move).
 //!
 //! Regenerate (only when an *intentional* behavior change lands) with:
 //! `CONTRA_GOLDEN_PRINT=1 cargo test -p contra-experiments --test golden -- --nocapture`
@@ -13,7 +20,7 @@
 use contra_baselines::{Ecmp, Hula, Sp};
 use contra_dataplane::Contra;
 use contra_experiments::{RunResult, Scenario};
-use contra_sim::{RoutingSystem, Time};
+use contra_sim::{RoutingSystem, SchedulerKind, Time};
 
 /// Renders every behavioral output the issue calls out — FCT percentiles,
 /// drops by reason, wire bytes by kind — plus the loop/delivery counters,
@@ -92,7 +99,7 @@ fn abilene() -> Scenario {
 
 #[test]
 fn golden_leaf_spine_contra() {
-    check(&leaf_spine(), &Contra::dc(), "mean=3ff388b257615dfc p50=3fb8d36b4c7f3494 p99=4022f94b380cb6c8 done=3ff0000000000000 drop[QueueFull]=2265 wire[Data]=155876116 wire[Ack]=4161280 wire[Probe]=148544 delivered=26008 looped=0 breaks=0");
+    check(&leaf_spine(), &Contra::dc(), "mean=3ff388b257615dfc p50=3fb804fb1183b603 p99=4022f94b380cb6c8 done=3ff0000000000000 drop[QueueFull]=2265 wire[Data]=155876116 wire[Ack]=4161280 wire[Probe]=148544 delivered=26008 looped=0 breaks=0");
 }
 
 #[test]
@@ -102,7 +109,7 @@ fn golden_leaf_spine_ecmp() {
 
 #[test]
 fn golden_leaf_spine_hula() {
-    check(&leaf_spine(), &Hula::default(), "mean=3ff486785234bacb p50=3fb8815e39713ad6 p99=4024795e7c8d1959 done=3ff0000000000000 drop[QueueFull]=2266 wire[Data]=155872928 wire[Ack]=4161280 wire[Probe]=63616 delivered=26008 looped=0 breaks=0");
+    check(&leaf_spine(), &Hula::default(), "mean=3ff486785234bacb p50=3fb8027d88c1db01 p99=4024795e7c8d1959 done=3ff0000000000000 drop[QueueFull]=2266 wire[Data]=155872928 wire[Ack]=4161280 wire[Probe]=63616 delivered=26008 looped=0 breaks=0");
 }
 
 #[test]
@@ -122,15 +129,32 @@ fn golden_fat_tree_sp() {
 
 #[test]
 fn golden_abilene_contra() {
-    check(&abilene(), &Contra::mu(), "mean=404dd71bff090d18 p50=404674302b40f66a p99=40643e857afea3df done=3fe8000000000000 drop[QueueFull]=308 wire[Data]=326672790 wire[Ack]=8185040 wire[Probe]=197680 delivered=51867 looped=0 breaks=0");
+    check(&abilene(), &Contra::mu(), "mean=404dd71bff090d18 p50=404674302b40f66a p99=406592a6b50b0f28 done=3fe8000000000000 drop[QueueFull]=308 wire[Data]=326672790 wire[Ack]=8185040 wire[Probe]=197680 delivered=51867 looped=0 breaks=0");
 }
 
 #[test]
 fn golden_abilene_ecmp() {
-    check(&abilene(), &Ecmp, "mean=40484136b7898d59 p50=403c02a704bc2763 p99=405f9cec4a4095f2 done=3fed79435e50d794 drop[QueueFull]=1037 wire[Data]=343162196 wire[Ack]=9018040 delivered=67864 looped=0 breaks=0");
+    check(&abilene(), &Ecmp, "mean=40484136b7898d59 p50=403c025d18090b41 p99=405f9eed7c6fbd27 done=3fed79435e50d794 drop[QueueFull]=1037 wire[Data]=343162196 wire[Ack]=9018040 delivered=67864 looped=0 breaks=0");
+}
+
+/// The two schedulers must be observationally indistinguishable: the same
+/// scenario produces bit-equal fingerprints under the timing wheel and
+/// under the heap oracle. One deep-queue WAN cell and one datacenter cell
+/// cover both timing regimes; `crates/sim/tests/sched_diff.rs` covers the
+/// pop-order contract on adversarial random streams.
+#[test]
+fn golden_heap_wheel_parity() {
+    for (scenario, system) in [
+        (leaf_spine(), &Contra::dc() as &dyn RoutingSystem),
+        (abilene(), &Ecmp as &dyn RoutingSystem),
+    ] {
+        let wheel = fingerprint(&scenario.clone().scheduler(SchedulerKind::Wheel).run(system));
+        let heap = fingerprint(&scenario.scheduler(SchedulerKind::Heap).run(system));
+        assert_eq!(wheel, heap, "schedulers diverged under {}", system.name());
+    }
 }
 
 #[test]
 fn golden_abilene_sp() {
-    check(&abilene(), &Sp, "mean=40484136b7898d59 p50=403c02a704bc2763 p99=405f9cec4a4095f2 done=3fed79435e50d794 drop[QueueFull]=1037 wire[Data]=343162196 wire[Ack]=9018040 delivered=67864 looped=0 breaks=0");
+    check(&abilene(), &Sp, "mean=40484136b7898d59 p50=403c025d18090b41 p99=405f9eed7c6fbd27 done=3fed79435e50d794 drop[QueueFull]=1037 wire[Data]=343162196 wire[Ack]=9018040 delivered=67864 looped=0 breaks=0");
 }

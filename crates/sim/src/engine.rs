@@ -8,12 +8,11 @@
 use crate::fx::FxHashMap;
 use crate::link::{DropReason, EnqueueOutcome, LinkState};
 use crate::packet::{flow_hash, FlowId, Packet, PacketKind, HDR_BYTES, INITIAL_TTL, MSS};
+use crate::sched::{EventQueue, SchedulerKind};
 use crate::stats::{FlowRecord, QueueSample, SimStats, TrafficKind};
 use crate::switch::{SwitchCtx, SwitchLogic};
 use crate::time::Time;
 use contra_topology::{LinkId, NodeId, Topology};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Engine configuration. Defaults follow §6.3 of the paper where one
 /// exists.
@@ -37,6 +36,11 @@ pub struct SimConfig {
     /// (§6.5) and policy-compliance checks in tests. Costs memory per
     /// in-flight packet, so off by default.
     pub trace_paths: bool,
+    /// Which event scheduler runs the loop. [`SchedulerKind::Wheel`]
+    /// (default) and [`SchedulerKind::Heap`] produce byte-identical
+    /// outputs — the heap is kept as a differential oracle and an escape
+    /// hatch.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -50,6 +54,7 @@ impl Default for SimConfig {
             init_cwnd: 10.0,
             udp_bucket: Time::ms(1),
             trace_paths: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -111,29 +116,6 @@ enum Event {
     LinkUp { a: NodeId, b: NodeId },
     /// Periodic queue sampling.
     QueueSample,
-}
-
-struct Entry {
-    at: Time,
-    seq: u64,
-    ev: Event,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -228,8 +210,7 @@ pub struct Simulator {
     logics: Vec<Option<Box<dyn SwitchLogic>>>,
     tick_of: Vec<Option<Time>>,
     flows: Vec<FlowState>,
-    heap: BinaryHeap<Reverse<Entry>>,
-    seq: u64,
+    queue: EventQueue<Event>,
     now: Time,
     next_pkt_id: u64,
     /// In-flight packets referenced by `Event::Arrive`.
@@ -285,6 +266,7 @@ impl Simulator {
             .filter(|&(_, &f)| f)
             .map(|(i, _)| i as u32)
             .collect();
+        let queue = EventQueue::new(cfg.scheduler);
         let mut sim = Simulator {
             topo,
             cfg,
@@ -292,8 +274,7 @@ impl Simulator {
             logics: (0..n).map(|_| None).collect(),
             tick_of: vec![None; n],
             flows: Vec::new(),
-            heap: BinaryHeap::new(),
-            seq: 0,
+            queue,
             now: Time::ZERO,
             next_pkt_id: 0,
             pool: PacketPool::default(),
@@ -404,26 +385,44 @@ impl Simulator {
         self.push(at, Event::LinkUp { a, b });
     }
 
+    /// The stop condition lives here, in exactly one place: the queue
+    /// pops in `(at, seq)` order, so an event past `stop_at` could never
+    /// be processed — it is simply never enqueued. An event at exactly
+    /// `stop_at` still runs (inclusive boundary, as the old loop check
+    /// `at > stop_at → break` implemented it).
     fn push(&mut self, at: Time, ev: Event) {
-        self.seq += 1;
-        self.heap.push(Reverse(Entry {
-            at,
-            seq: self.seq,
-            ev,
-        }));
+        if at > self.cfg.stop_at {
+            return;
+        }
+        self.queue.push(at, ev);
     }
 
-    /// Runs to completion (heap empty or stop time reached) and returns the
-    /// statistics.
-    pub fn run(mut self) -> SimStats {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if entry.at > self.cfg.stop_at {
-                break;
-            }
+    /// The shared event loop behind [`Simulator::run`] and
+    /// [`Simulator::run_traced`].
+    fn run_loop(&mut self) {
+        while let Some(entry) = self.queue.pop() {
             self.now = entry.at;
             self.stats.events_processed += 1;
             self.dispatch(entry.ev);
         }
+        // Fold end-of-run telemetry into the stats: scheduler occupancy
+        // and the dataplane's modeled register collisions.
+        let sched = self.queue.counters();
+        self.stats.sched_peak_pending = sched.peak_pending;
+        self.stats.sched_cascades = sched.cascades;
+        self.stats.sched_overflow = sched.overflow_pushes;
+        for logic in self.logics.iter().flatten() {
+            let (flowlet, hloop) = logic.register_collisions();
+            self.stats.flowlet_collisions += flowlet;
+            self.stats.loop_collisions += hloop;
+        }
+    }
+
+    /// Runs to completion (queue empty, which includes the stop time
+    /// being reached — see [`Simulator::push`]) and returns the
+    /// statistics.
+    pub fn run(mut self) -> SimStats {
+        self.run_loop();
         self.stats
     }
 
@@ -431,14 +430,7 @@ impl Simulator {
     /// `trace_paths`).
     pub fn run_traced(mut self) -> (SimStats, Vec<(FlowId, Vec<NodeId>)>) {
         assert!(self.cfg.trace_paths, "enable cfg.trace_paths first");
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if entry.at > self.cfg.stop_at {
-                break;
-            }
-            self.now = entry.at;
-            self.stats.events_processed += 1;
-            self.dispatch(entry.ev);
-        }
+        self.run_loop();
         (self.stats, self.delivered_traces)
     }
 

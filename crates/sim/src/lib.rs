@@ -22,14 +22,18 @@
 //!   overhead), drops by cause, queue-occupancy sampling, UDP goodput
 //!   timelines, exact per-packet loop accounting (opt-in tracing).
 //!
-//! Determinism: the event heap is totally ordered by (time, sequence
-//! number); there is no hidden randomness. The same inputs give identical
-//! results on every run — a property the test suite checks.
+//! Determinism: the event queue — a hierarchical timing wheel by default,
+//! the original binary heap behind `SimConfig::scheduler` — is totally
+//! ordered by (time, sequence number); there is no hidden randomness. The
+//! same inputs give identical results on every run, under either
+//! scheduler — properties the test suite checks (see
+//! `tests/sched_diff.rs` for the scheduler equivalence).
 
 pub mod engine;
 pub mod fx;
 pub mod link;
 pub mod packet;
+pub mod sched;
 pub mod stats;
 pub mod switch;
 pub mod system;
@@ -41,7 +45,8 @@ pub use link::{DropReason, LinkState, UtilEstimator};
 pub use packet::{
     flow_hash, FlowId, Packet, PacketKind, Probe, HDR_BYTES, INITIAL_TTL, MSS, PROBE_BASE_BYTES,
 };
-pub use stats::{FlowRecord, QueueSample, SimStats, TrafficKind, WireBytes};
+pub use sched::{EventQueue, HeapQueue, SchedCounters, SchedEntry, SchedulerKind, TimingWheel};
+pub use stats::{percentile, FlowRecord, QueueSample, SimStats, TrafficKind, WireBytes};
 pub use switch::{SwitchCtx, SwitchLogic};
 pub use system::{CompileCache, InstallCtx, InstallError, RoutingSystem};
 pub use time::{tx_time, Time};
@@ -124,6 +129,36 @@ mod tests {
         assert!(fct >= Time::us(800), "{fct}");
         assert!(fct <= Time::ms(20), "{fct}");
         assert_eq!(stats.flows[0].retransmits, 0);
+        assert!(stats.sched_peak_pending > 0, "occupancy telemetry recorded");
+    }
+
+    /// The stop condition is inclusive and lives in exactly one place
+    /// (`Simulator::push`): an event scheduled at exactly `stop_at` still
+    /// runs; one a nanosecond later is never enqueued. The boundary was
+    /// previously untested and enforced in two separate loop checks.
+    #[test]
+    fn event_exactly_at_stop_at_is_processed() {
+        let topo = line();
+        let run_with_sample_at = |every: Time| {
+            let mut sim = Simulator::new(
+                topo.clone(),
+                SimConfig {
+                    stop_at: Time::ms(5),
+                    queue_sample_every: Some(every),
+                    ..SimConfig::default()
+                },
+            );
+            install_static(&mut sim);
+            sim.run()
+        };
+        // First (and only) queue sample lands exactly on stop_at.
+        let stats = run_with_sample_at(Time::ms(5));
+        assert_eq!(stats.events_processed, 1, "boundary event must run");
+        assert_eq!(stats.queue_samples.len(), 2, "both fabric links sampled");
+        // One nanosecond past the stop: nothing ever runs.
+        let stats = run_with_sample_at(Time(Time::ms(5).0 + 1));
+        assert_eq!(stats.events_processed, 0);
+        assert!(stats.queue_samples.is_empty());
     }
 
     #[test]

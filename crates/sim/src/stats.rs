@@ -108,6 +108,23 @@ impl<'a> IntoIterator for &'a WireBytes {
     }
 }
 
+/// Ceil-based nearest-rank percentile over an ascending-sorted slice:
+/// the smallest sample such that at least `p`% of the data is ≤ it
+/// (rank `⌈p/100 · n⌉`, clamped to `[1, n]`). `None` on an empty slice.
+///
+/// The previous `round((p/100)·(n-1))` index could select a sample
+/// *below* the true tail on small sets — e.g. p99 of 62 samples indexed
+/// element 61 of 62 instead of the maximum — which is exactly the regime
+/// the short golden scenarios measure.
+pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input is sorted");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
 /// A periodic queue-occupancy sample (Fig 13).
 #[derive(Debug, Clone, Copy)]
 pub struct QueueSample {
@@ -138,9 +155,23 @@ pub struct SimStats {
     pub delivered_packets: u64,
     /// Loop-breaking events reported by switch logic (§5.5).
     pub loop_breaks: u64,
-    /// Events popped off the engine's heap — the denominator of the
+    /// Events popped off the engine's queue — the denominator of the
     /// events/sec throughput figure tracked in `BENCH_sim.json`.
     pub events_processed: u64,
+    /// Peak number of pending events in the scheduler over the run.
+    pub sched_peak_pending: u64,
+    /// Timing-wheel entries re-filed from a coarser level into a finer
+    /// one as the clock advanced (0 under the heap scheduler).
+    pub sched_cascades: u64,
+    /// Events that landed beyond the timing wheel's horizon in its
+    /// overflow heap (0 under the heap scheduler).
+    pub sched_overflow: u64,
+    /// Flowlet-table pins that displaced a live foreign entry (modeled
+    /// register pressure), summed over all switches at the end of a run.
+    pub flowlet_collisions: u64,
+    /// Loop-table observations that displaced a live foreign row, summed
+    /// over all switches at the end of a run.
+    pub loop_collisions: u64,
     /// UDP bytes delivered, bucketed by [`SimStats::udp_bucket`] for
     /// throughput-over-time plots (Fig 14).
     pub udp_delivered: BTreeMap<u64, u64>,
@@ -189,19 +220,16 @@ impl SimStats {
         }
     }
 
-    /// The p-th percentile FCT (0 ≤ p ≤ 100) over completed flows, ms.
+    /// The p-th percentile FCT (0 ≤ p ≤ 100) over completed flows, ms
+    /// (ceil-based nearest rank — see [`percentile`]).
     pub fn fct_percentile_ms(&self, p: f64) -> Option<f64> {
         let mut fcts: Vec<f64> = self
             .flows
             .iter()
             .filter_map(|f| f.fct().map(|t| t.as_millis_f64()))
             .collect();
-        if fcts.is_empty() {
-            return None;
-        }
         fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let idx = ((p / 100.0) * (fcts.len() - 1) as f64).round() as usize;
-        Some(fcts[idx.min(fcts.len() - 1)])
+        percentile(&fcts, p)
     }
 
     /// Fraction of offered *finite* flows that completed (unbounded UDP
@@ -288,6 +316,32 @@ mod tests {
         assert_eq!(s.mean_fct_ms(), Some(3.0));
         assert!((s.completion_rate() - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(s.fct_percentile_ms(100.0), Some(4.0));
+    }
+
+    #[test]
+    fn percentile_is_ceil_nearest_rank() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        // Standard nearest-rank: p50 of 4 samples is the 2nd, not the 3rd
+        // the old round((p/100)·(n-1)) index produced.
+        assert_eq!(percentile(&v, 50.0), Some(2.0));
+        assert_eq!(percentile(&v, 25.0), Some(1.0));
+        assert_eq!(percentile(&v, 75.0), Some(3.0));
+        assert_eq!(percentile(&v, 99.0), Some(4.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_never_undershoots_the_tail() {
+        // 62 samples: round(0.99·61) = 60 picked the 61st sample — below
+        // the true p99 (rank ⌈61.38⌉ = 62, the maximum).
+        let v: Vec<f64> = (1..=62).map(f64::from).collect();
+        assert_eq!(percentile(&v, 99.0), Some(62.0));
+        // p999 over a small set is the maximum.
+        let w: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&w, 99.9), Some(10.0));
+        assert_eq!(percentile(&w, 90.0), Some(9.0));
     }
 
     #[test]

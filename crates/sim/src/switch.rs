@@ -27,6 +27,16 @@ pub trait SwitchLogic {
     fn tick_interval(&self) -> Option<Time> {
         None
     }
+
+    /// Modeled register-array collision counts of this switch, as
+    /// `(flowlet_table, loop_table)` — entries that displaced a live
+    /// foreign entry because the hash window was exhausted (a hardware
+    /// artifact the dataplane counts, not an error). The engine sums
+    /// these into `SimStats` at the end of a run. Logic without bounded
+    /// register state reports zero.
+    fn register_collisions(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// The environment a switch sees while handling one event.
