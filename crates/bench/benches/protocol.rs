@@ -8,11 +8,11 @@ use contra_sim::Time;
 use contra_topology::generators;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn bench_probe_rounds(c: &mut Criterion) {
     let topo = generators::fat_tree(4, 0, generators::LinkSpec::default());
-    let cp = Rc::new(
+    let cp = Arc::new(
         Compiler::new(&topo)
             .compile_str("minimize(path.util)")
             .unwrap(),

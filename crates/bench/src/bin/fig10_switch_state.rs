@@ -1,18 +1,25 @@
 //! Figure 10: switch state (kB) of the generated programs vs topology
 //! size, for MU/WP/CA on fat-trees and random networks — plus the
 //! state-vs-quality trade-off behind the §5.3 sizing discussion:
-//! register-array collisions as the flowlet table shrinks.
+//! register-array collisions *and the FCT they cost* as the flowlet
+//! table shrinks.
 //!
 //! Paper shape to reproduce: WP and CA need more state than MU (tags and
 //! pids respectively); everything stays well under ~100 kB. Collisions
-//! (fig10c) grow as `flowlet_slots` falls below the live flowlet count.
+//! (fig10c) grow as `flowlet_slots` falls below the live flowlet count,
+//! and the aliased flowlets degrade tail FCT (fig10c-fct) — the two
+//! sides of the state-vs-quality trade.
 //!
-//! Output: CSV `fig,series,size,kB` (fig10a/b) and
-//! `fig,series,flowlet_slots,collisions` (fig10c) on stdout.
+//! Output: CSV `fig,series,size,kB` (fig10a/b),
+//! `fig,series,flowlet_slots,collisions` (fig10c) and
+//! `fig,series,flowlet_slots,fct_ms` (fig10c-fct, p50 + p99 series) on
+//! stdout. The fig10c sweep runs through the parallel sweep engine — one
+//! cell per table size.
 
-use contra_bench::{compiler_policy_suite, csv_row, fast_mode, Scenario};
+use contra_bench::{compiler_policy_suite, csv_row, fast_mode, Jobs, RoutingSystem, Scenario};
 use contra_core::Compiler;
 use contra_dataplane::{Contra, DataplaneConfig};
+use contra_experiments::SweepSpec;
 use contra_p4gen::max_switch_state_kb;
 use contra_sim::Time;
 use contra_topology::generators;
@@ -64,18 +71,37 @@ fn main() {
         .duration(Time::ms(8))
         .warmup(Time::ms(2))
         .drain(Time::ms(10));
-    for &slots in &slot_sweep {
-        let system = Contra::dc().with_config(DataplaneConfig {
-            flowlet_slots: slots,
-            ..DataplaneConfig::default()
-        });
-        let r = scenario.run(&system);
+    // One system per table size (the knob lives in the dataplane config,
+    // not the scenario); all cells share one policy compile and run
+    // concurrently through the sweep engine.
+    let sized: Vec<Contra> = slot_sweep
+        .iter()
+        .map(|&slots| {
+            Contra::dc().with_config(DataplaneConfig {
+                flowlet_slots: slots,
+                ..DataplaneConfig::default()
+            })
+        })
+        .collect();
+    let systems: Vec<&dyn RoutingSystem> = sized.iter().map(|c| c as &dyn RoutingSystem).collect();
+    let results = SweepSpec::new(scenario)
+        .systems(&systems)
+        .jobs(Jobs::Auto)
+        .run();
+    for (&slots, r) in slot_sweep.iter().zip(&results) {
         csv_row("fig10c", "Contra", slots, r.figures.register_collisions);
+        // The FCT side of the same trade-off: shrinking SRAM aliases
+        // flowlets onto stale paths, which shows up in the tail.
+        let p50 = r.stats.fct_percentile_ms(50.0).unwrap_or(f64::NAN);
+        let p99 = r.stats.fct_percentile_ms(99.0).unwrap_or(f64::NAN);
+        csv_row("fig10c-fct", "Contra-p50", slots, format!("{p50:.3}"));
+        csv_row("fig10c-fct", "Contra-p99", slots, format!("{p99:.3}"));
         eprintln!(
             "fig10c flowlet_slots={slots}: {} register collisions \
-             ({} flowlet / {} loop)",
+             ({} flowlet / {} loop), p50={p50:.3} ms p99={p99:.3} ms",
             r.figures.register_collisions, r.stats.flowlet_collisions, r.stats.loop_collisions
         );
     }
     eprintln!("paper: WP/CA > MU; no more than ~70-100 kB anywhere");
+    eprintln!("§5.3 trade-off: collisions and tail FCT grow as flowlet_slots shrinks");
 }

@@ -6,7 +6,9 @@
 //!
 //! Output: CSV `fig,system,load_pct,fct_ms`.
 
-use contra_bench::{csv_row, load_sweep, Contra, Ecmp, Hula, RoutingSystem, Scenario, Workload};
+use contra_bench::{
+    csv_row, load_sweep, Contra, Ecmp, Hula, Jobs, RoutingSystem, Scenario, Workload,
+};
 
 fn main() {
     let (contra, hula) = (Contra::dc(), Hula::default());
@@ -16,7 +18,11 @@ fn main() {
             Workload::WebSearch => "fig11a",
             Workload::Cache => "fig11b",
         };
-        let scenario = Scenario::leaf_spine(4, 2, 8).workload(workload);
+        // Cells fan out over all cores (CONTRA_JOBS overrides); results
+        // and CSV order are identical to the serial sweep.
+        let scenario = Scenario::leaf_spine(4, 2, 8)
+            .workload(workload)
+            .jobs(Jobs::Auto);
         for r in scenario.matrix(&systems, &load_sweep()) {
             let fct = r.figures.mean_fct_ms.unwrap_or(f64::NAN);
             csv_row(

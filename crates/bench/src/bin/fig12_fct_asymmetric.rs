@@ -7,7 +7,9 @@
 //!
 //! Output: CSV `fig,system,load_pct,fct_ms`.
 
-use contra_bench::{csv_row, load_sweep, Contra, Ecmp, Hula, RoutingSystem, Scenario, Workload};
+use contra_bench::{
+    csv_row, load_sweep, Contra, Ecmp, Hula, Jobs, RoutingSystem, Scenario, Workload,
+};
 use contra_sim::Time;
 
 fn main() {
@@ -21,11 +23,10 @@ fn main() {
         // The uplink dies before traffic starts; adaptive systems detect
         // it during warm-up, ECMP keeps hashing into it (§6.3 asymmetric
         // setting — its control plane is slow on this timescale).
-        let scenario = Scenario::leaf_spine(4, 2, 8).workload(workload).fail_link(
-            "leaf0",
-            "spine0",
-            Time::us(100),
-        );
+        let scenario = Scenario::leaf_spine(4, 2, 8)
+            .workload(workload)
+            .fail_link("leaf0", "spine0", Time::us(100))
+            .jobs(Jobs::Auto);
         for r in scenario.matrix(&systems, &load_sweep()) {
             let fct = r.figures.mean_fct_ms.unwrap_or(f64::NAN);
             csv_row(

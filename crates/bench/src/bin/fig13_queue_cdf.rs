@@ -6,7 +6,7 @@
 //!
 //! Output: CSV `fig,system,queue_mss,cum_frac`.
 
-use contra_bench::{csv_row, Contra, Ecmp, RoutingSystem, Scenario, Workload};
+use contra_bench::{csv_row, Contra, Ecmp, Jobs, RoutingSystem, Scenario, SweepSpec, Workload};
 use contra_sim::{Time, MSS};
 
 fn main() {
@@ -17,8 +17,13 @@ fn main() {
         .queue_sampling(Time::us(100));
     let contra = Contra::dc();
     let systems: [&dyn RoutingSystem; 2] = [&contra, &Ecmp];
-    for system in systems {
-        let r = scenario.run(system);
+    // Both cells run concurrently through the sweep engine (CONTRA_JOBS
+    // overrides); the CSV series order is the systems order regardless.
+    let results = SweepSpec::new(scenario)
+        .systems(&systems)
+        .jobs(Jobs::Auto)
+        .run();
+    for r in results {
         let cdf = r.stats.queue_cdf_mss(MSS);
         // Thin the CDF to ≤ 64 representative points.
         let step = (cdf.len() / 64).max(1);

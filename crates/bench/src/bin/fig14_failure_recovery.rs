@@ -8,7 +8,7 @@
 //!
 //! Output: CSV `fig,system,time_ms,gbps`.
 
-use contra_bench::{csv_row, Contra, Hula, RoutingSystem, Scenario};
+use contra_bench::{csv_row, Contra, Hula, Jobs, RoutingSystem, Scenario, SweepSpec};
 use contra_sim::Time;
 
 fn main() {
@@ -23,8 +23,11 @@ fn main() {
     let contra = Contra::dc();
     let hula = Hula::default();
     let systems: [&dyn RoutingSystem; 2] = [&contra, &hula];
-    for system in systems {
-        let r = scenario.run(system);
+    let results = SweepSpec::new(scenario)
+        .systems(&systems)
+        .jobs(Jobs::Auto)
+        .run();
+    for r in results {
         let mut min_after = f64::INFINITY;
         let mut recovered_at = None;
         for (t, gbps) in r.stats.udp_goodput_gbps() {

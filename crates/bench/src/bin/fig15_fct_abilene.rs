@@ -7,7 +7,9 @@
 //!
 //! Output: CSV `fig,system,load_pct,fct_ms`.
 
-use contra_bench::{csv_row, load_sweep, Contra, RoutingSystem, Scenario, Sp, Spain, Workload};
+use contra_bench::{
+    csv_row, load_sweep, Contra, Jobs, RoutingSystem, Scenario, Sp, Spain, Workload,
+};
 
 fn main() {
     let (contra, spain) = (Contra::dc(), Spain::new(4));
@@ -17,7 +19,7 @@ fn main() {
             Workload::WebSearch => "fig15a",
             Workload::Cache => "fig15b",
         };
-        let scenario = Scenario::abilene().workload(workload);
+        let scenario = Scenario::abilene().workload(workload).jobs(Jobs::Auto);
         for r in scenario.matrix(&systems, &load_sweep()) {
             let fct = r.figures.mean_fct_ms.unwrap_or(f64::NAN);
             csv_row(

@@ -1,7 +1,11 @@
 //! End-to-end simulator throughput: events/sec and wall-clock per scenario,
 //! across leaf-spine / fat-tree / Abilene under Contra, ECMP, SP (+ Hula on
 //! leaf-spine), written to `BENCH_sim.json` so the perf trajectory of the
-//! engine is a tracked number instead of folklore.
+//! engine is a tracked number instead of folklore. The same grid is then
+//! run as one sweep, serially and on the parallel sweep engine
+//! (`Jobs::Auto`), into `BENCH_sweep.json` — wall-clock, cells/sec and
+//! speedup — with a hard assertion that every parallel cell processed
+//! exactly the serial cell's event count.
 //!
 //! Usage:
 //!
@@ -30,8 +34,9 @@
 use contra_baselines::{Ecmp, Hula, Sp};
 use contra_bench::{fast_mode, Scenario};
 use contra_dataplane::Contra;
-use contra_experiments::RunResult;
+use contra_experiments::{run_cells, Jobs, RunResult, SweepCell};
 use contra_sim::{CompileCache, RoutingSystem, SchedulerKind, Time};
+use std::time::Instant;
 
 /// Pre-change baseline, events/sec, measured at the flat-hot-path engine
 /// before the timing-wheel event scheduler (PR 2, commit fd51bd8; its
@@ -129,6 +134,37 @@ struct Row {
     /// Same cell under `SchedulerKind::Heap` — the recorded baseline's
     /// engine re-measured on *this* machine. Only taken in gate mode.
     heap_eps: Option<f64>,
+}
+
+/// The whole benchmark matrix as one flat cell list (the per-topology
+/// system lists differ — Hula only runs on the leaf-spine — so this is a
+/// heterogeneous grid fed straight to [`run_cells`] rather than a
+/// cartesian [`contra_experiments::SweepSpec`]).
+fn grid(scens: &[(Scenario, Vec<Box<dyn RoutingSystem>>)]) -> Vec<SweepCell<'_>> {
+    let mut cells = Vec::new();
+    for (scenario, systems) in scens {
+        for system in systems {
+            cells.push(SweepCell::new(
+                cells.len(),
+                scenario.clone(),
+                system.as_ref(),
+                None,
+            ));
+        }
+    }
+    cells
+}
+
+/// Times one full-grid sweep at the given worker setting, with a private
+/// compile cache so serial and parallel pay identical compilation work.
+fn timed_sweep(
+    scens: &[(Scenario, Vec<Box<dyn RoutingSystem>>)],
+    jobs: Jobs,
+) -> (f64, Vec<RunResult>) {
+    let cache = CompileCache::new();
+    let started = Instant::now();
+    let results = run_cells(grid(scens), jobs, &cache);
+    (started.elapsed().as_secs_f64(), results)
 }
 
 fn best_of(
@@ -252,6 +288,52 @@ fn main() {
         eprintln!("geomean speedup over pre-change baseline: {g:.2}x");
     }
     eprintln!("wrote {out}");
+
+    // ---- sweep-engine benchmark -----------------------------------------
+    // The same grid as one sweep, serial vs parallel (Jobs::Auto), so the
+    // figure-generation speedup is a tracked number. Runs before the
+    // regression gate so BENCH_sweep.json exists even when the gate trips.
+    let scens = scenarios();
+    let n_cells = grid(&scens).len();
+    // What the pool actually uses: run_cells never spawns more workers
+    // than there are cells.
+    let workers = Jobs::Auto.workers().min(n_cells);
+    let (serial_secs, serial) = timed_sweep(&scens, Jobs::Serial);
+    let (parallel_secs, parallel) = timed_sweep(&scens, Jobs::Auto);
+    // Smoke assertion: parallel execution is byte-identically the serial
+    // sweep, cell for cell — checked here on the event counts (the full
+    // fingerprint check lives in crates/experiments/tests).
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.system, p.system, "sweep order must be preserved");
+        assert_eq!(
+            s.stats.events_processed, p.stats.events_processed,
+            "parallel sweep diverged from serial on {} / {}",
+            s.scenario.scenario, s.system
+        );
+    }
+    let sweep_speedup = serial_secs / parallel_secs.max(1e-12);
+    eprintln!(
+        "sweep engine: {n_cells} cells  serial {:.1} ms  parallel({workers} workers) {:.1} ms  \
+         {sweep_speedup:.2}x  ({:.1} -> {:.1} cells/sec); per-cell events identical",
+        serial_secs * 1e3,
+        parallel_secs * 1e3,
+        n_cells as f64 / serial_secs.max(1e-12),
+        n_cells as f64 / parallel_secs.max(1e-12),
+    );
+    let sweep_json = format!(
+        "{{\n  \"benchmark\": \"sweep_engine\",\n  \"mode\": \"{mode}\",\n  \
+         \"cells\": {n_cells},\n  \"workers\": {workers},\n  \
+         \"serial_secs\": {serial_secs:.6},\n  \"parallel_secs\": {parallel_secs:.6},\n  \
+         \"speedup\": {sweep_speedup:.3},\n  \
+         \"serial_cells_per_sec\": {:.3},\n  \"parallel_cells_per_sec\": {:.3},\n  \
+         \"per_cell_events_match\": true\n}}\n",
+        n_cells as f64 / serial_secs.max(1e-12),
+        n_cells as f64 / parallel_secs.max(1e-12),
+    );
+    let sweep_out = "BENCH_sweep.json";
+    std::fs::write(sweep_out, &sweep_json).unwrap_or_else(|e| panic!("writing {sweep_out}: {e}"));
+    eprintln!("wrote {sweep_out}");
 
     // Regression gate (CI): fail when any cell drops more than 10% below
     // its recorded baseline. Absolute events/sec vary with the machine,

@@ -14,7 +14,7 @@ use contra_core::{CompiledPolicy, VNodeId};
 use contra_sim::{LinkState, Packet, PacketKind, SwitchCtx, Time};
 use contra_topology::{NodeId, Topology};
 use std::collections::{BTreeMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The harness: switches + pinned link state + a virtual clock that only
 /// advances between probe rounds.
@@ -22,7 +22,7 @@ pub struct ProtocolHarness {
     /// The topology under test.
     pub topo: Topology,
     /// The compiled policy.
-    pub cp: Rc<CompiledPolicy>,
+    pub cp: Arc<CompiledPolicy>,
     cfg: DataplaneConfig,
     links: Vec<LinkState>,
     switches: BTreeMap<NodeId, ContraSwitch>,
@@ -36,7 +36,7 @@ pub struct ProtocolHarness {
 
 impl ProtocolHarness {
     /// Builds the harness with every switch running the compiled program.
-    pub fn new(topo: &Topology, cp: Rc<CompiledPolicy>, cfg: DataplaneConfig) -> ProtocolHarness {
+    pub fn new(topo: &Topology, cp: Arc<CompiledPolicy>, cfg: DataplaneConfig) -> ProtocolHarness {
         let links: Vec<LinkState> = topo
             .links()
             .iter()

@@ -27,16 +27,16 @@ pub use tables::{
 
 use contra_core::CompiledPolicy;
 use contra_sim::Simulator;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Installs the compiled policy's switch program on every switch of the
 /// simulator. Returns the shared compiled policy handle.
 #[deprecated(since = "0.2.0", note = "use the `Contra` RoutingSystem instead")]
 pub fn install_contra(
     sim: &mut Simulator,
-    cp: Rc<CompiledPolicy>,
+    cp: Arc<CompiledPolicy>,
     cfg: &DataplaneConfig,
-) -> Rc<CompiledPolicy> {
+) -> Arc<CompiledPolicy> {
     for sw in sim.topology().switches() {
         sim.install(sw, Box::new(ContraSwitch::new(cp.clone(), sw, cfg.clone())));
     }
@@ -78,7 +78,7 @@ mod tests {
     }
 
     fn harness_for(topo: &Topology, policy: &str) -> ProtocolHarness {
-        let cp = Rc::new(Compiler::new(topo).compile_str(policy).unwrap());
+        let cp = Arc::new(Compiler::new(topo).compile_str(policy).unwrap());
         ProtocolHarness::new(topo, cp, DataplaneConfig::default())
     }
 

@@ -24,7 +24,7 @@ use contra_sim::{
     Packet, PacketKind, Probe, SwitchCtx, SwitchLogic, Time, INITIAL_TTL, PROBE_BASE_BYTES,
 };
 use contra_topology::NodeId;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Tunables of the runtime protocol. Paper values as defaults.
 #[derive(Debug, Clone)]
@@ -88,7 +88,7 @@ impl DataplaneConfig {
 
 /// One switch running the synthesized Contra program.
 pub struct ContraSwitch {
-    cp: Rc<CompiledPolicy>,
+    cp: Arc<CompiledPolicy>,
     switch: NodeId,
     cfg: DataplaneConfig,
     fwdt: FwdTable,
@@ -107,7 +107,7 @@ pub struct ContraSwitch {
 
 impl ContraSwitch {
     /// Creates the switch program for `switch`.
-    pub fn new(cp: Rc<CompiledPolicy>, switch: NodeId, cfg: DataplaneConfig) -> ContraSwitch {
+    pub fn new(cp: Arc<CompiledPolicy>, switch: NodeId, cfg: DataplaneConfig) -> ContraSwitch {
         assert!(
             cp.programs.contains_key(&switch),
             "no compiled program for {switch}"

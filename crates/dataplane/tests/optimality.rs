@@ -14,7 +14,7 @@ use contra_topology::{generators, Topology};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn random_topo(n: usize, extra: usize, seed: u64) -> Topology {
     generators::random_connected(n, extra, generators::LinkSpec::default(), seed)
@@ -35,7 +35,7 @@ fn pin_random_utils(h: &mut ProtocolHarness, topo: &Topology, seed: u64) {
 }
 
 fn harness(topo: &Topology, policy: &str) -> ProtocolHarness {
-    let cp = Rc::new(Compiler::new(topo).compile_str(policy).unwrap());
+    let cp = Arc::new(Compiler::new(topo).compile_str(policy).unwrap());
     ProtocolHarness::new(topo, cp, DataplaneConfig::default())
 }
 

@@ -29,14 +29,22 @@
 //! Sweeps share a [`CompileCache`](contra_sim::CompileCache), so a matrix
 //! over `{Contra, ECMP, Hula} × loads` compiles each distinct policy text
 //! exactly once.
+//!
+//! Grids run in parallel through the [`sweep`] engine: a [`SweepSpec`]
+//! names the axes (systems × loads × seeds × topologies × knobs), a
+//! [`Jobs`] knob (or the `CONTRA_JOBS` env var) sizes the worker pool,
+//! and results come back in exact sweep order, byte-identical to the
+//! serial path. [`Scenario::matrix`] is a thin wrapper over it.
 
 pub mod result;
 pub mod scenario;
 pub mod spec;
+pub mod sweep;
 
 pub use result::{Figures, RunResult, ScenarioInfo};
 pub use scenario::{Pairs, Scenario, Traffic, Workload};
 pub use spec::{parse_topology_spec, SpecError};
+pub use sweep::{run_cells, CellCoords, Jobs, SweepCell, SweepSpec};
 
 // The whole experiment vocabulary in one import.
 pub use contra_baselines::{Ecmp, Hula, Sp, Spain};

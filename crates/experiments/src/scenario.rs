@@ -7,6 +7,7 @@
 //! systems × loads is [`Scenario::matrix`].
 
 use crate::result::{Figures, RunResult, ScenarioInfo};
+use crate::sweep::{Jobs, SweepSpec};
 use contra_sim::{
     CompileCache, FlowSpec, InstallCtx, InstallError, RoutingSystem, SchedulerKind, SimConfig,
     Simulator, Time,
@@ -15,6 +16,7 @@ use contra_topology::{generators, NodeId, Topology};
 use contra_workloads::{cache, poisson_flows, web_search, EmpiricalCdf, PairPolicy, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Which flow-size distribution Poisson traffic draws from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,7 +85,9 @@ pub enum Traffic {
 #[derive(Debug, Clone)]
 pub struct Scenario {
     label: String,
-    topology: Topology,
+    /// `Arc` so cloning a scenario per sweep cell shares the node/link
+    /// tables instead of deep-copying the topology once per cell.
+    topology: Arc<Topology>,
     traffic: Traffic,
     load: f64,
     /// `None` derives the §6.3 uplink capacity from the topology.
@@ -100,16 +104,17 @@ pub struct Scenario {
     udp_bucket: Option<Time>,
     scheduler: SchedulerKind,
     extra_flows: Vec<FlowSpec>,
+    jobs: Jobs,
 }
 
 impl Scenario {
     /// A scenario on an arbitrary topology, with §6.3 datacenter timing
     /// defaults (30 ms of arrivals after 2 ms of warm-up, 40 ms drain,
     /// web-search Poisson traffic at 50% of uplink capacity, seed 1).
-    pub fn custom(label: impl Into<String>, topology: Topology) -> Scenario {
+    pub fn custom(label: impl Into<String>, topology: impl Into<Arc<Topology>>) -> Scenario {
         Scenario {
             label: label.into(),
-            topology,
+            topology: topology.into(),
             traffic: Traffic::Poisson {
                 workload: Workload::WebSearch,
                 pairs: Pairs::HalfSendersHalfReceivers,
@@ -128,6 +133,7 @@ impl Scenario {
             udp_bucket: None,
             scheduler: SchedulerKind::default(),
             extra_flows: Vec::new(),
+            jobs: Jobs::Serial,
         }
     }
 
@@ -321,6 +327,16 @@ impl Scenario {
         self
     }
 
+    /// Worker-pool size for [`Scenario::matrix`] sweeps (default
+    /// [`Jobs::Serial`], preserving the historical sequential behavior;
+    /// the `CONTRA_JOBS` env var overrides whatever is set here at run
+    /// time). Results are byte-identical at any setting — cells are
+    /// independent deterministic simulations reassembled in sweep order.
+    pub fn jobs(mut self, jobs: Jobs) -> Scenario {
+        self.jobs = jobs;
+        self
+    }
+
     // ---- accessors ------------------------------------------------------
 
     /// The scenario's topology.
@@ -341,6 +357,16 @@ impl Scenario {
     /// The configured offered load fraction.
     pub fn load_fraction(&self) -> f64 {
         self.load
+    }
+
+    /// The configured RNG seed.
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured sweep worker-pool setting.
+    pub fn jobs_setting(&self) -> Jobs {
+        self.jobs
     }
 
     /// The deterministic random sender/receiver pairs this scenario's
@@ -420,7 +446,9 @@ impl Scenario {
             cfg.udp_bucket = bucket;
         }
 
-        let mut sim = Simulator::new(topo.clone(), cfg);
+        // The simulator shares the scenario's topology (`Arc`): building a
+        // cell costs no node/link-table copy.
+        let mut sim = Simulator::new(Arc::clone(&self.topology), cfg);
         system.install(&mut sim, &InstallCtx::new(topo, &failed, cache))?;
         for (a, b, at) in &self.fails {
             sim.fail_link_at(self.find(a), self.find(b), *at);
@@ -466,6 +494,12 @@ impl Scenario {
     /// Sweeps the cartesian product loads × systems (loads outermost,
     /// matching the figures' CSV ordering), sharing one compile cache so
     /// each distinct policy compiles exactly once.
+    ///
+    /// A thin wrapper over the sweep engine
+    /// ([`SweepSpec`](crate::SweepSpec)): the cells run on the worker
+    /// pool selected by [`Scenario::jobs`] (default serial) or the
+    /// `CONTRA_JOBS` env var, with results byte-identical to the
+    /// sequential path in every configuration.
     pub fn matrix(&self, systems: &[&dyn RoutingSystem], loads: &[f64]) -> Vec<RunResult> {
         self.matrix_cached(systems, loads, &CompileCache::new())
     }
@@ -478,14 +512,10 @@ impl Scenario {
         loads: &[f64],
         cache: &CompileCache,
     ) -> Vec<RunResult> {
-        let mut out = Vec::with_capacity(systems.len() * loads.len());
-        for &load in loads {
-            let at_load = self.clone().load(load);
-            for system in systems {
-                out.push(at_load.run_cached(*system, cache));
-            }
-        }
-        out
+        SweepSpec::new(self.clone())
+            .systems(systems)
+            .loads(loads)
+            .run_cached(cache)
     }
 
     fn find(&self, name: &str) -> NodeId {

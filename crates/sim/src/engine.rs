@@ -204,7 +204,10 @@ struct TraceRec {
 
 /// The simulator: topology + links + switch logic + transports + clock.
 pub struct Simulator {
-    topo: Topology,
+    /// Shared, immutable during a run. `Arc` so parallel sweeps hand the
+    /// same topology to every cell's simulator instead of deep-cloning
+    /// node/link tables once per cell.
+    topo: std::sync::Arc<Topology>,
     cfg: SimConfig,
     links: Vec<LinkState>,
     logics: Vec<Option<Box<dyn SwitchLogic>>>,
@@ -239,8 +242,11 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Creates a simulator over a topology.
-    pub fn new(topo: Topology, cfg: SimConfig) -> Simulator {
+    /// Creates a simulator over a topology. Accepts an owned [`Topology`]
+    /// or an `Arc<Topology>`; sweeps pass the latter so every cell shares
+    /// one allocation.
+    pub fn new(topo: impl Into<std::sync::Arc<Topology>>, cfg: SimConfig) -> Simulator {
+        let topo = topo.into();
         let links = topo
             .links()
             .iter()

@@ -16,14 +16,21 @@
 use crate::engine::Simulator;
 use contra_core::{CompileError, CompiledPolicy, Compiler};
 use contra_topology::{NodeId, Topology};
-use std::cell::{Cell, RefCell};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A routing scheme that can be installed on every switch of a simulator.
-pub trait RoutingSystem {
+///
+/// Systems are `Send + Sync`: the parallel sweep engine
+/// (`contra_experiments::sweep`) shares one set of system values across
+/// its worker threads. Implementations are plain configuration data
+/// (policy texts, tunables), so this costs nothing — any mutable state
+/// lives in the per-simulator [`SwitchLogic`](crate::SwitchLogic) boxes
+/// created during [`RoutingSystem::install`], which never cross threads.
+pub trait RoutingSystem: Send + Sync {
     /// Stable display name used for CSV series and test labels.
     ///
     /// This is an explicit property of the system, never derived from
@@ -104,16 +111,28 @@ impl std::error::Error for InstallError {
     }
 }
 
+/// One cache slot: a per-key once-guard. Workers racing for the same
+/// (topology, policy) key serialize on this inner lock — the winner
+/// compiles while holding only its own slot, losers block and then read
+/// the finished `Arc` — so distinct policies still compile concurrently.
+type Slot = Arc<Mutex<Option<Arc<CompiledPolicy>>>>;
+
 /// Memoizes policy compilation across the runs of a sweep.
 ///
 /// Keyed by (topology fingerprint, policy text): a matrix sweep holding
 /// one cache compiles `minimize(path.util)` once for all loads and seeds,
 /// and reusing the cache across topologies is safe — different fabrics
 /// simply occupy different slots.
+///
+/// The cache is internally synchronized (`Send + Sync`): the parallel
+/// sweep engine shares one across its worker pool, and the per-key
+/// once-guard guarantees each policy compiles exactly once even when many
+/// cells race for it (`compiles()` counts actual compiler invocations,
+/// which tests assert on).
 #[derive(Default)]
 pub struct CompileCache {
-    entries: RefCell<HashMap<(u64, String), Rc<CompiledPolicy>>>,
-    compiles: Cell<usize>,
+    entries: Mutex<HashMap<(u64, String), Slot>>,
+    compiles: AtomicUsize,
 }
 
 impl CompileCache {
@@ -123,36 +142,58 @@ impl CompileCache {
     }
 
     /// Returns the compiled form of `policy` on `topo`, compiling at most
-    /// once per distinct (topology, policy text) pair.
+    /// once per distinct (topology, policy text) pair — including under
+    /// concurrent callers. Failed compilations are not cached (nor
+    /// counted), so a later call may retry.
     pub fn get_or_compile(
         &self,
         topo: &Topology,
         policy: &str,
-    ) -> Result<Rc<CompiledPolicy>, CompileError> {
+    ) -> Result<Arc<CompiledPolicy>, CompileError> {
         let key = (topology_fingerprint(topo), policy.to_string());
-        if let Some(cp) = self.entries.borrow().get(&key) {
+        // Take (or create) the key's slot under the map lock, then release
+        // the map before compiling so other keys proceed in parallel.
+        // Poisoned locks are recovered: a panic mid-compile leaves the
+        // slot `None`, and the invariant (filled ⇒ fully compiled) holds
+        // either way — losers should retry, not die on a PoisonError that
+        // would shadow the first, real panic.
+        let slot: Slot = self
+            .entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(key)
+            .or_default()
+            .clone();
+        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(cp) = guard.as_ref() {
             return Ok(cp.clone());
         }
-        let cp = Rc::new(Compiler::new(topo).compile_str(policy)?);
-        self.compiles.set(self.compiles.get() + 1);
-        self.entries.borrow_mut().insert(key, cp.clone());
+        let cp = Arc::new(Compiler::new(topo).compile_str(policy)?);
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        *guard = Some(cp.clone());
         Ok(cp)
     }
 
     /// How many actual compiler invocations this cache has performed —
     /// the quantity sweep tests assert on.
     pub fn compiles(&self) -> usize {
-        self.compiles.get()
+        self.compiles.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct cached (topology, policy) pairs.
+    /// Number of distinct cached (topology, policy) pairs that finished
+    /// compiling.
     pub fn len(&self) -> usize {
-        self.entries.borrow().len()
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .filter(|s| s.lock().unwrap_or_else(|e| e.into_inner()).is_some())
+            .count()
     }
 
     /// Whether nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
-        self.entries.borrow().is_empty()
+        self.len() == 0
     }
 }
 
@@ -196,7 +237,7 @@ mod tests {
         let cache = CompileCache::new();
         let a = cache.get_or_compile(&topo, "minimize(path.util)").unwrap();
         let b = cache.get_or_compile(&topo, "minimize(path.util)").unwrap();
-        assert!(Rc::ptr_eq(&a, &b), "second lookup must be a cache hit");
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be a cache hit");
         assert_eq!(cache.compiles(), 1);
         cache.get_or_compile(&topo, "minimize(path.len)").unwrap();
         assert_eq!(cache.compiles(), 2);
@@ -225,5 +266,31 @@ mod tests {
         let err = cache.get_or_compile(&diamond(10e9), "minimize(inf)");
         assert!(err.is_err());
         assert_eq!(cache.compiles(), 0, "failed compilations are not counted");
+        assert!(cache.is_empty(), "failed compilations are not cached");
+    }
+
+    /// The per-key once-guard: many threads racing for one key perform
+    /// exactly one compiler invocation and all see the same `Arc`.
+    #[test]
+    fn cache_compiles_once_under_racing_threads() {
+        let topo = diamond(10e9);
+        let cache = CompileCache::new();
+        let handles: Vec<Arc<CompiledPolicy>> = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        cache
+                            .get_or_compile(&topo, "minimize(path.util)")
+                            .expect("compiles")
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.compiles(), 1, "racing threads must share one compile");
+        assert_eq!(cache.len(), 1);
+        for cp in &handles[1..] {
+            assert!(Arc::ptr_eq(&handles[0], cp));
+        }
     }
 }

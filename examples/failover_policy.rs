@@ -12,7 +12,7 @@ use contra::dataplane::{Contra, DataplaneConfig, ProtocolHarness};
 use contra::experiments::{Scenario, Traffic};
 use contra::sim::{FlowSpec, Time};
 use contra::topology::Topology;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The classic A→D diamond with primary A-B-D and backup A-C-D.
 fn diamond() -> Topology {
@@ -38,7 +38,7 @@ fn main() {
     );
     let src = policies::failover(&["A", "B", "D"], &["A", "C", "D"]);
     println!("policy: {src}");
-    let cp = Rc::new(Compiler::new(&topo).compile_str(&src).expect("compiles"));
+    let cp = Arc::new(Compiler::new(&topo).compile_str(&src).expect("compiles"));
     // Static preferences need no dynamic metrics at all.
     assert!(cp.basis.is_empty(), "failover carries no metrics in probes");
 

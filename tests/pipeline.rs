@@ -6,7 +6,7 @@ use contra::core::{policies, Compiler};
 use contra::dataplane::{DataplaneConfig, ProtocolHarness};
 use contra::p4gen;
 use contra::topology::{generators, Topology};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The Fig 6 running-example topology plus an extra edge for diversity.
 fn topo() -> Topology {
@@ -34,7 +34,7 @@ fn all_catalogue_policies_compile_emit_and_converge() {
     let compiler = Compiler::new(&topo);
     for (name, src) in policies::catalogue("B", "C", "X", "Y") {
         let cp = match compiler.compile_str(&src) {
-            Ok(cp) => Rc::new(cp),
+            Ok(cp) => Arc::new(cp),
             Err(e) => panic!("{name}: {e}"),
         };
         // Every switch program emits valid P4.
