@@ -4,11 +4,26 @@
 //! Paper shape to reproduce: Contra ≈ Hula, both clearly better than ECMP
 //! at high load (paper: ~30% / ~47% lower FCT at 90%).
 //!
-//! Output: CSV `fig,system,load_pct,fct_ms`.
+//! Each point is averaged over a 5-seed grid (the parallel sweep engine
+//! makes the 5× cell count cheap), with min/max error-band columns so
+//! the series carries its own seed spread.
+//!
+//! Output: CSV `fig,system,load_pct,fct_ms_mean,fct_ms_min,fct_ms_max`.
 
 use contra_bench::{
-    csv_row, load_sweep, Contra, Ecmp, Hula, Jobs, RoutingSystem, Scenario, Workload,
+    aggregate_seeds, load_sweep, Contra, Ecmp, Hula, Jobs, RoutingSystem, Scenario, SweepSpec,
+    Workload,
 };
+
+/// Seeds averaged per point (full mode; smoke mode keeps the harness
+/// cheap with 2).
+fn seeds() -> Vec<u64> {
+    if contra_bench::fast_mode() {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    }
+}
 
 fn main() {
     let (contra, hula) = (Contra::dc(), Hula::default());
@@ -20,22 +35,39 @@ fn main() {
         };
         // Cells fan out over all cores (CONTRA_JOBS overrides); results
         // and CSV order are identical to the serial sweep.
-        let scenario = Scenario::leaf_spine(4, 2, 8)
-            .workload(workload)
-            .jobs(Jobs::Auto);
-        for r in scenario.matrix(&systems, &load_sweep()) {
-            let fct = r.figures.mean_fct_ms.unwrap_or(f64::NAN);
-            csv_row(
-                fig,
-                &r.system,
-                format!("{:.0}", r.scenario.load * 100.0),
-                format!("{fct:.3}"),
+        let results = SweepSpec::new(
+            Scenario::leaf_spine(4, 2, 8)
+                .workload(workload)
+                .jobs(Jobs::Auto),
+        )
+        .systems(&systems)
+        .loads(&load_sweep())
+        .seeds(&seeds())
+        .run();
+        for p in aggregate_seeds(&results) {
+            let band = p.mean_fct_ms;
+            let fmt = |f: fn(&contra_bench::Band) -> f64| match &band {
+                Some(b) => format!("{:.3}", f(b)),
+                None => "nan".to_string(),
+            };
+            println!(
+                "{fig},{},{:.0},{},{},{}",
+                p.system,
+                p.load * 100.0,
+                fmt(|b| b.mean),
+                fmt(|b| b.min),
+                fmt(|b| b.max),
             );
             eprintln!(
-                "{fig} {} load={:.0}%: fct={fct:.3} ms completion={:.3}",
-                r.system,
-                r.scenario.load * 100.0,
-                r.figures.completion_rate
+                "{fig} {} load={:.0}%: fct={} ms [{}, {}] over {} seeds \
+                 completion={:.3}",
+                p.system,
+                p.load * 100.0,
+                fmt(|b| b.mean),
+                fmt(|b| b.min),
+                fmt(|b| b.max),
+                p.seeds.len(),
+                p.completion_rate.mean,
             );
         }
     }

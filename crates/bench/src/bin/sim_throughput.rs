@@ -21,30 +21,42 @@
 //! the same scenarios and machine class) so the speedup is a recorded
 //! fact in the same file.
 //!
+//! Every cell is also measured under the per-packet link pipeline
+//! (`LinkPipeline::PerPacket`, the pre-drain-train engine still in this
+//! binary), so the drain-train speedup is its own tracked column
+//! (`pipeline_speedup`); `events_processed` counts per-packet-equivalent
+//! events under either pipeline, so the two figures share a denominator
+//! and the per-cell event counts are hard-asserted equal.
+//!
 //! With `CONTRA_BENCH_REGRESSION_GATE` set (as CI does), the binary also
-//! measures every cell under the heap scheduler — the recorded baseline's
-//! engine, still in this binary behind `SchedulerKind::Heap` — and exits
-//! nonzero when any cell regresses more than 10% below its recorded
-//! baseline *after rescaling the baseline by the measured machine speed*
-//! (geomean of heap-now / heap-recorded), or when the wheel loses >10% to
-//! the same-run heap outright. Absolute events/sec depend on the machine;
-//! calibrating against the in-binary pre-change engine makes the gate
-//! portable to slower CI runners while still catching real regressions.
+//! measures every cell on the recorded baseline's engine — heap
+//! scheduler + per-packet pipeline, both still in this binary — and
+//! exits nonzero when any cell regresses more than 10% below its
+//! recorded baseline *after rescaling the baseline by the measured
+//! machine speed* (geomean of heap-now / heap-recorded), or when the
+//! current engine loses >10% to that same-run oracle outright. Absolute
+//! events/sec depend on the machine; calibrating against the in-binary
+//! pre-change engine makes the gate portable to slower CI runners while
+//! still catching real regressions.
 
 use contra_baselines::{Ecmp, Hula, Sp};
 use contra_bench::{fast_mode, Scenario};
 use contra_dataplane::Contra;
 use contra_experiments::{run_cells, Jobs, RunResult, SweepCell};
-use contra_sim::{CompileCache, RoutingSystem, SchedulerKind, Time};
+use contra_sim::{CompileCache, LinkPipeline, RoutingSystem, SchedulerKind, Time};
 use std::time::Instant;
 
 /// Pre-change baseline, events/sec, measured at the flat-hot-path engine
-/// before the timing-wheel event scheduler (PR 2, commit fd51bd8; its
-/// `BinaryHeap` event queue is still runnable via
-/// `SimConfig::scheduler = SchedulerKind::Heap`), with the same
+/// before the timing-wheel event scheduler (PR 2, commit fd51bd8; that
+/// engine — `BinaryHeap` event queue, per-packet link pipeline — is
+/// still runnable via `SimConfig::scheduler = SchedulerKind::Heap` +
+/// `SimConfig::link_pipeline = LinkPipeline::PerPacket`), with the same
 /// instrumentation and scenarios: `(mode, topology, system,
 /// events_per_sec)`. History: the PR 1 seed engine measured a 1.62x
-/// geomean *below* these numbers on the same machine class.
+/// geomean *below* these numbers on the same machine class; PR 4
+/// recorded a 1.484x full-mode geomean *above* them (wheel scheduler,
+/// per-packet pipeline) — the drain-train pipeline is gauged against
+/// that recording (acceptance: ≥ 1.10× it).
 const BASELINE: &[(&str, &str, &str, f64)] = &[
     ("full", "leaf-spine(4,2,8)", "Contra", 6331488.4),
     ("full", "leaf-spine(4,2,8)", "Hula", 6706216.3),
@@ -131,8 +143,12 @@ struct Row {
     wall_secs: f64,
     events_per_sec: f64,
     baseline_eps: Option<f64>,
-    /// Same cell under `SchedulerKind::Heap` — the recorded baseline's
-    /// engine re-measured on *this* machine. Only taken in gate mode.
+    /// Same cell under the per-packet link pipeline (wheel scheduler) —
+    /// the drain-train speedup column.
+    perpkt_eps: f64,
+    /// Same cell under `SchedulerKind::Heap` + per-packet pipeline — the
+    /// recorded baseline's engine re-measured on *this* machine. Only
+    /// taken in gate mode.
     heap_eps: Option<f64>,
 }
 
@@ -184,8 +200,21 @@ fn best_of(
 }
 
 fn main() {
+    // The env override rewires *every* simulator — including the
+    // explicit per-packet column and the gate's heap+perpkt oracle —
+    // onto one pipeline, which would silently record the wrong engine's
+    // numbers as the drain-train trajectory. Refuse to measure.
+    if LinkPipeline::from_env().is_some() {
+        eprintln!(
+            "sim_throughput: unset CONTRA_LINK_PIPELINE first — the override \
+             would collapse the pipeline columns and corrupt BENCH_sim.json"
+        );
+        std::process::exit(2);
+    }
     let mode = if fast_mode() { "fast" } else { "full" };
-    let reps = if fast_mode() { 1 } else { 3 };
+    // Single-core shared runners are noisy; a best-of-5 in full mode
+    // keeps one co-tenant burst from polluting a recorded cell.
+    let reps = if fast_mode() { 1 } else { 5 };
     let gate = std::env::var_os("CONTRA_BENCH_REGRESSION_GATE").is_some();
     let mut rows: Vec<Row> = Vec::new();
     for (scenario, systems) in scenarios() {
@@ -194,12 +223,29 @@ fn main() {
             let r = best_of(&scenario, system.as_ref(), &cache, reps);
             let eps = r.stats.events_processed as f64 / r.wall_secs.max(1e-12);
             let baseline_eps = baseline_for(mode, scenario.label(), &r.system);
+            // The same cell on the per-packet pipeline: the drain-train
+            // speedup column. `events_processed` is per-packet-equivalent
+            // under both pipelines, so the counts must agree exactly.
+            let p = best_of(
+                &scenario.clone().link_pipeline(LinkPipeline::PerPacket),
+                system.as_ref(),
+                &cache,
+                reps,
+            );
+            assert_eq!(
+                p.stats.events_processed, r.stats.events_processed,
+                "link pipelines must account identical event streams"
+            );
+            let perpkt_eps = p.stats.events_processed as f64 / p.wall_secs.max(1e-12);
             // Gate mode: re-measure the cell on the in-binary pre-change
-            // engine (heap scheduler) to calibrate the recorded baseline
-            // to this machine's speed.
+            // engine (heap scheduler + per-packet pipeline) to calibrate
+            // the recorded baseline to this machine's speed.
             let heap_eps = gate.then(|| {
                 let h = best_of(
-                    &scenario.clone().scheduler(SchedulerKind::Heap),
+                    &scenario
+                        .clone()
+                        .scheduler(SchedulerKind::Heap)
+                        .link_pipeline(LinkPipeline::PerPacket),
                     system.as_ref(),
                     &cache,
                     reps,
@@ -211,18 +257,19 @@ fn main() {
                 h.stats.events_processed as f64 / h.wall_secs.max(1e-12)
             });
             eprintln!(
-                "{:<20} {:<8} {:>9} events  {:>8.1} ms  {:>6.2} Mev/s{}{}",
+                "{:<20} {:<8} {:>9} events  {:>8.1} ms  {:>6.2} Mev/s  ({:.2}x perpkt){}{}",
                 scenario.label(),
                 r.system,
                 r.stats.events_processed,
                 r.wall_secs * 1e3,
                 eps / 1e6,
+                eps / perpkt_eps,
                 match baseline_eps {
                     Some(b) => format!("  ({:.2}x baseline)", eps / b),
                     None => String::new(),
                 },
                 match heap_eps {
-                    Some(h) => format!("  ({:.2}x same-run heap)", eps / h),
+                    Some(h) => format!("  ({:.2}x same-run heap+perpkt)", eps / h),
                     None => String::new(),
                 }
             );
@@ -233,6 +280,7 @@ fn main() {
                 wall_secs: r.wall_secs,
                 events_per_sec: eps,
                 baseline_eps,
+                perpkt_eps,
                 heap_eps,
             });
         }
@@ -255,6 +303,7 @@ fn main() {
             "    {{\"topology\": \"{}\", \"system\": \"{}\", \"events\": {}, \
              \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \
              \"baseline_events_per_sec\": {}, \"speedup\": {}, \
+             \"perpkt_events_per_sec\": {:.1}, \"pipeline_speedup\": {:.3}, \
              \"heap_events_per_sec\": {}}}{}\n",
             r.topology,
             r.system,
@@ -267,18 +316,30 @@ fn main() {
             r.baseline_eps
                 .map(|b| format!("{:.3}", r.events_per_sec / b))
                 .unwrap_or_else(|| "null".into()),
+            r.perpkt_eps,
+            r.events_per_sec / r.perpkt_eps,
             r.heap_eps
                 .map(|h| format!("{h:.1}"))
                 .unwrap_or_else(|| "null".into()),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
+    let pipeline_speedups: Vec<f64> = rows
+        .iter()
+        .map(|r| r.events_per_sec / r.perpkt_eps)
+        .collect();
+    let pipeline_geomean = (pipeline_speedups.iter().map(|s| s.ln()).sum::<f64>()
+        / pipeline_speedups.len().max(1) as f64)
+        .exp();
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"geomean_speedup\": {}\n",
+        "  \"geomean_speedup\": {},\n",
         geomean
             .map(|g| format!("{g:.3}"))
             .unwrap_or_else(|| "null".into())
+    ));
+    json.push_str(&format!(
+        "  \"geomean_pipeline_speedup\": {pipeline_geomean:.3}\n"
     ));
     json.push_str("}\n");
 
@@ -287,6 +348,7 @@ fn main() {
     if let Some(g) = geomean {
         eprintln!("geomean speedup over pre-change baseline: {g:.2}x");
     }
+    eprintln!("geomean drain-train speedup over per-packet pipeline: {pipeline_geomean:.2}x");
     eprintln!("wrote {out}");
 
     // ---- sweep-engine benchmark -----------------------------------------
@@ -357,7 +419,7 @@ fn main() {
         };
         eprintln!(
             "gate: machine factor {machine_factor:.2}x the baseline recording \
-             (heap scheduler re-measured on this machine)"
+             (heap + per-packet engine re-measured on this machine)"
         );
         let mut regressed: Vec<String> = Vec::new();
         for r in &rows {
@@ -377,7 +439,7 @@ fn main() {
             if let Some(h) = r.heap_eps {
                 if r.events_per_sec < 0.9 * h {
                     regressed.push(format!(
-                        "{} / {}: wheel {:.2} Mev/s vs same-run heap {:.2} Mev/s ({:.0}%)",
+                        "{} / {}: wheel+train {:.2} Mev/s vs same-run heap+perpkt {:.2} Mev/s ({:.0}%)",
                         r.topology,
                         r.system,
                         r.events_per_sec / 1e6,

@@ -41,7 +41,7 @@ pub mod scenario;
 pub mod spec;
 pub mod sweep;
 
-pub use result::{Figures, RunResult, ScenarioInfo};
+pub use result::{aggregate_seeds, Band, Figures, RunResult, ScenarioInfo, SeedSummary};
 pub use scenario::{Pairs, Scenario, Traffic, Workload};
 pub use spec::{parse_topology_spec, SpecError};
 pub use sweep::{run_cells, CellCoords, Jobs, SweepCell, SweepSpec};
@@ -49,4 +49,6 @@ pub use sweep::{run_cells, CellCoords, Jobs, SweepCell, SweepSpec};
 // The whole experiment vocabulary in one import.
 pub use contra_baselines::{Ecmp, Hula, Sp, Spain};
 pub use contra_dataplane::Contra;
-pub use contra_sim::{CompileCache, InstallCtx, InstallError, RoutingSystem, SchedulerKind};
+pub use contra_sim::{
+    CompileCache, InstallCtx, InstallError, LinkPipeline, RoutingSystem, SchedulerKind,
+};

@@ -22,6 +22,11 @@ pub struct ScenarioInfo {
     pub warmup: Time,
     /// Arrival stop instant.
     pub duration: Time,
+    /// Label of the sweep knob-axis entry this cell ran under
+    /// (`SweepSpec::vary`); `None` outside knob sweeps. Part of the
+    /// [`aggregate_seeds`] grouping key, so knob variants never fold
+    /// into one seed band.
+    pub knob: Option<String>,
 }
 
 /// Derived figures of merit (§6's y-axes).
@@ -111,4 +116,116 @@ impl RunResult {
     pub fn mevents_per_sec(&self) -> f64 {
         self.stats.events_processed as f64 / self.wall_secs.max(1e-12) / 1e6
     }
+}
+
+/// Mean plus min/max error band of one quantity across seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Arithmetic mean over the samples.
+    pub mean: f64,
+    /// Smallest sample (lower edge of the error band).
+    pub min: f64,
+    /// Largest sample (upper edge of the error band).
+    pub max: f64,
+    /// Number of samples aggregated.
+    pub n: usize,
+}
+
+impl Band {
+    /// Aggregates finite samples; `None` when the iterator is empty.
+    pub fn over(values: impl IntoIterator<Item = f64>) -> Option<Band> {
+        let mut it = values.into_iter();
+        let first = it.next()?;
+        let (mut sum, mut min, mut max, mut n) = (first, first, first, 1usize);
+        for v in it {
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+            n += 1;
+        }
+        Some(Band {
+            mean: sum / n as f64,
+            min,
+            max,
+            n,
+        })
+    }
+}
+
+/// One sweep point aggregated across its seed axis: the same (scenario,
+/// system, workload, knob, load) cell averaged over every seed that ran
+/// it.
+#[derive(Debug, Clone)]
+pub struct SeedSummary {
+    /// Scenario label.
+    pub scenario: String,
+    /// System display name.
+    pub system: String,
+    /// Workload label.
+    pub workload: String,
+    /// Knob-axis label (`SweepSpec::vary`), if the sweep had one.
+    pub knob: Option<String>,
+    /// Offered load fraction.
+    pub load: f64,
+    /// The seeds aggregated, in sweep order.
+    pub seeds: Vec<u64>,
+    /// Mean-FCT band (ms); `None` when no seed completed a flow.
+    pub mean_fct_ms: Option<Band>,
+    /// p99-FCT band (ms); `None` when no seed completed a flow.
+    pub p99_fct_ms: Option<Band>,
+    /// Completion-rate band.
+    pub completion_rate: Band,
+    /// Register-collision band (flowlet + loop tables).
+    pub register_collisions: Band,
+}
+
+/// Collapses a sweep's seed axis: results that share (scenario, system,
+/// workload, knob, load) fold into one [`SeedSummary`] with mean +
+/// min/max bands, groups emitted in first-appearance order — so a
+/// `SweepSpec::seeds(…)` grid aggregates into exactly the series a
+/// single-seed sweep would produce, one row per (load, system) point,
+/// and a `vary()` knob axis keeps one band per knob entry.
+pub fn aggregate_seeds(results: &[RunResult]) -> Vec<SeedSummary> {
+    type Key = (String, String, String, Option<String>, u64);
+    let mut order: Vec<Key> = Vec::new();
+    let mut groups: std::collections::HashMap<Key, Vec<&RunResult>> =
+        std::collections::HashMap::new();
+    for r in results {
+        let key = (
+            r.scenario.scenario.clone(),
+            r.system.clone(),
+            r.scenario.workload.clone(),
+            r.scenario.knob.clone(),
+            r.scenario.load.to_bits(),
+        );
+        let bucket = groups.entry(key.clone()).or_default();
+        if bucket.is_empty() {
+            order.push(key);
+        }
+        bucket.push(r);
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let rs = &groups[&key];
+            let band_of =
+                |f: &dyn Fn(&RunResult) -> Option<f64>| Band::over(rs.iter().filter_map(|r| f(r)));
+            SeedSummary {
+                scenario: key.0,
+                system: key.1,
+                workload: key.2,
+                knob: key.3,
+                load: f64::from_bits(key.4),
+                seeds: rs.iter().map(|r| r.scenario.seed).collect(),
+                mean_fct_ms: band_of(&|r| r.figures.mean_fct_ms),
+                p99_fct_ms: band_of(&|r| r.figures.p99_fct_ms),
+                completion_rate: Band::over(rs.iter().map(|r| r.figures.completion_rate))
+                    .expect("group is non-empty"),
+                register_collisions: Band::over(
+                    rs.iter().map(|r| r.figures.register_collisions as f64),
+                )
+                .expect("group is non-empty"),
+            }
+        })
+        .collect()
 }

@@ -9,8 +9,8 @@
 use crate::result::{Figures, RunResult, ScenarioInfo};
 use crate::sweep::{Jobs, SweepSpec};
 use contra_sim::{
-    CompileCache, FlowSpec, InstallCtx, InstallError, RoutingSystem, SchedulerKind, SimConfig,
-    Simulator, Time,
+    CompileCache, FlowSpec, InstallCtx, InstallError, LinkPipeline, RoutingSystem, SchedulerKind,
+    SimConfig, Simulator, Time,
 };
 use contra_topology::{generators, NodeId, Topology};
 use contra_workloads::{cache, poisson_flows, web_search, EmpiricalCdf, PairPolicy, WorkloadSpec};
@@ -103,6 +103,7 @@ pub struct Scenario {
     min_rto: Option<Time>,
     udp_bucket: Option<Time>,
     scheduler: SchedulerKind,
+    link_pipeline: LinkPipeline,
     extra_flows: Vec<FlowSpec>,
     jobs: Jobs,
 }
@@ -132,6 +133,7 @@ impl Scenario {
             min_rto: None,
             udp_bucket: None,
             scheduler: SchedulerKind::default(),
+            link_pipeline: LinkPipeline::default(),
             extra_flows: Vec::new(),
             jobs: Jobs::Serial,
         }
@@ -320,6 +322,16 @@ impl Scenario {
         self
     }
 
+    /// Selects the engine's link pipeline (default: drain trains). Both
+    /// pipelines produce identical statistics; the per-packet variant
+    /// remains as a differential oracle — see the pipeline-parity test
+    /// suite. The `CONTRA_LINK_PIPELINE` env var overrides whatever is
+    /// set here at simulator construction (mirroring `CONTRA_JOBS`).
+    pub fn link_pipeline(mut self, pipeline: LinkPipeline) -> Scenario {
+        self.link_pipeline = pipeline;
+        self
+    }
+
     /// Adds an explicit flow on top of (or instead of, with
     /// [`Traffic::None`]) the generated traffic.
     pub fn flow(mut self, flow: FlowSpec) -> Scenario {
@@ -434,6 +446,7 @@ impl Scenario {
             queue_sample_every: self.queue_sampling,
             trace_paths: self.trace_paths,
             scheduler: self.scheduler,
+            link_pipeline: self.link_pipeline,
             ..SimConfig::default()
         };
         if let Some(tau) = self.util_tau {
@@ -471,6 +484,9 @@ impl Scenario {
             seed: self.seed,
             warmup: self.warmup,
             duration: self.duration,
+            // A bare run has no knob axis; the sweep engine stamps the
+            // cell's knob label after the run (see `run_cells`).
+            knob: None,
         };
         let started = std::time::Instant::now();
         let (stats, traces) = if self.trace_paths {

@@ -158,7 +158,11 @@ impl<'a> SweepCell<'a> {
     }
 
     fn run(&self, cache: &CompileCache) -> RunResult {
-        self.scenario.run_cached(self.system, cache)
+        let mut r = self.scenario.run_cached(self.system, cache);
+        // Stamp the knob coordinate so downstream aggregation
+        // (`aggregate_seeds`) can tell knob variants apart.
+        r.scenario.knob = self.coords.knob.clone();
+        r
     }
 }
 

@@ -243,3 +243,75 @@ fn series_labels_are_stable_in_results() {
     // none of them changed the label.
     assert_eq!(cache.compiles(), 3);
 }
+
+/// The seed-aggregation helper: a seeds×loads×systems sweep collapses
+/// into one summary per (load, system) point, bands bracket their means,
+/// and single-sample bands degenerate to the sample.
+#[test]
+fn aggregate_seeds_bands_bracket_means() {
+    use contra_experiments::{aggregate_seeds, Band, SweepSpec};
+    let systems: [&dyn RoutingSystem; 2] = [&Ecmp, &Contra::dc()];
+    let results = SweepSpec::new(small_dc())
+        .systems(&systems)
+        .loads(&[0.2, 0.5])
+        .seeds(&[1, 2, 3])
+        .run();
+    assert_eq!(results.len(), 2 * 2 * 3);
+    let summaries = aggregate_seeds(&results);
+    assert_eq!(summaries.len(), 2 * 2, "one summary per (load, system)");
+    // Sweep order is loads-outer, systems-inner; aggregation keeps it.
+    assert_eq!(summaries[0].system, "ECMP");
+    assert_eq!(summaries[0].load, 0.2);
+    assert_eq!(summaries[1].system, "Contra");
+    assert_eq!(summaries[3].load, 0.5);
+    for s in &summaries {
+        assert_eq!(s.seeds, vec![1, 2, 3]);
+        let b = s.mean_fct_ms.expect("flows completed");
+        assert_eq!(b.n, 3);
+        assert!(b.min <= b.mean && b.mean <= b.max, "{b:?}");
+        assert!(
+            s.completion_rate.min <= s.completion_rate.mean
+                && s.completion_rate.mean <= s.completion_rate.max
+        );
+    }
+    // Seeds genuinely vary the traffic, so at least one band is wide.
+    assert!(
+        summaries
+            .iter()
+            .any(|s| { s.mean_fct_ms.is_some_and(|b| b.max > b.min) }),
+        "three seeds should not produce identical FCTs everywhere"
+    );
+    // Band::over basics.
+    assert_eq!(Band::over([]), None);
+    let one = Band::over([2.5]).unwrap();
+    assert_eq!((one.mean, one.min, one.max, one.n), (2.5, 2.5, 2.5, 1));
+}
+
+/// Knob-axis entries (`SweepSpec::vary`) are part of the aggregation
+/// key: cells that differ only by knob must never fold into one band.
+#[test]
+fn aggregate_seeds_keeps_knob_variants_apart() {
+    use contra_experiments::{aggregate_seeds, SweepSpec};
+    let systems: [&dyn RoutingSystem; 1] = [&Ecmp];
+    let results = SweepSpec::new(small_dc())
+        .systems(&systems)
+        .seeds(&[1, 2])
+        .vary("short", |s| s.duration(Time::ms(6)))
+        .vary("long", |s| s.duration(Time::ms(10)))
+        .run();
+    assert_eq!(results.len(), 2 * 2);
+    assert_eq!(results[0].scenario.knob.as_deref(), Some("short"));
+    let summaries = aggregate_seeds(&results);
+    assert_eq!(summaries.len(), 2, "one band per knob entry");
+    assert_eq!(summaries[0].knob.as_deref(), Some("short"));
+    assert_eq!(summaries[1].knob.as_deref(), Some("long"));
+    for s in &summaries {
+        assert_eq!(s.seeds, vec![1, 2]);
+    }
+    // The knob genuinely changes the measurement (longer drain → more
+    // completions), so folding them together would have mixed bands.
+    assert!(
+        summaries[0].completion_rate.mean <= summaries[1].completion_rate.mean,
+        "shorter run cannot complete more flows"
+    );
+}

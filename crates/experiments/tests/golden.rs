@@ -9,10 +9,17 @@
 //! History: captured before the flat-adjacency/slab/register-array
 //! overhaul (PR 2), carried unchanged through the timing-wheel scheduler
 //! (PR 3 — every field survived byte-identical, confirming the wheel
-//! preserves the `(at, seq)` order exactly), with only the `p50=`/`p99=`
-//! fields re-recorded for PR 3's documented percentile fix
+//! preserves the engine's total order exactly), with only the
+//! `p50=`/`p99=` fields re-recorded for PR 3's documented percentile fix
 //! (`round((p/100)·(n-1))` → ceil-based nearest rank; mean, completion,
-//! drops, wire bytes and delivery counts did not move).
+//! drops, wire bytes and delivery counts did not move). PR 5 (drain-train
+//! link pipeline) changed the same-instant tie-break from push order to
+//! the pipeline-invariant `(class, key)` order — arrivals by directed
+//! link, completions last — which shifted four DC-scale cells (WAN cells
+//! and every drop/delivery count on leaf-spine survived unchanged; only
+//! sub-percent FCT means and wire-byte totals moved). Both link
+//! pipelines produce these exact fingerprints — see
+//! `tests/pipeline_parity.rs`.
 //!
 //! Regenerate (only when an *intentional* behavior change lands) with:
 //! `CONTRA_GOLDEN_PRINT=1 cargo test -p contra-experiments --test golden -- --nocapture`
@@ -99,12 +106,12 @@ fn abilene() -> Scenario {
 
 #[test]
 fn golden_leaf_spine_contra() {
-    check(&leaf_spine(), &Contra::dc(), "mean=3ff388b257615dfc p50=3fb804fb1183b603 p99=4022f94b380cb6c8 done=3ff0000000000000 drop[QueueFull]=2265 wire[Data]=155876116 wire[Ack]=4161280 wire[Probe]=148544 delivered=26008 looped=0 breaks=0");
+    check(&leaf_spine(), &Contra::dc(), "mean=3ff38905894b1fa5 p50=3fb804fb1183b603 p99=4022f94b380cb6c8 done=3ff0000000000000 drop[QueueFull]=2265 wire[Data]=155876116 wire[Ack]=4161280 wire[Probe]=148480 delivered=26008 looped=0 breaks=0");
 }
 
 #[test]
 fn golden_leaf_spine_ecmp() {
-    check(&leaf_spine(), &Ecmp, "mean=3ff0238114c6799b p50=3fb59e6256366d7a p99=40226c39799e518f done=3fef45d1745d1746 drop[QueueFull]=2796 wire[Data]=159029068 wire[Ack]=4243120 delivered=26521 looped=0 breaks=0");
+    check(&leaf_spine(), &Ecmp, "mean=3ff0ffaed219ffae p50=3fb59e6256366d7a p99=40226bac4f7ec354 done=3fef45d1745d1746 drop[QueueFull]=2796 wire[Data]=159023684 wire[Ack]=4243120 delivered=26521 looped=0 breaks=0");
 }
 
 #[test]
@@ -114,7 +121,7 @@ fn golden_leaf_spine_hula() {
 
 #[test]
 fn golden_fat_tree_contra() {
-    check(&fat_tree(), &Contra::dc(), "mean=3ff2c14345a82941 p50=3fdc6be37de939eb p99=401b55cc426351df done=3ff0000000000000 drop[QueueFull]=657 wire[Data]=97024900 wire[Ack]=2591440 wire[Probe]=954112 delivered=11153 looped=0 breaks=0");
+    check(&fat_tree(), &Contra::dc(), "mean=3ff2c5643c98b606 p50=3fdc6be37de939eb p99=401b5dfaca361998 done=3ff0000000000000 drop[QueueFull]=657 wire[Data]=97114900 wire[Ack]=2593840 wire[Probe]=954112 delivered=11163 looped=0 breaks=0");
 }
 
 #[test]
@@ -124,7 +131,7 @@ fn golden_fat_tree_ecmp() {
 
 #[test]
 fn golden_fat_tree_sp() {
-    check(&fat_tree(), &Sp, "mean=3ff5d876e9538c9f p50=3fdf00f776c4827b p99=401bddd11be6e654 done=3ff0000000000000 drop[QueueFull]=562 wire[Data]=95033134 wire[Ack]=2538160 delivered=10931 looped=0 breaks=0");
+    check(&fat_tree(), &Sp, "mean=3ff667b481e3d21c p50=3fdf00f776c4827b p99=401ccaf9a8cdea03 done=3ff0000000000000 drop[QueueFull]=562 wire[Data]=96869134 wire[Ack]=2587120 delivered=11135 looped=0 breaks=0");
 }
 
 #[test]

@@ -1,0 +1,57 @@
+//! [`SimConfig`]: everything a [`crate::Simulator`] is parameterized by.
+
+use crate::link::LinkPipeline;
+use crate::packet::{HDR_BYTES, MSS};
+use crate::sched::SchedulerKind;
+use crate::time::Time;
+
+/// Engine configuration. Defaults follow §6.3 of the paper where one
+/// exists.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Per-link queue capacity in bytes (paper: 1000 MSS).
+    pub queue_capacity_bytes: u32,
+    /// Utilization estimator window (typically 2× the probe period).
+    pub util_tau: Time,
+    /// Hard stop: events after this instant are not processed.
+    pub stop_at: Time,
+    /// Sample fabric queue occupancy this often (Fig 13); `None` disables.
+    pub queue_sample_every: Option<Time>,
+    /// TCP minimum/initial retransmission timeout.
+    pub min_rto: Time,
+    /// TCP initial congestion window in packets.
+    pub init_cwnd: f64,
+    /// Bucket width for UDP goodput timelines (Fig 14).
+    pub udp_bucket: Time,
+    /// Record per-packet switch paths; enables exact loop accounting
+    /// (§6.5) and policy-compliance checks in tests. Costs memory per
+    /// in-flight packet, so off by default.
+    pub trace_paths: bool,
+    /// Which event scheduler runs the loop. [`SchedulerKind::Wheel`]
+    /// (default) and [`SchedulerKind::Heap`] produce byte-identical
+    /// outputs — the heap is kept as a differential oracle and an escape
+    /// hatch.
+    pub scheduler: SchedulerKind,
+    /// Which link pipeline serializes packets. [`LinkPipeline::Train`]
+    /// (default) and [`LinkPipeline::PerPacket`] produce identical
+    /// statistics; the `CONTRA_LINK_PIPELINE` env var overrides this at
+    /// construction (mirroring `CONTRA_JOBS`).
+    pub link_pipeline: LinkPipeline,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            queue_capacity_bytes: 1000 * (MSS + HDR_BYTES),
+            util_tau: Time::us(512),
+            stop_at: Time::ms(100),
+            queue_sample_every: None,
+            min_rto: Time::ms(1),
+            init_cwnd: 10.0,
+            udp_bucket: Time::ms(1),
+            trace_paths: false,
+            scheduler: SchedulerKind::default(),
+            link_pipeline: LinkPipeline::default(),
+        }
+    }
+}

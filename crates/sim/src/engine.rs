@@ -1,106 +1,53 @@
-//! The discrete-event engine: links, hosts, transports and the event loop.
+//! The discrete-event engine: the dispatcher that composes the layers.
 //!
-//! Deterministic by construction: the event heap breaks time ties by a
-//! monotone sequence number, all randomness comes from seeded generators in
-//! the workload layer, and switch logic runs strictly one event at a time.
-//! The same inputs always produce byte-identical statistics.
+//! `engine.rs` owns the clock, the event queue and the wiring; the
+//! domain logic lives in the layer modules it composes:
+//!
+//! * [`crate::sched`] — the event queue (timing wheel / heap oracle).
+//! * [`crate::link`] — serializers, drop-tail queues, drain trains.
+//! * [`crate::transport`] — the TCP/UDP host endpoints.
+//! * [`crate::switch`] — pluggable per-switch dataplane logic.
+//! * [`crate::trace`] — the opt-in per-packet path side table.
+//! * [`crate::stats`] — everything a run measures.
+//!
+//! Deterministic by construction: the event queue breaks time ties by a
+//! class-encoded key (arrivals by directed link, timers in push order,
+//! serializer completions last — see [`crate::sched`]), all randomness
+//! comes from seeded generators in the workload layer, and switch logic
+//! runs strictly one event at a time. The same inputs always produce
+//! byte-identical statistics, under either scheduler and either link
+//! pipeline.
 
-use crate::fx::FxHashMap;
-use crate::link::{DropReason, EnqueueOutcome, LinkState};
-use crate::packet::{flow_hash, FlowId, Packet, PacketKind, HDR_BYTES, INITIAL_TTL, MSS};
-use crate::sched::{EventQueue, SchedulerKind};
-use crate::stats::{FlowRecord, QueueSample, SimStats, TrafficKind};
+use crate::config::SimConfig;
+use crate::link::{DropReason, LinkState};
+use crate::packet::{FlowId, Packet, PacketKind, PacketPool, HDR_BYTES};
+use crate::sched::EventQueue;
+use crate::stats::{QueueSample, SimStats};
 use crate::switch::{SwitchCtx, SwitchLogic};
 use crate::time::Time;
+use crate::trace::TraceTable;
+use crate::transport::{FlowSpec, Transport, TransportEffect, TransportFx, TransportTimer};
 use contra_topology::{LinkId, NodeId, Topology};
 
-/// Engine configuration. Defaults follow §6.3 of the paper where one
-/// exists.
-#[derive(Debug, Clone)]
-pub struct SimConfig {
-    /// Per-link queue capacity in bytes (paper: 1000 MSS).
-    pub queue_capacity_bytes: u32,
-    /// Utilization estimator window (typically 2× the probe period).
-    pub util_tau: Time,
-    /// Hard stop: events after this instant are not processed.
-    pub stop_at: Time,
-    /// Sample fabric queue occupancy this often (Fig 13); `None` disables.
-    pub queue_sample_every: Option<Time>,
-    /// TCP minimum/initial retransmission timeout.
-    pub min_rto: Time,
-    /// TCP initial congestion window in packets.
-    pub init_cwnd: f64,
-    /// Bucket width for UDP goodput timelines (Fig 14).
-    pub udp_bucket: Time,
-    /// Record per-packet switch paths; enables exact loop accounting
-    /// (§6.5) and policy-compliance checks in tests. Costs memory per
-    /// in-flight packet, so off by default.
-    pub trace_paths: bool,
-    /// Which event scheduler runs the loop. [`SchedulerKind::Wheel`]
-    /// (default) and [`SchedulerKind::Heap`] produce byte-identical
-    /// outputs — the heap is kept as a differential oracle and an escape
-    /// hatch.
-    pub scheduler: SchedulerKind,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        SimConfig {
-            queue_capacity_bytes: 1000 * (MSS + HDR_BYTES),
-            util_tau: Time::us(512),
-            stop_at: Time::ms(100),
-            queue_sample_every: None,
-            min_rto: Time::ms(1),
-            init_cwnd: 10.0,
-            udp_bucket: Time::ms(1),
-            trace_paths: false,
-            scheduler: SchedulerKind::default(),
-        }
-    }
-}
-
-/// A traffic source to inject.
-#[derive(Debug, Clone)]
-pub enum FlowSpec {
-    /// Finite TCP-like transfer of `bytes` from `src` to `dst`.
-    Tcp {
-        /// Sending host.
-        src: NodeId,
-        /// Receiving host.
-        dst: NodeId,
-        /// Transfer size in bytes.
-        bytes: u64,
-        /// Arrival time.
-        start: Time,
-    },
-    /// Constant-rate UDP stream (used by the failure-recovery experiment).
-    Udp {
-        /// Sending host.
-        src: NodeId,
-        /// Receiving host.
-        dst: NodeId,
-        /// Offered rate in bits/second.
-        rate_bps: f64,
-        /// First packet time.
-        start: Time,
-        /// Last packet time.
-        stop: Time,
-    },
-}
+mod linkops;
 
 #[derive(Debug)]
 enum Event {
     /// Packet fully received at `node`, having traversed the link from
-    /// `from`. The packet itself sits in the engine's slab (`PacketPool`)
-    /// so heap entries stay a few words wide — sift-up/down copies every
-    /// entry it touches, which made inline packets the single biggest
-    /// per-event cost.
+    /// `from`. The packet itself sits in the engine's slab
+    /// ([`PacketPool`], addressed by `pkt`/`gen`) so heap entries stay a
+    /// few words wide — sift-up/down copies every entry it touches,
+    /// which made inline packets the single biggest per-event cost. A
+    /// stale generation marks an arrival cancelled by a link failure
+    /// mid-train.
     Arrive {
         node: NodeId,
         from: NodeId,
         pkt: u32,
+        gen: u32,
     },
-    /// Link serializer finished a packet.
+    /// Link serializer finished a packet — under the drain-train
+    /// pipeline, the *last* packet of a committed train.
     TxDone { link: LinkId, epoch: u64 },
     /// Periodic switch timer.
     Tick { node: NodeId },
@@ -118,90 +65,6 @@ enum Event {
     QueueSample,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum FlowKind {
-    Tcp,
-    Udp { rate_bps: f64, stop: Time },
-}
-
-/// TCP sender/receiver state for one flow (NewReno-flavored: slow start,
-/// AIMD, triple-dup-ACK fast retransmit, go-back-N timeout).
-struct FlowState {
-    kind: FlowKind,
-    src: NodeId,
-    dst: NodeId,
-    src_switch: NodeId,
-    dst_switch: NodeId,
-    size_bytes: u64,
-    total_pkts: u32,
-    // Sender.
-    next_seq: u32,
-    cum_acked: u32,
-    dup_acks: u32,
-    cwnd: f64,
-    ssthresh: f64,
-    in_recovery: bool,
-    recovery_point: u32,
-    srtt: Option<f64>,
-    rttvar: f64,
-    rto: Time,
-    rto_epoch: u64,
-    finished: bool,
-    retransmits: u64,
-    // Receiver.
-    rcv_next: u32,
-    rcv_ooo: std::collections::BTreeSet<u32>,
-    hash_fwd: u64,
-    hash_rev: u64,
-}
-
-impl FlowState {
-    fn inflight(&self) -> u32 {
-        self.next_seq.saturating_sub(self.cum_acked)
-    }
-}
-
-/// Slab of in-flight packets referenced by heap events. Slots are
-/// recycled LIFO, so the working set stays cache-resident.
-#[derive(Debug, Default)]
-struct PacketPool {
-    slots: Vec<Option<Packet>>,
-    free: Vec<u32>,
-}
-
-impl PacketPool {
-    #[inline]
-    fn insert(&mut self, pkt: Packet) -> u32 {
-        match self.free.pop() {
-            Some(i) => {
-                debug_assert!(self.slots[i as usize].is_none());
-                self.slots[i as usize] = Some(pkt);
-                i
-            }
-            None => {
-                self.slots.push(Some(pkt));
-                (self.slots.len() - 1) as u32
-            }
-        }
-    }
-
-    #[inline]
-    fn take(&mut self, i: u32) -> Packet {
-        let pkt = self.slots[i as usize].take().expect("packet slot is live");
-        self.free.push(i);
-        pkt
-    }
-}
-
-/// Side-table record of one traced packet's switch path (`trace_paths`).
-#[derive(Debug, Default)]
-struct TraceRec {
-    path: Vec<NodeId>,
-    /// Set once the packet has revisited a switch (counted once per
-    /// packet).
-    looped: bool,
-}
-
 /// The simulator: topology + links + switch logic + transports + clock.
 pub struct Simulator {
     /// Shared, immutable during a run. `Arc` so parallel sweeps hand the
@@ -212,15 +75,18 @@ pub struct Simulator {
     links: Vec<LinkState>,
     logics: Vec<Option<Box<dyn SwitchLogic>>>,
     tick_of: Vec<Option<Time>>,
-    flows: Vec<FlowState>,
+    /// The host endpoints (TCP/UDP state machines).
+    transport: Transport,
     queue: EventQueue<Event>,
     now: Time,
-    next_pkt_id: u64,
     /// In-flight packets referenced by `Event::Arrive`.
     pool: PacketPool,
     /// Recycled output buffer lent to [`SwitchCtx`] for each dispatch, so
     /// switch handlers never allocate in steady state.
     out_buf: Vec<(NodeId, Packet)>,
+    /// Recycled transport-effects buffer (sends + timers), applied in
+    /// append order after each transport handler returns.
+    tfx: TransportFx,
     /// Directed link indices whose endpoints are both switches —
     /// precomputed so periodic queue sampling does not rescan (and
     /// re-classify) every link.
@@ -230,23 +96,21 @@ pub struct Simulator {
     /// `CONTRA_SIM_DEBUG_TTL`, read once at construction — `env::var_os`
     /// takes a process-global lock and must stay off the drop path.
     debug_ttl: bool,
-    /// Switch paths of in-flight traced packets, keyed by packet id
-    /// (populated only with `trace_paths`; entries move to
-    /// `delivered_traces` on delivery and die with their packet on drop).
-    traces: FxHashMap<u64, TraceRec>,
+    /// Switch paths of in-flight traced packets (`cfg.trace_paths`).
+    traces: TraceTable,
     /// Run statistics (read after [`Simulator::run`]).
     pub stats: SimStats,
-    /// Delivered payload packet traces (only with `trace_paths`): for each
-    /// delivered data/UDP packet, its flow and the switch sequence it took.
-    pub delivered_traces: Vec<(FlowId, Vec<NodeId>)>,
 }
 
 impl Simulator {
     /// Creates a simulator over a topology. Accepts an owned [`Topology`]
     /// or an `Arc<Topology>`; sweeps pass the latter so every cell shares
-    /// one allocation.
+    /// one allocation. The `CONTRA_LINK_PIPELINE` env var, when set,
+    /// overrides `cfg.link_pipeline` here.
     pub fn new(topo: impl Into<std::sync::Arc<Topology>>, cfg: SimConfig) -> Simulator {
         let topo = topo.into();
+        let mut cfg = cfg;
+        cfg.link_pipeline = cfg.link_pipeline.or_env();
         let links = topo
             .links()
             .iter()
@@ -273,24 +137,25 @@ impl Simulator {
             .map(|(i, _)| i as u32)
             .collect();
         let queue = EventQueue::new(cfg.scheduler);
+        let transport = Transport::new(cfg.min_rto, cfg.init_cwnd);
+        let traces = TraceTable::new(cfg.trace_paths);
         let mut sim = Simulator {
             topo,
             cfg,
             links,
             logics: (0..n).map(|_| None).collect(),
             tick_of: vec![None; n],
-            flows: Vec::new(),
+            transport,
             queue,
             now: Time::ZERO,
-            next_pkt_id: 0,
             pool: PacketPool::default(),
             out_buf: Vec::new(),
+            tfx: TransportFx::new(),
             fabric_links,
             fabric_link,
             debug_ttl: std::env::var_os("CONTRA_SIM_DEBUG_TTL").is_some(),
-            traces: FxHashMap::default(),
+            traces,
             stats,
-            delivered_traces: Vec::new(),
         };
         if let Some(every) = sim.cfg.queue_sample_every {
             sim.push(every, Event::QueueSample);
@@ -318,65 +183,13 @@ impl Simulator {
 
     /// Registers a flow; returns its id.
     pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
-        let id = FlowId(self.flows.len() as u32);
-        let (src, dst, start) = match &spec {
-            FlowSpec::Tcp {
-                src, dst, start, ..
-            } => (*src, *dst, *start),
-            FlowSpec::Udp {
-                src, dst, start, ..
-            } => (*src, *dst, *start),
+        let (id, start, is_tcp) = self.transport.add_flow(spec, &self.topo, &mut self.stats);
+        let ev = if is_tcp {
+            Event::FlowStart { flow: id.0 }
+        } else {
+            Event::UdpSend { flow: id.0 }
         };
-        assert!(
-            !self.topo.is_switch(src) && !self.topo.is_switch(dst),
-            "flows run host-to-host"
-        );
-        assert_ne!(src, dst, "flow to self");
-        let (kind, size_bytes, total_pkts) = match spec {
-            FlowSpec::Tcp { bytes, .. } => {
-                let pkts = bytes.div_ceil(MSS as u64).max(1) as u32;
-                (FlowKind::Tcp, bytes, pkts)
-            }
-            FlowSpec::Udp { rate_bps, stop, .. } => (FlowKind::Udp { rate_bps, stop }, 0, u32::MAX),
-        };
-        self.flows.push(FlowState {
-            kind,
-            src,
-            dst,
-            src_switch: self.topo.host_switch(src),
-            dst_switch: self.topo.host_switch(dst),
-            size_bytes,
-            total_pkts,
-            next_seq: 0,
-            cum_acked: 0,
-            dup_acks: 0,
-            cwnd: self.cfg.init_cwnd,
-            ssthresh: f64::INFINITY,
-            in_recovery: false,
-            recovery_point: 0,
-            srtt: None,
-            rttvar: 0.0,
-            rto: Time(self.cfg.min_rto.0 * 3),
-            rto_epoch: 0,
-            finished: false,
-            retransmits: 0,
-            rcv_next: 0,
-            rcv_ooo: std::collections::BTreeSet::new(),
-            hash_fwd: flow_hash(id, 0),
-            hash_rev: flow_hash(id, 1),
-        });
-        self.stats.flows.push(FlowRecord {
-            id,
-            size_bytes,
-            start,
-            finish: None,
-            retransmits: 0,
-            unbounded: matches!(kind, FlowKind::Udp { .. }),
-        });
-        match kind {
-            FlowKind::Tcp => self.push(start, Event::FlowStart { flow: id.0 }),
-            FlowKind::Udp { .. } => self.push(start, Event::UdpSend { flow: id.0 }),
-        }
+        self.push(start, ev);
         id
     }
 
@@ -392,7 +205,7 @@ impl Simulator {
     }
 
     /// The stop condition lives here, in exactly one place: the queue
-    /// pops in `(at, seq)` order, so an event past `stop_at` could never
+    /// pops in `(at, key)` order, so an event past `stop_at` could never
     /// be processed — it is simply never enqueued. An event at exactly
     /// `stop_at` still runs (inclusive boundary, as the old loop check
     /// `at > stop_at → break` implemented it).
@@ -401,6 +214,33 @@ impl Simulator {
             return;
         }
         self.queue.push(at, ev);
+    }
+
+    /// Schedules an arrival, keyed by the directed link it traverses:
+    /// same-instant arrivals on different links pop in link order — a
+    /// property of the schedule itself, identical under both link
+    /// pipelines regardless of when the events were pushed. Within one
+    /// busy period same-link arrivals can never tie (serialization
+    /// separates them), but across a down/up flap a pre-failure
+    /// in-flight arrival can land at the same instant as a post-recovery
+    /// one; the scheduler breaks that tie by push order, which on one
+    /// link is serialization order under either pipeline.
+    fn push_arrival(&mut self, at: Time, lid: LinkId, ev: Event) {
+        if at > self.cfg.stop_at {
+            return;
+        }
+        self.queue.push_at_key(at, lid.0 as u64, ev);
+    }
+
+    /// Schedules a serializer completion, sorting after every other
+    /// event at its instant: observers at a packet boundary see the
+    /// boundary as not yet crossed — the order the drain-train
+    /// pipeline's lazy fold reproduces without the event.
+    fn push_completion(&mut self, at: Time, ev: Event) {
+        if at > self.cfg.stop_at {
+            return;
+        }
+        self.queue.push_last(at, ev);
     }
 
     /// The shared event loop behind [`Simulator::run`] and
@@ -437,27 +277,35 @@ impl Simulator {
     pub fn run_traced(mut self) -> (SimStats, Vec<(FlowId, Vec<NodeId>)>) {
         assert!(self.cfg.trace_paths, "enable cfg.trace_paths first");
         self.run_loop();
-        (self.stats, self.delivered_traces)
+        (self.stats, self.traces.into_delivered())
     }
 
     fn dispatch(&mut self, ev: Event) {
         match ev {
-            Event::Arrive { node, from, pkt } => self.on_arrive(node, from, pkt),
+            Event::Arrive {
+                node,
+                from,
+                pkt,
+                gen,
+            } => self.on_arrive(node, from, pkt, gen),
             Event::TxDone { link, epoch } => self.on_tx_done(link, epoch),
             Event::Tick { node } => self.on_tick(node),
             Event::FlowStart { flow } => {
-                self.tcp_try_send(flow);
-                self.arm_rto(flow);
+                self.transport.start_flow(flow, self.now, &mut self.tfx);
+                self.apply_transport_fx();
             }
-            Event::RtoCheck { flow, epoch } => self.on_rto(flow, epoch),
-            Event::UdpSend { flow } => self.on_udp_send(flow),
+            Event::RtoCheck { flow, epoch } => {
+                self.transport.on_rto(flow, epoch, self.now, &mut self.tfx);
+                self.apply_transport_fx();
+            }
+            Event::UdpSend { flow } => {
+                self.transport.on_udp_send(flow, self.now, &mut self.tfx);
+                self.apply_transport_fx();
+            }
             Event::LinkDown { a, b } => {
                 for (x, y) in [(a, b), (b, a)] {
                     if let Some(l) = self.topo.link_between(x, y) {
-                        let lost = self.links[l.0 as usize].set_down();
-                        for _ in 0..lost {
-                            self.stats.on_drop(DropReason::LinkDown);
-                        }
+                        self.take_link_down(l);
                     }
                 }
             }
@@ -471,10 +319,12 @@ impl Simulator {
             Event::QueueSample => {
                 // Fabric links only (switch → switch), precomputed once.
                 for &i in &self.fabric_links {
+                    let link = &mut self.links[i as usize];
+                    link.sync(self.now);
                     self.stats.queue_samples.push(QueueSample {
                         at: self.now,
                         link: i,
-                        bytes: self.links[i as usize].queued_bytes(),
+                        bytes: link.queued_bytes(),
                     });
                 }
                 if let Some(every) = self.cfg.queue_sample_every {
@@ -485,124 +335,52 @@ impl Simulator {
         }
     }
 
-    // ---- link layer --------------------------------------------------
-
-    /// Queues `pkt` on the link `from → to`, starting the serializer if
-    /// idle. Handles TTL decrement on switch-to-switch hops.
-    fn transmit(&mut self, from: NodeId, to: NodeId, mut pkt: Packet) {
-        let Some(lid) = self.topo.link_between(from, to) else {
-            debug_assert!(false, "no link {from}→{to}");
-            self.stats.on_drop(DropReason::NoRoute);
-            self.forget_trace(pkt.id);
-            return;
-        };
-        if self.fabric_link[lid.0 as usize]
-            && (pkt.carries_payload() || matches!(pkt.kind, PacketKind::Ack { .. }))
-        {
-            if pkt.ttl == 0 {
-                if self.debug_ttl {
-                    let tail: &[NodeId] = self
-                        .traces
-                        .get(&pkt.id)
-                        .map(|r| &r.path[r.path.len().saturating_sub(8)..])
-                        .unwrap_or(&[]);
-                    eprintln!(
-                        "TTL death: {:?} flow={:?} seq={} dst_sw={} trace_tail={tail:?}",
-                        pkt.kind, pkt.flow, pkt.seq, pkt.dst_switch,
-                    );
+    /// Applies buffered transport effects strictly in append order —
+    /// sends become link transmissions, timers become events. Order is
+    /// load-bearing: it fixes the event-queue sequence numbers that break
+    /// same-instant ties.
+    fn apply_transport_fx(&mut self) {
+        let mut fx = std::mem::take(&mut self.tfx);
+        for effect in fx.drain(..) {
+            match effect {
+                TransportEffect::Send { src, via, pkt } => self.transmit(src, via, pkt),
+                TransportEffect::Timer { at, timer } => {
+                    let ev = match timer {
+                        TransportTimer::Rto { flow, epoch } => Event::RtoCheck { flow, epoch },
+                        TransportTimer::UdpSend { flow } => Event::UdpSend { flow },
+                    };
+                    self.push(at, ev);
                 }
-                self.stats.on_drop(DropReason::TtlExpired);
-                self.forget_trace(pkt.id);
-                return;
-            }
-            pkt.ttl -= 1;
-        }
-        let kind = traffic_kind(&pkt);
-        let size = pkt.size_bytes;
-        let id = pkt.id;
-        let link = &mut self.links[lid.0 as usize];
-        match link.enqueue(pkt) {
-            EnqueueOutcome::StartTx => {
-                self.stats.on_wire(kind, size);
-                self.start_tx(lid);
-            }
-            EnqueueOutcome::Queued => {
-                self.stats.on_wire(kind, size);
-            }
-            EnqueueOutcome::Dropped(reason) => {
-                self.stats.on_drop(reason);
-                self.forget_trace(id);
             }
         }
-    }
-
-    /// Drops the side-table trace of a packet that died in flight (no-op
-    /// unless `trace_paths` is on). Packets lost to `LinkDown` queue
-    /// flushes keep their record until the run ends — their ids are gone
-    /// by then, and a traced failure run is a debugging mode.
-    #[inline]
-    fn forget_trace(&mut self, pkt_id: u64) {
-        if self.cfg.trace_paths {
-            self.traces.remove(&pkt_id);
-        }
-    }
-
-    fn start_tx(&mut self, lid: LinkId) {
-        let link = &mut self.links[lid.0 as usize];
-        let Some((pkt, tx)) = link.start_tx(self.now) else {
-            return;
-        };
-        let delay = link.delay;
-        let epoch = link.epoch;
-        let to = self.topo.link(lid).dst;
-        let from = self.topo.link(lid).src;
-        let arrive_at = self.now + tx + delay;
-        let done_at = self.now + tx;
-        let slot = self.pool.insert(pkt);
-        self.push(
-            arrive_at,
-            Event::Arrive {
-                node: to,
-                from,
-                pkt: slot,
-            },
-        );
-        self.push(done_at, Event::TxDone { link: lid, epoch });
-    }
-
-    fn on_tx_done(&mut self, lid: LinkId, epoch: u64) {
-        let link = &mut self.links[lid.0 as usize];
-        if !link.up || link.epoch != epoch {
-            return; // stale completion from before a failure
-        }
-        if link.tx_done() {
-            self.start_tx(lid);
-        }
+        self.tfx = fx;
     }
 
     // ---- switch dispatch ----------------------------------------------
 
-    fn on_arrive(&mut self, node: NodeId, from: NodeId, slot: u32) {
-        let pkt = self.pool.take(slot);
+    fn on_arrive(&mut self, node: NodeId, from: NodeId, slot: u32, gen: u32) {
+        let Some(pkt) = self.pool.take(slot, gen) else {
+            // Cancelled mid-train by a link failure. The per-packet
+            // pipeline never scheduled this arrival, so un-count the pop
+            // (`events_processed` stays pipeline-invariant).
+            self.stats.events_processed -= 1;
+            return;
+        };
         if !self.topo.is_switch(node) {
             self.host_receive(node, pkt);
             return;
         }
         // Loop accounting on traced routed traffic (payload and ACKs).
-        if self.cfg.trace_paths
+        if self.traces.enabled()
             && (pkt.carries_payload() || matches!(pkt.kind, PacketKind::Ack { .. }))
+            && self.traces.visit(&pkt, node)
         {
-            let rec = self.traces.entry(pkt.id).or_default();
-            if rec.path.contains(&node) && !rec.looped {
-                rec.looped = true;
-                self.stats.looped_packets += 1;
-            }
-            rec.path.push(node);
+            self.stats.looped_packets += 1;
         }
         let Some(mut logic) = self.logics[node.0 as usize].take() else {
             // No logic installed (test harness omission): drop.
             self.stats.on_drop(DropReason::NoRoute);
-            self.forget_trace(pkt.id);
+            self.traces.forget(pkt.id);
             return;
         };
         let mut ctx = SwitchCtx::new(
@@ -613,22 +391,14 @@ impl Simulator {
             std::mem::take(&mut self.out_buf),
         );
         logic.on_packet(&mut ctx, pkt, from);
+        self.logics[node.0 as usize] = Some(logic);
         let SwitchCtx {
-            out: mut outs,
+            out,
             loop_breaks,
             no_route,
             ..
         } = ctx;
-        self.logics[node.0 as usize] = Some(logic);
-        self.stats.loop_breaks += loop_breaks;
-        for id in no_route {
-            self.stats.on_drop(DropReason::NoRoute);
-            self.forget_trace(id);
-        }
-        for (next, p) in outs.drain(..) {
-            self.transmit(node, next, p);
-        }
-        self.out_buf = outs;
+        self.apply_switch_output(node, out, loop_breaks, no_route);
     }
 
     fn on_tick(&mut self, node: NodeId) {
@@ -643,62 +413,69 @@ impl Simulator {
             std::mem::take(&mut self.out_buf),
         );
         logic.on_tick(&mut ctx);
+        self.logics[node.0 as usize] = Some(logic);
         let SwitchCtx {
-            out: mut outs,
+            out,
             loop_breaks,
             no_route,
             ..
         } = ctx;
-        self.logics[node.0 as usize] = Some(logic);
-        self.stats.loop_breaks += loop_breaks;
-        for id in no_route {
-            self.stats.on_drop(DropReason::NoRoute);
-            self.forget_trace(id);
-        }
-        for (next, p) in outs.drain(..) {
-            self.transmit(node, next, p);
-        }
-        self.out_buf = outs;
+        self.apply_switch_output(node, out, loop_breaks, no_route);
         if let Some(t) = self.tick_of[node.0 as usize] {
             let at = self.now + t;
             self.push(at, Event::Tick { node });
         }
     }
 
-    // ---- host / transport ----------------------------------------------
-
-    /// Moves a delivered packet's side-table trace into
-    /// `delivered_traces` (no re-allocation: the recorded path is reused).
-    fn deliver_trace(&mut self, pkt: &Packet) {
-        let path = self
-            .traces
-            .remove(&pkt.id)
-            .map(|r| r.path)
-            .unwrap_or_default();
-        self.delivered_traces.push((pkt.flow, path));
+    /// Applies what one switch handler produced: loop-break counts,
+    /// no-route drops, and the emitted packets (transmitted in emission
+    /// order). Recycles the output buffer.
+    fn apply_switch_output(
+        &mut self,
+        node: NodeId,
+        mut outs: Vec<(NodeId, Packet)>,
+        loop_breaks: u64,
+        no_route: Vec<u64>,
+    ) {
+        self.stats.loop_breaks += loop_breaks;
+        for id in no_route {
+            self.stats.on_drop(DropReason::NoRoute);
+            self.traces.forget(id);
+        }
+        for (next, p) in outs.drain(..) {
+            self.transmit(node, next, p);
+        }
+        self.out_buf = outs;
     }
+
+    // ---- host delivery --------------------------------------------------
 
     fn host_receive(&mut self, host: NodeId, pkt: Packet) {
         match &pkt.kind {
             PacketKind::Data => {
                 debug_assert_eq!(pkt.dst_host, host);
                 self.stats.delivered_packets += 1;
-                if self.cfg.trace_paths {
-                    self.deliver_trace(&pkt);
-                }
-                self.tcp_receive_data(pkt);
+                self.traces.deliver(&pkt);
+                self.transport.on_data(&pkt, self.now, &mut self.tfx);
+                self.apply_transport_fx();
             }
             PacketKind::Ack { ack_seq, echo_ts } => {
                 let (ack_seq, echo_ts) = (*ack_seq, *echo_ts);
-                self.forget_trace(pkt.id);
-                self.tcp_receive_ack(pkt.flow.0, ack_seq, echo_ts);
+                self.traces.forget(pkt.id);
+                self.transport.on_ack(
+                    pkt.flow.0,
+                    ack_seq,
+                    echo_ts,
+                    self.now,
+                    &mut self.tfx,
+                    &mut self.stats,
+                );
+                self.apply_transport_fx();
             }
             PacketKind::Udp => {
                 debug_assert_eq!(pkt.dst_host, host);
                 self.stats.delivered_packets += 1;
-                if self.cfg.trace_paths {
-                    self.deliver_trace(&pkt);
-                }
+                self.traces.deliver(&pkt);
                 let payload = pkt.size_bytes.saturating_sub(HDR_BYTES);
                 self.stats.on_udp_delivered(self.now, payload);
             }
@@ -706,220 +483,5 @@ impl Simulator {
                 debug_assert!(false, "probes must never reach hosts");
             }
         }
-    }
-
-    /// Builds a transport packet. `dst_switch` is passed in from the flow
-    /// state — `Topology::host_switch` walks (and allocates) the host's
-    /// neighbor list, far too slow for once-per-packet use.
-    #[allow(clippy::too_many_arguments)]
-    fn mk_packet(
-        &mut self,
-        kind: PacketKind,
-        flow: u32,
-        seq: u32,
-        size: u32,
-        src: NodeId,
-        dst: NodeId,
-        dst_switch: NodeId,
-        hash: u64,
-    ) -> Packet {
-        self.next_pkt_id += 1;
-        Packet {
-            id: self.next_pkt_id,
-            kind,
-            src_host: src,
-            dst_host: dst,
-            dst_switch,
-            flow: FlowId(flow),
-            seq,
-            size_bytes: size,
-            sent_at: self.now,
-            tag: 0,
-            pid: 0,
-            ttl: INITIAL_TTL,
-            flow_hash: hash,
-        }
-    }
-
-    fn data_size(&self, f: &FlowState, seq: u32) -> u32 {
-        let sent_before = seq as u64 * MSS as u64;
-        let remaining = f.size_bytes.saturating_sub(sent_before);
-        (remaining.min(MSS as u64) as u32).max(1) + HDR_BYTES
-    }
-
-    fn tcp_try_send(&mut self, flow: u32) {
-        loop {
-            let f = &self.flows[flow as usize];
-            if f.finished {
-                return;
-            }
-            let inflight = f.inflight();
-            if f.next_seq >= f.total_pkts || (inflight as f64) >= f.cwnd.floor().max(1.0) {
-                return;
-            }
-            let seq = f.next_seq;
-            let size = self.data_size(f, seq);
-            let (src, dst, dst_sw, hash) = (f.src, f.dst, f.dst_switch, f.hash_fwd);
-            let pkt = self.mk_packet(PacketKind::Data, flow, seq, size, src, dst, dst_sw, hash);
-            self.flows[flow as usize].next_seq += 1;
-            let sw = self.flows[flow as usize].src_switch;
-            self.transmit(src, sw, pkt);
-        }
-    }
-
-    fn tcp_receive_data(&mut self, pkt: Packet) {
-        let flow = pkt.flow.0;
-        let f = &mut self.flows[flow as usize];
-        let seq = pkt.seq;
-        if seq == f.rcv_next {
-            // In-order fast path (the overwhelmingly common case): advance
-            // without touching the out-of-order set, then drain any
-            // segments it unblocks.
-            f.rcv_next += 1;
-            if !f.rcv_ooo.is_empty() {
-                while f.rcv_ooo.remove(&f.rcv_next) {
-                    f.rcv_next += 1;
-                }
-            }
-        } else if seq > f.rcv_next {
-            f.rcv_ooo.insert(seq);
-        }
-        let ack_seq = f.rcv_next;
-        let (src, dst, dst_sw, hash) = (f.dst, f.src, f.src_switch, f.hash_rev);
-        let echo_ts = pkt.sent_at;
-        // ACK travels from the receiver host back to the sender host.
-        let ack = self.mk_packet(
-            PacketKind::Ack { ack_seq, echo_ts },
-            flow,
-            ack_seq,
-            HDR_BYTES,
-            src,
-            dst,
-            dst_sw,
-            hash,
-        );
-        let sw = self.flows[flow as usize].dst_switch;
-        self.transmit(src, sw, ack);
-    }
-
-    fn tcp_receive_ack(&mut self, flow: u32, ack_seq: u32, echo_ts: Time) {
-        let now = self.now;
-        let f = &mut self.flows[flow as usize];
-        if f.finished {
-            return;
-        }
-        // RTT sample (Karn's rule approximated: echo timestamps are exact).
-        let sample = now.saturating_sub(echo_ts).as_secs_f64();
-        match f.srtt {
-            None => {
-                f.srtt = Some(sample);
-                f.rttvar = sample / 2.0;
-            }
-            Some(s) => {
-                f.rttvar = 0.75 * f.rttvar + 0.25 * (s - sample).abs();
-                f.srtt = Some(0.875 * s + 0.125 * sample);
-            }
-        }
-        let rto_s = f.srtt.unwrap() + 4.0 * f.rttvar;
-        f.rto = Time::secs_f64(rto_s).max(self.cfg.min_rto);
-
-        if ack_seq > f.cum_acked {
-            let newly = (ack_seq - f.cum_acked) as f64;
-            f.cum_acked = ack_seq;
-            // After a go-back-N timeout, late ACKs for pre-timeout segments
-            // can overtake the rewound send pointer.
-            f.next_seq = f.next_seq.max(f.cum_acked);
-            f.dup_acks = 0;
-            if f.in_recovery && ack_seq >= f.recovery_point {
-                f.in_recovery = false;
-            }
-            if f.cwnd < f.ssthresh {
-                f.cwnd += newly; // slow start
-            } else {
-                f.cwnd += newly / f.cwnd; // congestion avoidance
-            }
-            if f.cum_acked >= f.total_pkts {
-                f.finished = true;
-                let retx = f.retransmits;
-                self.stats.flows[flow as usize].finish = Some(now);
-                self.stats.flows[flow as usize].retransmits = retx;
-                return;
-            }
-            self.arm_rto(flow);
-            self.tcp_try_send(flow);
-        } else {
-            f.dup_acks += 1;
-            if f.dup_acks == 3 && !f.in_recovery {
-                f.ssthresh = (f.cwnd / 2.0).max(2.0);
-                f.cwnd = f.ssthresh;
-                f.in_recovery = true;
-                f.recovery_point = f.next_seq;
-                f.retransmits += 1;
-                let seq = f.cum_acked;
-                let (src, dst, dst_sw, hash) = (f.src, f.dst, f.dst_switch, f.hash_fwd);
-                let size = self.data_size(&self.flows[flow as usize], seq);
-                let pkt = self.mk_packet(PacketKind::Data, flow, seq, size, src, dst, dst_sw, hash);
-                let sw = self.flows[flow as usize].src_switch;
-                self.transmit(src, sw, pkt);
-                self.arm_rto(flow);
-            }
-        }
-    }
-
-    fn arm_rto(&mut self, flow: u32) {
-        let f = &mut self.flows[flow as usize];
-        if f.finished || !matches!(f.kind, FlowKind::Tcp) {
-            return;
-        }
-        f.rto_epoch += 1;
-        let epoch = f.rto_epoch;
-        let at = self.now + f.rto;
-        self.push(at, Event::RtoCheck { flow, epoch });
-    }
-
-    fn on_rto(&mut self, flow: u32, epoch: u64) {
-        let f = &mut self.flows[flow as usize];
-        if f.finished || f.rto_epoch != epoch {
-            return;
-        }
-        // Timeout: multiplicative back-off, go-back-N from the hole.
-        f.ssthresh = (f.cwnd / 2.0).max(2.0);
-        f.cwnd = self.cfg.init_cwnd.clamp(1.0, 2.0);
-        f.in_recovery = false;
-        f.dup_acks = 0;
-        f.next_seq = f.cum_acked;
-        f.retransmits += 1;
-        f.rto = Time((f.rto.0 * 2).min(Time::ms(100).0));
-        self.arm_rto(flow);
-        self.tcp_try_send(flow);
-    }
-
-    fn on_udp_send(&mut self, flow: u32) {
-        let f = &self.flows[flow as usize];
-        let FlowKind::Udp { rate_bps, stop } = f.kind else {
-            return;
-        };
-        if self.now > stop {
-            return;
-        }
-        let size = MSS + HDR_BYTES;
-        let seq = f.next_seq;
-        let (src, dst, dst_sw, hash) = (f.src, f.dst, f.dst_switch, f.hash_fwd);
-        let pkt = self.mk_packet(PacketKind::Udp, flow, seq, size, src, dst, dst_sw, hash);
-        self.flows[flow as usize].next_seq += 1;
-        let sw = self.flows[flow as usize].src_switch;
-        self.transmit(src, sw, pkt);
-        let gap = Time::secs_f64(size as f64 * 8.0 / rate_bps);
-        let at = self.now + gap;
-        self.push(at, Event::UdpSend { flow });
-    }
-}
-
-fn traffic_kind(pkt: &Packet) -> TrafficKind {
-    match pkt.kind {
-        PacketKind::Data => TrafficKind::Data,
-        PacketKind::Ack { .. } => TrafficKind::Ack,
-        PacketKind::Udp => TrafficKind::Udp,
-        PacketKind::Probe(_) => TrafficKind::Probe,
     }
 }

@@ -24,11 +24,19 @@
 //!
 //! Determinism: the event queue — a hierarchical timing wheel by default,
 //! the original binary heap behind `SimConfig::scheduler` — is totally
-//! ordered by (time, sequence number); there is no hidden randomness. The
-//! same inputs give identical results on every run, under either
-//! scheduler — properties the test suite checks (see
-//! `tests/sched_diff.rs` for the scheduler equivalence).
+//! ordered by (time, class-encoded key); there is no hidden randomness.
+//! The same inputs give identical results on every run, under either
+//! scheduler and either link pipeline — properties the test suite checks
+//! (see `tests/sched_diff.rs` for the scheduler equivalence and the
+//! experiments crate's `pipeline_parity.rs` for the link pipelines).
+//!
+//! The crate is layered (PR 5): [`sched`] (event order), [`link`]
+//! (serializers and queues), [`transport`] (host endpoints), [`switch`]
+//! (dataplane programs), [`trace`] (path side table), [`stats`]
+//! (measurement), with [`engine`] as the dispatcher that composes them
+//! and [`config`] naming the knobs.
 
+pub mod config;
 pub mod engine;
 pub mod fx;
 pub mod link;
@@ -38,10 +46,13 @@ pub mod stats;
 pub mod switch;
 pub mod system;
 pub mod time;
+pub mod trace;
+pub mod transport;
 
-pub use engine::{FlowSpec, SimConfig, Simulator};
+pub use config::SimConfig;
+pub use engine::Simulator;
 pub use fx::{fx_mix64, FxBuildHasher, FxHashMap, FxHasher64};
-pub use link::{DropReason, LinkState, UtilEstimator};
+pub use link::{DropReason, LinkPipeline, LinkState, UtilEstimator};
 pub use packet::{
     flow_hash, FlowId, Packet, PacketKind, Probe, HDR_BYTES, INITIAL_TTL, MSS, PROBE_BASE_BYTES,
 };
@@ -50,6 +61,8 @@ pub use stats::{percentile, FlowRecord, QueueSample, SimStats, TrafficKind, Wire
 pub use switch::{SwitchCtx, SwitchLogic};
 pub use system::{CompileCache, InstallCtx, InstallError, RoutingSystem};
 pub use time::{tx_time, Time};
+pub use trace::TraceTable;
+pub use transport::{FlowSpec, Transport};
 
 #[cfg(test)]
 mod tests {

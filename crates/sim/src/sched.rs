@@ -2,8 +2,28 @@
 //! hierarchical timing wheel that replaced it on the hot path.
 //!
 //! The engine's contract is a **total order**: events pop in ascending
-//! `(at, seq)` where `seq` is the monotone push counter, so same-instant
-//! events drain in push order and every run is byte-identical. A
+//! `(at, key)`, where the 64-bit `key` encodes an event *class* in its
+//! top bits and a class-specific discriminator below:
+//!
+//! * **Arrivals** ([`EventQueue::push_at_key`], key < 2^30, with the
+//!   push counter appended in the low bits) carry a caller-chosen key —
+//!   the engine uses the directed link index, which
+//!   is *pipeline-invariant*: two packets can never finish the same
+//!   link's serializer at the same instant, so same-instant arrivals on
+//!   different links order by a property of the schedule itself rather
+//!   than by when their events happened to be pushed. That is what lets
+//!   the drain-train link pipeline (which pushes a whole train's
+//!   arrivals at commit time) pop in exactly the per-packet pipeline's
+//!   order.
+//! * **Timers** ([`EventQueue::push`], class 1) order by the monotone
+//!   push counter — same-instant timers drain in push order, as before.
+//! * **Serializer completions** ([`EventQueue::push_last`], class 2)
+//!   sort after everything else at their instant: an observer at a
+//!   packet boundary sees the boundary as not-yet-crossed, which is also
+//!   exactly what the drain-train pipeline's lazy state fold implements.
+//!
+//! Under that order every run is byte-identical, under either scheduler
+//! and either link pipeline. A
 //! `BinaryHeap` delivers that at O(log n) per operation — and WAN and
 //! fat-tree scenarios keep 10⁴–10⁵ events pending, so every push and pop
 //! sifts through ~17 levels of cold cache lines. The [`TimingWheel`]
@@ -54,21 +74,32 @@ const fn level_shift(lvl: usize) -> u32 {
     BASE_SHIFT + SLOT_BITS * lvl as u32
 }
 
-/// One scheduled event: the instant, the monotone tie-breaker, the
-/// payload. Ordered by `(at, seq)` — the engine's total order.
+/// Caller-chosen arrival keys ([`EventQueue::push_at_key`]) must lie
+/// below this bound; the scheduler appends its monotone push counter in
+/// the low 32 bits (so equal caller keys at one instant drain in push
+/// order — e.g. two live arrivals on one link across a down/up flap)
+/// and the composed key must stay below the timer class at `2^62`.
+pub const ARRIVAL_KEY_LIMIT: u64 = 1 << 30;
+/// Class tag of plain-push timer events.
+const TIMER_CLASS: u64 = 1 << 62;
+/// Class tag of sort-last serializer completions.
+const LAST_CLASS: u64 = 2 << 62;
+
+/// One scheduled event: the instant, the class-encoding tie-breaker, the
+/// payload. Ordered by `(at, key)` — the engine's total order.
 #[derive(Debug, Clone)]
 pub struct SchedEntry<T> {
     /// When the event fires.
     pub at: Time,
-    /// Monotone push counter (ties at one instant drain in push order).
-    pub seq: u64,
+    /// Tie-break key (see the module docs for the class encoding).
+    pub key: u64,
     /// The event payload.
     pub ev: T,
 }
 
 impl<T> PartialEq for SchedEntry<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key
     }
 }
 impl<T> Eq for SchedEntry<T> {}
@@ -79,7 +110,7 @@ impl<T> PartialOrd for SchedEntry<T> {
 }
 impl<T> Ord for SchedEntry<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.key).cmp(&(other.at, other.key))
     }
 }
 
@@ -131,18 +162,37 @@ impl<T> HeapQueue<T> {
         HeapQueue::default()
     }
 
-    /// Schedules `ev` at `at`; `at` must not precede any popped instant.
+    /// Schedules a timer-class event at `at` (same-instant timers drain
+    /// in push order); `at` must not precede any popped instant.
     pub fn push(&mut self, at: Time, ev: T) {
         self.seq += 1;
-        self.heap.push(Reverse(SchedEntry {
-            at,
-            seq: self.seq,
-            ev,
-        }));
+        let key = TIMER_CLASS | self.seq;
+        self.heap.push(Reverse(SchedEntry { at, key, ev }));
         self.peak = self.peak.max(self.heap.len());
     }
 
-    /// Pops the `(at, seq)`-minimal pending event.
+    /// Schedules an arrival-class event with a caller-chosen tie-break
+    /// key (`key < 2^30`): same-instant arrivals order by key, ahead of
+    /// every timer and completion at that instant; equal keys drain in
+    /// push order (the counter in the low bits breaks the tie).
+    pub fn push_at_key(&mut self, at: Time, key: u64, ev: T) {
+        debug_assert!(key < ARRIVAL_KEY_LIMIT, "arrival key overflows its class");
+        self.seq += 1;
+        let key = (key << 32) | (self.seq & 0xFFFF_FFFF);
+        self.heap.push(Reverse(SchedEntry { at, key, ev }));
+        self.peak = self.peak.max(self.heap.len());
+    }
+
+    /// Schedules a completion-class event: sorts after everything else
+    /// at its instant (same-instant completions keep push order).
+    pub fn push_last(&mut self, at: Time, ev: T) {
+        self.seq += 1;
+        let key = LAST_CLASS | self.seq;
+        self.heap.push(Reverse(SchedEntry { at, key, ev }));
+        self.peak = self.peak.max(self.heap.len());
+    }
+
+    /// Pops the `(at, key)`-minimal pending event.
     pub fn pop(&mut self) -> Option<SchedEntry<T>> {
         self.heap.pop().map(|Reverse(e)| e)
     }
@@ -186,9 +236,16 @@ pub struct TimingWheel<T> {
     levels: Vec<Vec<Vec<SchedEntry<T>>>>,
     /// Per-level bucket-occupancy bitmaps (`SLOTS` bits each).
     occ: [[u64; WORDS]; LEVELS],
-    /// Entries of already-reached buckets, in exact `(at, seq)` order.
+    /// The opened level-0 bucket, sorted descending by `(at, key)` and
+    /// popped from the back — the fast path: one sort per bucket beats
+    /// two heap operations per event.
+    run: Vec<SchedEntry<T>>,
+    /// Stragglers pushed behind the drain front (same-instant pushes
+    /// during a bucket drain), in exact `(at, key)` heap order. Merged
+    /// with `run` on pop.
     ready: BinaryHeap<Reverse<SchedEntry<T>>>,
-    /// Drain front: a level-0 boundary; everything earlier is in `ready`.
+    /// Drain front: a level-0 boundary; everything earlier is in `run`
+    /// or `ready`.
     cur: u64,
     /// Events beyond the level-`LEVELS-1` horizon.
     overflow: BinaryHeap<Reverse<SchedEntry<T>>>,
@@ -206,6 +263,7 @@ impl<T> Default for TimingWheel<T> {
                 .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
                 .collect(),
             occ: [[0; WORDS]; LEVELS],
+            run: Vec::new(),
             ready: BinaryHeap::new(),
             cur: 0,
             overflow: BinaryHeap::new(),
@@ -224,27 +282,59 @@ impl<T> TimingWheel<T> {
         TimingWheel::default()
     }
 
-    /// Schedules `ev` at `at`. `at` must be no earlier than the `at` of
-    /// the last popped event (the discrete-event contract; the engine
-    /// never schedules into the past).
+    /// Schedules a timer-class event at `at`. `at` must be no earlier
+    /// than the `at` of the last popped event (the discrete-event
+    /// contract; the engine never schedules into the past).
     pub fn push(&mut self, at: Time, ev: T) {
         self.seq += 1;
-        let entry = SchedEntry {
-            at,
-            seq: self.seq,
-            ev,
-        };
+        let key = TIMER_CLASS | self.seq;
+        self.push_entry(SchedEntry { at, key, ev });
+    }
+
+    /// Schedules an arrival-class event with a caller-chosen tie-break
+    /// key (`key < 2^30`); see [`HeapQueue::push_at_key`].
+    pub fn push_at_key(&mut self, at: Time, key: u64, ev: T) {
+        debug_assert!(key < ARRIVAL_KEY_LIMIT, "arrival key overflows its class");
+        self.seq += 1;
+        let key = (key << 32) | (self.seq & 0xFFFF_FFFF);
+        self.push_entry(SchedEntry { at, key, ev });
+    }
+
+    /// Schedules a completion-class event (sorts last at its instant).
+    pub fn push_last(&mut self, at: Time, ev: T) {
+        self.seq += 1;
+        let key = LAST_CLASS | self.seq;
+        self.push_entry(SchedEntry { at, key, ev });
+    }
+
+    fn push_entry(&mut self, entry: SchedEntry<T>) {
         self.len += 1;
         self.peak = self.peak.max(self.len);
         self.place(entry);
     }
 
-    /// Pops the `(at, seq)`-minimal pending event.
+    /// Pops the `(at, key)`-minimal pending event.
     pub fn pop(&mut self) -> Option<SchedEntry<T>> {
         loop {
-            if let Some(Reverse(e)) = self.ready.pop() {
-                self.len -= 1;
-                return Some(e);
+            // Fast path: merge the sorted run with the straggler heap.
+            match (self.run.last(), self.ready.peek()) {
+                (Some(r), Some(Reverse(h))) => {
+                    self.len -= 1;
+                    return Some(if (r.at, r.key) <= (h.at, h.key) {
+                        self.run.pop().expect("just peeked")
+                    } else {
+                        self.ready.pop().expect("just peeked").0
+                    });
+                }
+                (Some(_), None) => {
+                    self.len -= 1;
+                    return Some(self.run.pop().expect("just peeked"));
+                }
+                (None, Some(_)) => {
+                    self.len -= 1;
+                    return Some(self.ready.pop().expect("just peeked").0);
+                }
+                (None, None) => {}
             }
             if self.len == 0 {
                 return None;
@@ -287,12 +377,15 @@ impl<T> TimingWheel<T> {
             self.occ[lvl][idx / 64] &= !(1u64 << (idx % 64));
             let mut bucket = std::mem::take(&mut self.levels[lvl][idx]);
             if lvl == 0 {
-                // Reached: restore total order via the ready heap and
-                // advance the drain front past this bucket.
-                for e in bucket.drain(..) {
-                    self.ready.push(Reverse(e));
-                }
+                // Reached: sort once (descending, popped from the back)
+                // and advance the drain front past this bucket. The old
+                // run allocation is recycled as the emptied bucket.
+                debug_assert!(self.run.is_empty());
+                bucket.sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.key)));
+                std::mem::swap(&mut self.run, &mut bucket);
+                self.levels[lvl][idx] = bucket;
                 self.cur = end;
+                continue;
             } else {
                 // Cascade one coarse bucket into finer levels.
                 self.cascades += bucket.len() as u64;
@@ -399,7 +492,8 @@ impl<T> EventQueue<T> {
         }
     }
 
-    /// Schedules `ev` at `at` (monotone: `at` ≥ the last popped instant).
+    /// Schedules a timer-class event at `at` (monotone: `at` ≥ the last
+    /// popped instant).
     #[inline]
     pub fn push(&mut self, at: Time, ev: T) {
         match self {
@@ -408,7 +502,27 @@ impl<T> EventQueue<T> {
         }
     }
 
-    /// Pops the `(at, seq)`-minimal pending event.
+    /// Schedules an arrival-class event with a caller-chosen key
+    /// (`key < 2^30`, pops ahead of same-instant timers/completions;
+    /// equal keys at one instant drain in push order).
+    #[inline]
+    pub fn push_at_key(&mut self, at: Time, key: u64, ev: T) {
+        match self {
+            EventQueue::Wheel(w) => w.push_at_key(at, key, ev),
+            EventQueue::Heap(h) => h.push_at_key(at, key, ev),
+        }
+    }
+
+    /// Schedules a completion-class event (sorts last at its instant).
+    #[inline]
+    pub fn push_last(&mut self, at: Time, ev: T) {
+        match self {
+            EventQueue::Wheel(w) => w.push_last(at, ev),
+            EventQueue::Heap(h) => h.push_last(at, ev),
+        }
+    }
+
+    /// Pops the `(at, key)`-minimal pending event.
     #[inline]
     pub fn pop(&mut self) -> Option<SchedEntry<T>> {
         match self {
@@ -448,7 +562,7 @@ mod tests {
     fn drain(w: &mut TimingWheel<u32>) -> Vec<(u64, u64, u32)> {
         let mut out = Vec::new();
         while let Some(e) = w.pop() {
-            out.push((e.at.0, e.seq, e.ev));
+            out.push((e.at.0, e.key, e.ev));
         }
         assert!(out.windows(2).all(|p| (p[0].0, p[0].1) < (p[1].0, p[1].1)));
         out
@@ -538,18 +652,54 @@ mod tests {
             if rnd() % 3 == 0 {
                 let (a, b) = (wheel.pop().unwrap(), heap.pop().unwrap());
                 now = a.at.0;
-                wheel_out.push((a.at, a.seq, a.ev));
-                heap_out.push((b.at, b.seq, b.ev));
+                wheel_out.push((a.at, a.key, a.ev));
+                heap_out.push((b.at, b.key, b.ev));
             }
         }
         while let Some(a) = wheel.pop() {
-            wheel_out.push((a.at, a.seq, a.ev));
+            wheel_out.push((a.at, a.key, a.ev));
         }
         while let Some(b) = heap.pop() {
-            heap_out.push((b.at, b.seq, b.ev));
+            heap_out.push((b.at, b.key, b.ev));
         }
         assert_eq!(wheel_out, heap_out);
         assert_eq!(wheel.len(), 0);
+    }
+
+    /// Same-instant arrivals with *equal* caller keys (one link's
+    /// pre-flap in-flight packet + a post-recovery packet) drain in push
+    /// order, identically on both schedulers — the composed key's low
+    /// bits carry the push counter, so no two entries ever compare
+    /// equal and pop order can never fall to implementation whims.
+    #[test]
+    fn equal_arrival_keys_drain_in_push_order() {
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            let mut q = EventQueue::new(kind);
+            let t = Time::us(7);
+            for i in 0..50u32 {
+                q.push_at_key(t, 3, i); // same instant, same link key
+            }
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.ev)).collect();
+            assert_eq!(order, (0..50).collect::<Vec<_>>(), "{kind:?}");
+        }
+    }
+
+    /// The class order at one instant: arrivals (by key), then timers
+    /// (push order), then completions (push order) — on both schedulers.
+    #[test]
+    fn classes_order_arrivals_timers_completions() {
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            let mut q = EventQueue::new(kind);
+            let t = Time::us(3);
+            q.push_last(t, 100u32); // completion pushed first...
+            q.push(t, 10);
+            q.push_at_key(t, 7, 1);
+            q.push(t, 11);
+            q.push_at_key(t, 2, 0); // ...arrival with the smallest key last
+            q.push_last(t, 101);
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.ev)).collect();
+            assert_eq!(order, vec![0, 1, 10, 11, 100, 101], "{kind:?}");
+        }
     }
 
     #[test]

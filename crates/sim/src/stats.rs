@@ -155,9 +155,18 @@ pub struct SimStats {
     pub delivered_packets: u64,
     /// Loop-breaking events reported by switch logic (§5.5).
     pub loop_breaks: u64,
-    /// Events popped off the engine's queue — the denominator of the
-    /// events/sec throughput figure tracked in `BENCH_sim.json`.
+    /// Per-packet-equivalent events processed — the denominator of the
+    /// events/sec throughput figure tracked in `BENCH_sim.json`. Counts
+    /// every event popped off the engine's queue **plus** the
+    /// serializer completions the drain-train link pipeline elides
+    /// (`txdone_coalesced`), so the figure measures the same work under
+    /// either `SimConfig::link_pipeline` and stays comparable across
+    /// recordings.
     pub events_processed: u64,
+    /// Serializer-completion events elided by the drain-train pipeline
+    /// (a committed train of `k` packets posts one tail completion
+    /// instead of `k`). Always 0 under `LinkPipeline::PerPacket`.
+    pub txdone_coalesced: u64,
     /// Peak number of pending events in the scheduler over the run.
     pub sched_peak_pending: u64,
     /// Timing-wheel entries re-filed from a coarser level into a finer

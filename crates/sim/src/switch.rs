@@ -127,10 +127,7 @@ impl<'a> SwitchCtx<'a> {
     /// `UPDATEMVEC` reads for `path.util`).
     pub fn util_to(&self, next: NodeId) -> f64 {
         match self.topo.link_between(self.switch, next) {
-            Some(l) => {
-                let ls = &self.links[l.0 as usize];
-                ls.estimator.utilization(ls.bandwidth_bps, self.now)
-            }
+            Some(l) => self.links[l.0 as usize].utilization(self.now),
             None => 0.0,
         }
     }

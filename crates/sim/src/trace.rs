@@ -1,0 +1,179 @@
+//! Per-packet path tracing: the opt-in side table behind
+//! `SimConfig::trace_paths`.
+//!
+//! When tracing is enabled the engine records, for every routed payload
+//! packet and ACK, the sequence of switches it visits — the ground truth
+//! for exact loop accounting (§6.5) and for policy-compliance checks in
+//! tests. The table lives *beside* the packets (keyed by packet id) so
+//! the hot path carries no per-packet `Vec` when tracing is off.
+//!
+//! Interface contract with the engine:
+//!
+//! * [`TraceTable::visit`] appends a switch to a packet's path and
+//!   reports whether this visit closed the packet's *first* loop (the
+//!   engine counts `SimStats::looped_packets` from that signal).
+//! * [`TraceTable::deliver`] retires a live trace into the delivered
+//!   list returned by `Simulator::run_traced`.
+//! * [`TraceTable::forget`] drops the trace of a packet that died in
+//!   flight (TTL, queue drop, no-route, link failure) so the table only
+//!   ever holds in-flight packets.
+//!
+//! Every method is a no-op when the table was built disabled, so the
+//! engine calls them unconditionally.
+
+use crate::fx::FxHashMap;
+use crate::packet::{FlowId, Packet};
+use contra_topology::NodeId;
+
+/// Side-table record of one traced packet's switch path.
+#[derive(Debug, Default)]
+struct TraceRec {
+    path: Vec<NodeId>,
+    /// Set once the packet has revisited a switch (counted once per
+    /// packet).
+    looped: bool,
+}
+
+/// The tracing side table: switch paths of in-flight traced packets plus
+/// the retired traces of delivered ones.
+#[derive(Debug, Default)]
+pub struct TraceTable {
+    enabled: bool,
+    /// In-flight packets, keyed by packet id.
+    live: FxHashMap<u64, TraceRec>,
+    /// Delivered payload packet traces: for each delivered data/UDP
+    /// packet, its flow and the switch sequence it took.
+    delivered: Vec<(FlowId, Vec<NodeId>)>,
+}
+
+impl TraceTable {
+    /// A table that records (`enabled`) or ignores every call.
+    pub fn new(enabled: bool) -> TraceTable {
+        TraceTable {
+            enabled,
+            ..TraceTable::default()
+        }
+    }
+
+    /// Whether tracing is on (the engine never needs to re-check its
+    /// config).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records that `pkt` arrived at switch `node`. Returns `true` when
+    /// this visit revisits a switch already on the path *and* the packet
+    /// had not looped before — i.e. exactly once per looping packet.
+    #[inline]
+    pub fn visit(&mut self, pkt: &Packet, node: NodeId) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let rec = self.live.entry(pkt.id).or_default();
+        let newly_looped = rec.path.contains(&node) && !rec.looped;
+        if newly_looped {
+            rec.looped = true;
+        }
+        rec.path.push(node);
+        newly_looped
+    }
+
+    /// Drops the trace of a packet that died in flight (no-op unless
+    /// tracing is on).
+    #[inline]
+    pub fn forget(&mut self, pkt_id: u64) {
+        if self.enabled {
+            self.live.remove(&pkt_id);
+        }
+    }
+
+    /// Moves a delivered packet's trace into the delivered list (no
+    /// re-allocation: the recorded path is reused).
+    pub fn deliver(&mut self, pkt: &Packet) {
+        if !self.enabled {
+            return;
+        }
+        let path = self
+            .live
+            .remove(&pkt.id)
+            .map(|r| r.path)
+            .unwrap_or_default();
+        self.delivered.push((pkt.flow, path));
+    }
+
+    /// The last up-to-8 switches of an in-flight packet's path (TTL-death
+    /// diagnostics).
+    pub fn tail(&self, pkt_id: u64) -> &[NodeId] {
+        self.live
+            .get(&pkt_id)
+            .map(|r| &r.path[r.path.len().saturating_sub(8)..])
+            .unwrap_or(&[])
+    }
+
+    /// Consumes the table, returning the delivered traces.
+    pub fn into_delivered(self) -> Vec<(FlowId, Vec<NodeId>)> {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketKind, INITIAL_TTL};
+    use crate::time::Time;
+
+    fn pkt(id: u64) -> Packet {
+        Packet {
+            id,
+            kind: PacketKind::Udp,
+            src_host: NodeId(10),
+            dst_host: NodeId(11),
+            dst_switch: NodeId(1),
+            flow: FlowId(3),
+            seq: 0,
+            size_bytes: 100,
+            sent_at: Time::ZERO,
+            tag: 0,
+            pid: 0,
+            ttl: INITIAL_TTL,
+            flow_hash: 0,
+        }
+    }
+
+    #[test]
+    fn loop_is_counted_once_per_packet() {
+        let mut t = TraceTable::new(true);
+        let p = pkt(7);
+        assert!(!t.visit(&p, NodeId(0)));
+        assert!(!t.visit(&p, NodeId(1)));
+        assert!(t.visit(&p, NodeId(0)), "revisit closes the loop");
+        assert!(!t.visit(&p, NodeId(1)), "second revisit not re-counted");
+        t.deliver(&p);
+        let d = t.into_delivered();
+        assert_eq!(
+            d,
+            vec![(FlowId(3), vec![NodeId(0), NodeId(1), NodeId(0), NodeId(1)])]
+        );
+    }
+
+    #[test]
+    fn disabled_table_ignores_everything() {
+        let mut t = TraceTable::new(false);
+        let p = pkt(1);
+        assert!(!t.visit(&p, NodeId(0)));
+        assert!(!t.visit(&p, NodeId(0)));
+        t.deliver(&p);
+        assert!(t.into_delivered().is_empty());
+    }
+
+    #[test]
+    fn forget_drops_only_the_named_packet() {
+        let mut t = TraceTable::new(true);
+        let (a, b) = (pkt(1), pkt(2));
+        t.visit(&a, NodeId(0));
+        t.visit(&b, NodeId(5));
+        t.forget(a.id);
+        assert!(t.tail(a.id).is_empty());
+        assert_eq!(t.tail(b.id), &[NodeId(5)]);
+    }
+}

@@ -1,0 +1,492 @@
+//! Host transport: the TCP NewReno and constant-rate UDP machines.
+//!
+//! [`Transport`] owns all per-flow state and implements the endpoint
+//! protocols; the engine owns links, switches and the clock. The seam
+//! between them is deliberately narrow:
+//!
+//! * The engine forwards host-level events into the `on_*` handlers
+//!   ([`Transport::start_flow`], [`Transport::on_data`],
+//!   [`Transport::on_ack`], [`Transport::on_rto`],
+//!   [`Transport::on_udp_send`]).
+//! * Handlers never touch the network directly — they append
+//!   [`TransportEffect`]s (packets to transmit, timers to arm) to a
+//!   caller-owned buffer, **in the exact order the actions must happen**,
+//!   and the engine applies them after the handler returns. Order matters
+//!   down to event-queue sequence numbers: a timer armed before a send
+//!   must be pushed before the send's link events, or same-instant ties
+//!   would break differently.
+//! * Flow lifecycle results (completion time, retransmit counts) are
+//!   written straight into [`SimStats::flows`], the measurement layer.
+//!
+//! The transport also mints packet ids: it is the only packet creator
+//! that needs global uniqueness (probes are switch-local and carry id 0).
+
+use crate::packet::{flow_hash, FlowId, Packet, PacketKind, HDR_BYTES, INITIAL_TTL, MSS};
+use crate::stats::{FlowRecord, SimStats};
+use crate::time::Time;
+use contra_topology::{NodeId, Topology};
+
+/// A traffic source to inject.
+#[derive(Debug, Clone)]
+pub enum FlowSpec {
+    /// Finite TCP-like transfer of `bytes` from `src` to `dst`.
+    Tcp {
+        /// Sending host.
+        src: NodeId,
+        /// Receiving host.
+        dst: NodeId,
+        /// Transfer size in bytes.
+        bytes: u64,
+        /// Arrival time.
+        start: Time,
+    },
+    /// Constant-rate UDP stream (used by the failure-recovery experiment).
+    Udp {
+        /// Sending host.
+        src: NodeId,
+        /// Receiving host.
+        dst: NodeId,
+        /// Offered rate in bits/second.
+        rate_bps: f64,
+        /// First packet time.
+        start: Time,
+        /// Last packet time.
+        stop: Time,
+    },
+}
+
+/// A transport-armed timer, delivered back by the engine at its deadline.
+#[derive(Debug, Clone, Copy)]
+pub enum TransportTimer {
+    /// RTO deadline check.
+    Rto {
+        /// Flow index.
+        flow: u32,
+        /// Arm generation; stale checks are ignored.
+        epoch: u64,
+    },
+    /// Next UDP datagram.
+    UdpSend {
+        /// Flow index.
+        flow: u32,
+    },
+}
+
+/// One deferred transport action. Effects apply strictly in append order.
+#[derive(Debug)]
+pub enum TransportEffect {
+    /// Transmit `pkt` from host `src` onto its access link toward `via`.
+    Send {
+        /// Originating host.
+        src: NodeId,
+        /// First-hop switch (the host's access switch).
+        via: NodeId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// Arm a timer at `at`.
+    Timer {
+        /// Deadline.
+        at: Time,
+        /// What fires.
+        timer: TransportTimer,
+    },
+}
+
+/// The effects buffer handlers append to. Owned by the engine and
+/// recycled across dispatches so steady-state handling never allocates.
+pub type TransportFx = Vec<TransportEffect>;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FlowKind {
+    Tcp,
+    Udp { rate_bps: f64, stop: Time },
+}
+
+/// TCP sender/receiver state for one flow (NewReno-flavored: slow start,
+/// AIMD, triple-dup-ACK fast retransmit, go-back-N timeout).
+struct FlowState {
+    kind: FlowKind,
+    src: NodeId,
+    dst: NodeId,
+    src_switch: NodeId,
+    dst_switch: NodeId,
+    size_bytes: u64,
+    total_pkts: u32,
+    // Sender.
+    next_seq: u32,
+    cum_acked: u32,
+    dup_acks: u32,
+    cwnd: f64,
+    ssthresh: f64,
+    in_recovery: bool,
+    recovery_point: u32,
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: Time,
+    rto_epoch: u64,
+    finished: bool,
+    retransmits: u64,
+    // Receiver.
+    rcv_next: u32,
+    rcv_ooo: std::collections::BTreeSet<u32>,
+    hash_fwd: u64,
+    hash_rev: u64,
+}
+
+impl FlowState {
+    fn inflight(&self) -> u32 {
+        self.next_seq.saturating_sub(self.cum_acked)
+    }
+}
+
+/// All host endpoints of a simulation: flow table plus the transport
+/// parameters lifted from `SimConfig`.
+pub struct Transport {
+    flows: Vec<FlowState>,
+    min_rto: Time,
+    init_cwnd: f64,
+    next_pkt_id: u64,
+}
+
+impl Transport {
+    /// A transport with no flows.
+    pub fn new(min_rto: Time, init_cwnd: f64) -> Transport {
+        Transport {
+            flows: Vec::new(),
+            min_rto,
+            init_cwnd,
+            next_pkt_id: 0,
+        }
+    }
+
+    /// Registers a flow and its [`FlowRecord`]; returns the id, the
+    /// start instant, and whether the flow is TCP (the engine schedules
+    /// a flow-start or first-datagram event accordingly).
+    pub fn add_flow(
+        &mut self,
+        spec: FlowSpec,
+        topo: &Topology,
+        stats: &mut SimStats,
+    ) -> (FlowId, Time, bool) {
+        let id = FlowId(self.flows.len() as u32);
+        let (src, dst, start) = match &spec {
+            FlowSpec::Tcp {
+                src, dst, start, ..
+            } => (*src, *dst, *start),
+            FlowSpec::Udp {
+                src, dst, start, ..
+            } => (*src, *dst, *start),
+        };
+        assert!(
+            !topo.is_switch(src) && !topo.is_switch(dst),
+            "flows run host-to-host"
+        );
+        assert_ne!(src, dst, "flow to self");
+        let (kind, size_bytes, total_pkts) = match spec {
+            FlowSpec::Tcp { bytes, .. } => {
+                let pkts = bytes.div_ceil(MSS as u64).max(1) as u32;
+                (FlowKind::Tcp, bytes, pkts)
+            }
+            FlowSpec::Udp { rate_bps, stop, .. } => (FlowKind::Udp { rate_bps, stop }, 0, u32::MAX),
+        };
+        self.flows.push(FlowState {
+            kind,
+            src,
+            dst,
+            src_switch: topo.host_switch(src),
+            dst_switch: topo.host_switch(dst),
+            size_bytes,
+            total_pkts,
+            next_seq: 0,
+            cum_acked: 0,
+            dup_acks: 0,
+            cwnd: self.init_cwnd,
+            ssthresh: f64::INFINITY,
+            in_recovery: false,
+            recovery_point: 0,
+            srtt: None,
+            rttvar: 0.0,
+            rto: Time(self.min_rto.0 * 3),
+            rto_epoch: 0,
+            finished: false,
+            retransmits: 0,
+            rcv_next: 0,
+            rcv_ooo: std::collections::BTreeSet::new(),
+            hash_fwd: flow_hash(id, 0),
+            hash_rev: flow_hash(id, 1),
+        });
+        stats.flows.push(FlowRecord {
+            id,
+            size_bytes,
+            start,
+            finish: None,
+            retransmits: 0,
+            unbounded: matches!(kind, FlowKind::Udp { .. }),
+        });
+        (id, start, matches!(kind, FlowKind::Tcp))
+    }
+
+    /// A TCP flow becomes active: opens the window and arms the first
+    /// RTO.
+    pub fn start_flow(&mut self, flow: u32, now: Time, fx: &mut TransportFx) {
+        self.tcp_try_send(flow, now, fx);
+        self.arm_rto(flow, now, fx);
+    }
+
+    /// Receiver side of a data segment: advances `rcv_next` (with an
+    /// in-order fast path) and emits the cumulative ACK.
+    pub fn on_data(&mut self, pkt: &Packet, now: Time, fx: &mut TransportFx) {
+        let flow = pkt.flow.0;
+        let f = &mut self.flows[flow as usize];
+        let seq = pkt.seq;
+        if seq == f.rcv_next {
+            // In-order fast path (the overwhelmingly common case): advance
+            // without touching the out-of-order set, then drain any
+            // segments it unblocks.
+            f.rcv_next += 1;
+            if !f.rcv_ooo.is_empty() {
+                while f.rcv_ooo.remove(&f.rcv_next) {
+                    f.rcv_next += 1;
+                }
+            }
+        } else if seq > f.rcv_next {
+            f.rcv_ooo.insert(seq);
+        }
+        let ack_seq = f.rcv_next;
+        let (src, dst, dst_sw, hash) = (f.dst, f.src, f.src_switch, f.hash_rev);
+        let echo_ts = pkt.sent_at;
+        // ACK travels from the receiver host back to the sender host.
+        let ack = self.mk_packet(
+            PacketKind::Ack { ack_seq, echo_ts },
+            flow,
+            ack_seq,
+            HDR_BYTES,
+            src,
+            dst,
+            dst_sw,
+            hash,
+            now,
+        );
+        let via = self.flows[flow as usize].dst_switch;
+        fx.push(TransportEffect::Send { src, via, pkt: ack });
+    }
+
+    /// Sender side of a cumulative ACK: RTT sampling, window update,
+    /// fast retransmit, completion.
+    pub fn on_ack(
+        &mut self,
+        flow: u32,
+        ack_seq: u32,
+        echo_ts: Time,
+        now: Time,
+        fx: &mut TransportFx,
+        stats: &mut SimStats,
+    ) {
+        let f = &mut self.flows[flow as usize];
+        if f.finished {
+            return;
+        }
+        // RTT sample (Karn's rule approximated: echo timestamps are exact).
+        let sample = now.saturating_sub(echo_ts).as_secs_f64();
+        match f.srtt {
+            None => {
+                f.srtt = Some(sample);
+                f.rttvar = sample / 2.0;
+            }
+            Some(s) => {
+                f.rttvar = 0.75 * f.rttvar + 0.25 * (s - sample).abs();
+                f.srtt = Some(0.875 * s + 0.125 * sample);
+            }
+        }
+        let rto_s = f.srtt.unwrap() + 4.0 * f.rttvar;
+        f.rto = Time::secs_f64(rto_s).max(self.min_rto);
+
+        if ack_seq > f.cum_acked {
+            let newly = (ack_seq - f.cum_acked) as f64;
+            f.cum_acked = ack_seq;
+            // After a go-back-N timeout, late ACKs for pre-timeout segments
+            // can overtake the rewound send pointer.
+            f.next_seq = f.next_seq.max(f.cum_acked);
+            f.dup_acks = 0;
+            if f.in_recovery && ack_seq >= f.recovery_point {
+                f.in_recovery = false;
+            }
+            if f.cwnd < f.ssthresh {
+                f.cwnd += newly; // slow start
+            } else {
+                f.cwnd += newly / f.cwnd; // congestion avoidance
+            }
+            if f.cum_acked >= f.total_pkts {
+                f.finished = true;
+                let retx = f.retransmits;
+                stats.flows[flow as usize].finish = Some(now);
+                stats.flows[flow as usize].retransmits = retx;
+                return;
+            }
+            self.arm_rto(flow, now, fx);
+            self.tcp_try_send(flow, now, fx);
+        } else {
+            f.dup_acks += 1;
+            if f.dup_acks == 3 && !f.in_recovery {
+                f.ssthresh = (f.cwnd / 2.0).max(2.0);
+                f.cwnd = f.ssthresh;
+                f.in_recovery = true;
+                f.recovery_point = f.next_seq;
+                f.retransmits += 1;
+                let seq = f.cum_acked;
+                let (src, dst, dst_sw, hash) = (f.src, f.dst, f.dst_switch, f.hash_fwd);
+                let size = self.data_size(&self.flows[flow as usize], seq);
+                let pkt = self.mk_packet(
+                    PacketKind::Data,
+                    flow,
+                    seq,
+                    size,
+                    src,
+                    dst,
+                    dst_sw,
+                    hash,
+                    now,
+                );
+                let via = self.flows[flow as usize].src_switch;
+                fx.push(TransportEffect::Send { src, via, pkt });
+                self.arm_rto(flow, now, fx);
+            }
+        }
+    }
+
+    /// RTO deadline: on a live epoch, multiplicative back-off and
+    /// go-back-N from the hole.
+    pub fn on_rto(&mut self, flow: u32, epoch: u64, now: Time, fx: &mut TransportFx) {
+        let f = &mut self.flows[flow as usize];
+        if f.finished || f.rto_epoch != epoch {
+            return;
+        }
+        f.ssthresh = (f.cwnd / 2.0).max(2.0);
+        f.cwnd = self.init_cwnd.clamp(1.0, 2.0);
+        f.in_recovery = false;
+        f.dup_acks = 0;
+        f.next_seq = f.cum_acked;
+        f.retransmits += 1;
+        f.rto = Time((f.rto.0 * 2).min(Time::ms(100).0));
+        self.arm_rto(flow, now, fx);
+        self.tcp_try_send(flow, now, fx);
+    }
+
+    /// Emits the next constant-rate datagram and re-arms the send timer.
+    pub fn on_udp_send(&mut self, flow: u32, now: Time, fx: &mut TransportFx) {
+        let f = &self.flows[flow as usize];
+        let FlowKind::Udp { rate_bps, stop } = f.kind else {
+            return;
+        };
+        if now > stop {
+            return;
+        }
+        let size = MSS + HDR_BYTES;
+        let seq = f.next_seq;
+        let (src, dst, dst_sw, hash) = (f.src, f.dst, f.dst_switch, f.hash_fwd);
+        let pkt = self.mk_packet(
+            PacketKind::Udp,
+            flow,
+            seq,
+            size,
+            src,
+            dst,
+            dst_sw,
+            hash,
+            now,
+        );
+        self.flows[flow as usize].next_seq += 1;
+        let via = self.flows[flow as usize].src_switch;
+        fx.push(TransportEffect::Send { src, via, pkt });
+        let gap = Time::secs_f64(size as f64 * 8.0 / rate_bps);
+        fx.push(TransportEffect::Timer {
+            at: now + gap,
+            timer: TransportTimer::UdpSend { flow },
+        });
+    }
+
+    /// Sends as much as the window allows.
+    fn tcp_try_send(&mut self, flow: u32, now: Time, fx: &mut TransportFx) {
+        loop {
+            let f = &self.flows[flow as usize];
+            if f.finished {
+                return;
+            }
+            let inflight = f.inflight();
+            if f.next_seq >= f.total_pkts || (inflight as f64) >= f.cwnd.floor().max(1.0) {
+                return;
+            }
+            let seq = f.next_seq;
+            let size = self.data_size(f, seq);
+            let (src, dst, dst_sw, hash) = (f.src, f.dst, f.dst_switch, f.hash_fwd);
+            let pkt = self.mk_packet(
+                PacketKind::Data,
+                flow,
+                seq,
+                size,
+                src,
+                dst,
+                dst_sw,
+                hash,
+                now,
+            );
+            self.flows[flow as usize].next_seq += 1;
+            let via = self.flows[flow as usize].src_switch;
+            fx.push(TransportEffect::Send { src, via, pkt });
+        }
+    }
+
+    fn arm_rto(&mut self, flow: u32, now: Time, fx: &mut TransportFx) {
+        let f = &mut self.flows[flow as usize];
+        if f.finished || !matches!(f.kind, FlowKind::Tcp) {
+            return;
+        }
+        f.rto_epoch += 1;
+        let epoch = f.rto_epoch;
+        fx.push(TransportEffect::Timer {
+            at: now + f.rto,
+            timer: TransportTimer::Rto { flow, epoch },
+        });
+    }
+
+    fn data_size(&self, f: &FlowState, seq: u32) -> u32 {
+        let sent_before = seq as u64 * MSS as u64;
+        let remaining = f.size_bytes.saturating_sub(sent_before);
+        (remaining.min(MSS as u64) as u32).max(1) + HDR_BYTES
+    }
+
+    /// Builds a transport packet. `dst_switch` comes from the flow state —
+    /// `Topology::host_switch` walks (and allocates) the host's neighbor
+    /// list, far too slow for once-per-packet use.
+    #[allow(clippy::too_many_arguments)]
+    fn mk_packet(
+        &mut self,
+        kind: PacketKind,
+        flow: u32,
+        seq: u32,
+        size: u32,
+        src: NodeId,
+        dst: NodeId,
+        dst_switch: NodeId,
+        hash: u64,
+        now: Time,
+    ) -> Packet {
+        self.next_pkt_id += 1;
+        Packet {
+            id: self.next_pkt_id,
+            kind,
+            src_host: src,
+            dst_host: dst,
+            dst_switch,
+            flow: FlowId(flow),
+            seq,
+            size_bytes: size,
+            sent_at: now,
+            tag: 0,
+            pid: 0,
+            ttl: INITIAL_TTL,
+            flow_hash: hash,
+        }
+    }
+}

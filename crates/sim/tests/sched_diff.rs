@@ -2,7 +2,7 @@
 //! to the binary heap it replaced.
 //!
 //! The engine's contract is that events pop in strictly ascending
-//! `(at, seq)` order. These properties drive identical randomized event
+//! `(at, key)` order. These properties drive identical randomized event
 //! streams — interleaved pushes and pops, deltas spanning every wheel
 //! level and the overflow heap, heavy same-instant ties — through
 //! [`HeapQueue`] and [`TimingWheel`] and require the popped sequences to
@@ -38,10 +38,10 @@ fn run_stream(ops: &[(u8, u64)]) -> (Vec<(Time, u64, u32)>, Vec<(Time, u64, u32)
     let mut now = 0u64;
     let mut log = |w: Option<SchedEntry<u32>>, h: Option<SchedEntry<u32>>| {
         if let Some(e) = w {
-            wheel_log.push((e.at, e.seq, e.ev));
+            wheel_log.push((e.at, e.key, e.ev));
         }
         if let Some(e) = h {
-            heap_log.push((e.at, e.seq, e.ev));
+            heap_log.push((e.at, e.key, e.ev));
         }
     };
     for (i, &(class, raw)) in ops.iter().enumerate() {

@@ -74,11 +74,21 @@ pub struct Topology {
     links: Vec<Link>,
     out: Vec<Vec<LinkId>>,
     /// Flat adjacency index: per source node, out-neighbors sorted by id
-    /// with their link. [`Topology::link_between`] runs on every simulated
-    /// hop, so the pair lookup must be O(log degree) over a contiguous
-    /// array, not a tree walk over all (src, dst) pairs.
+    /// with their link. Backs [`Topology::adjacency`] iteration and the
+    /// [`Topology::link_between`] fallback on very large graphs.
     adj: Vec<Vec<(NodeId, LinkId)>>,
+    /// Dense (src × dst) → link matrix (`u32::MAX` = no link), built for
+    /// topologies up to [`DENSE_PAIR_LIMIT`] nodes. `link_between` runs
+    /// on every simulated hop *and* on every probe's utilization read, so
+    /// the common case must be one O(1) indexed load, not a binary
+    /// search. At the limit the matrix costs 4 MiB; typical evaluation
+    /// fabrics (≤ ~60 nodes) fit in a few cache lines per row.
+    dense: Option<Vec<u32>>,
 }
+
+/// Largest node count for which the dense pair matrix is built (memory
+/// is quadratic: `limit² × 4` bytes).
+pub const DENSE_PAIR_LIMIT: usize = 1024;
 
 impl Topology {
     /// Starts building a topology.
@@ -166,8 +176,20 @@ impl Topology {
             .collect()
     }
 
-    /// The directed link from `a` to `b`, if any.
+    /// The directed link from `a` to `b`, if any. One indexed load on
+    /// dense-indexed topologies (≤ [`DENSE_PAIR_LIMIT`] nodes), an
+    /// O(log degree) adjacency search beyond.
+    #[inline]
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        if let Some(dense) = &self.dense {
+            let n = self.nodes.len();
+            let (ai, bi) = (a.0 as usize, b.0 as usize);
+            if ai >= n || bi >= n {
+                return None;
+            }
+            let l = dense[ai * n + bi];
+            return (l != u32::MAX).then_some(LinkId(l));
+        }
         let row = self.adj.get(a.0 as usize)?;
         row.binary_search_by_key(&b, |&(n, _)| n)
             .ok()
@@ -315,11 +337,20 @@ impl TopologyBuilder {
                 Err(pos) => row.insert(pos, (l.dst, id)),
             }
         }
+        let n = self.nodes.len();
+        let dense = (n <= DENSE_PAIR_LIMIT).then(|| {
+            let mut d = vec![u32::MAX; n * n];
+            for (i, l) in self.links.iter().enumerate() {
+                d[l.src.0 as usize * n + l.dst.0 as usize] = i as u32;
+            }
+            d
+        });
         Topology {
             nodes: self.nodes,
             links: self.links,
             out,
             adj,
+            dense,
         }
     }
 }
@@ -352,6 +383,29 @@ mod tests {
         let b = t.find("B").unwrap();
         assert!(t.link_between(a, b).is_some());
         assert_eq!(t.neighbors(a).len(), 2);
+    }
+
+    /// The dense pair matrix and the adjacency-search fallback are the
+    /// same function — exhaustively, over every (src, dst) pair.
+    #[test]
+    fn dense_pair_index_matches_adjacency_search() {
+        let t = diamond();
+        assert!(t.dense.is_some(), "small graphs are dense-indexed");
+        let mut fallback = t.clone();
+        fallback.dense = None;
+        for a in 0..t.num_nodes() as u32 {
+            for b in 0..t.num_nodes() as u32 {
+                assert_eq!(
+                    t.link_between(NodeId(a), NodeId(b)),
+                    fallback.link_between(NodeId(a), NodeId(b)),
+                    "pair ({a}, {b})"
+                );
+            }
+        }
+        // Out-of-range ids answer None on both paths.
+        assert_eq!(t.link_between(NodeId(99), NodeId(0)), None);
+        assert_eq!(t.link_between(NodeId(0), NodeId(99)), None);
+        assert_eq!(fallback.link_between(NodeId(99), NodeId(0)), None);
     }
 
     #[test]
