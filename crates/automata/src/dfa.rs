@@ -136,6 +136,60 @@ impl Dfa {
         self.dead == Some(state)
     }
 
+    /// `reachable[s]` — whether state `s` is reachable from the start state
+    /// (forward reachability over the total transition function).
+    pub fn reachable_states(&self) -> Vec<bool> {
+        let n = self.num_states();
+        let k = self.alphabet.len();
+        let mut seen = vec![false; n];
+        if n == 0 {
+            return seen;
+        }
+        let mut work = vec![self.start];
+        seen[self.start] = true;
+        while let Some(s) = work.pop() {
+            for i in 0..k {
+                let t = self.trans[s * k + i];
+                if !seen[t] {
+                    seen[t] = true;
+                    work.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// `live[s]` — whether some accepting state is reachable from `s`
+    /// (reverse reachability from the accepting states). A state that is
+    /// reachable but not live can only lead to rejection: for policy
+    /// automata it is language-equivalent to the garbage state. Minimized
+    /// automata have at most one non-live state (the canonical dead state),
+    /// so extra non-live states indicate redundancy the verifier reports.
+    pub fn live_states(&self) -> Vec<bool> {
+        let n = self.num_states();
+        let k = self.alphabet.len();
+        let mut inv: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for s in 0..n {
+            for i in 0..k {
+                inv[self.trans[s * k + i]].push(s);
+            }
+        }
+        let mut live = vec![false; n];
+        let mut work: Vec<usize> = (0..n).filter(|&s| self.accept[s]).collect();
+        for &s in &work {
+            live[s] = true;
+        }
+        while let Some(t) = work.pop() {
+            for &s in &inv[t] {
+                if !live[s] {
+                    live[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+        live
+    }
+
     /// Hopcroft partition-refinement minimization.
     ///
     /// Returns the minimal automaton together with the mapping from old state
@@ -366,5 +420,70 @@ mod tests {
         let d = Dfa::from_regex(&Regex::seq(&[1]), &abc());
         let dead = d.dead.unwrap();
         assert_eq!(d.step(d.start, 99), dead);
+    }
+
+    #[test]
+    fn minimized_dfa_is_fully_reachable_and_live_except_garbage() {
+        let (d, _) = Dfa::from_regex(&Regex::seq(&[1, 2, 3]), &abc()).minimize();
+        let reach = d.reachable_states();
+        let live = d.live_states();
+        assert!(
+            reach.iter().all(|&r| r),
+            "minimize drops unreachable states"
+        );
+        for (s, &l) in live.iter().enumerate() {
+            // In a minimal total DFA the one non-live state is the garbage
+            // state (when the language is not universal).
+            assert_eq!(l, !d.is_dead(s), "state {s}");
+        }
+    }
+
+    #[test]
+    fn liveness_finds_redundant_trap_states() {
+        // Hand-built DFA with a trap state (2) that is reachable and not
+        // the canonical dead state (3): it funnels into 3 instead of
+        // self-looping, so `find_dead`-style detection misses it but
+        // reverse reachability does not.
+        let d = Dfa {
+            alphabet: abc(),
+            start: 0,
+            accept: vec![false, true, false, false],
+            trans: vec![
+                1, 2, 3, // state 0: 1→accept, 2→trap, 3→dead
+                3, 3, 3, // state 1 (accepting)
+                3, 3, 3, // state 2 (trap)
+                3, 3, 3, // state 3 (dead)
+            ],
+            dead: Some(3),
+        };
+        let live = d.live_states();
+        let reach = d.reachable_states();
+        assert_eq!(live, vec![true, true, false, false]);
+        assert!(reach.iter().all(|&r| r));
+        let redundant = (0..d.num_states())
+            .filter(|&s| reach[s] && !live[s] && !d.is_dead(s))
+            .count();
+        assert_eq!(redundant, 1);
+        // Minimization collapses the trap into the garbage state.
+        let (m, _) = d.minimize();
+        let mlive = m.live_states();
+        let extra = (0..m.num_states())
+            .filter(|&s| !mlive[s] && !m.is_dead(s))
+            .count();
+        assert_eq!(extra, 0);
+    }
+
+    #[test]
+    fn accepting_states_are_live_and_empty_language_has_none() {
+        let d = Dfa::from_regex(&Regex::seq(&[1]), &abc());
+        let live = d.live_states();
+        for (s, &l) in live.iter().enumerate() {
+            if d.accept[s] {
+                assert!(l);
+            }
+        }
+        // ∅* of nothing: a regex matching nothing over this alphabet.
+        let (none, _) = Dfa::from_regex(&Regex::seq(&[9]), &abc()).minimize();
+        assert!(none.live_states().iter().all(|&l| !l));
     }
 }

@@ -9,16 +9,19 @@
 //!
 //! Topology specs share the [`contra_experiments`] syntax, so anything
 //! compilable here is also runnable as a `Scenario`. Without `--out`,
-//! prints a compilation report (tags, pids, state model, warnings)
-//! instead of writing files.
+//! prints a compilation report (tags, pids, state model, diagnostics)
+//! instead of writing files. `--verify` additionally runs the full static
+//! policy verifier (black holes, single-cable fragility) and exits
+//! non-zero if it reports errors.
 
 use contra_bench::{parse_topology_spec, CompileCache};
+use contra_core::{verify_with, VerifyOptions};
 use contra_p4gen::{emit_switch_program, max_switch_state_kb, switch_state, validate};
 
 fn usage() -> ! {
     eprintln!(
         "usage: contra_compile --topology <fat-tree:K|leaf-spine:L,S,H|abilene|random:N|zoo:FILE> \\\n\
-         \t--policy '<minimize(...)>' [--out DIR]"
+         \t--policy '<minimize(...)>' [--out DIR] [--verify]"
     );
     std::process::exit(2);
 }
@@ -28,6 +31,7 @@ fn main() {
     let mut topology = None;
     let mut policy = None;
     let mut out = None;
+    let mut full_verify = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -42,6 +46,10 @@ fn main() {
             "--out" => {
                 out = args.get(i + 1).cloned();
                 i += 2;
+            }
+            "--verify" => {
+                full_verify = true;
+                i += 1;
             }
             _ => usage(),
         }
@@ -83,8 +91,18 @@ fn main() {
         cp.basis.attrs(),
         cp.min_probe_period_ns
     );
-    for w in &cp.warnings {
-        eprintln!("warning: {w}");
+    // Static policy verification: reachability and dead-code checks always
+    // (they amortize over the compile we just did); the per-cable fragility
+    // analysis rebuilds the product graph once per cable, so it is opt-in.
+    let report = verify_with(
+        &cp,
+        &topo,
+        &VerifyOptions {
+            check_fragility: full_verify,
+        },
+    );
+    if !report.diagnostics.is_empty() {
+        eprint!("{}", report.render(Some(&policy)));
     }
     eprintln!("max switch state: {:.1} kB", max_switch_state_kb(&cp));
 
@@ -125,5 +143,9 @@ fn main() {
                 st.total_kb()
             );
         }
+    }
+
+    if full_verify && report.has_errors() {
+        std::process::exit(1);
     }
 }

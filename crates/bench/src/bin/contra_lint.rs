@@ -1,0 +1,203 @@
+//! `contra_lint` — static policy verification over the builtin corpus.
+//!
+//! Runs the compile-time verifier (black holes, single-cable fragility,
+//! dead/shadowed branches, unsatisfiable guards) for every Figure 3
+//! catalogue policy (P1–P9) on four topologies: the §6.3 leaf-spine
+//! fabric, a 4-ary fat-tree, the §6.4 Abilene backbone and the Figure 6
+//! diamond. Prints a rustc-style report per finding, emits one CSV row
+//! per (topology, policy) cell — `lint,<topology>/<policy>,<errors>,
+//! <warnings>` — and writes the full report to `CONTRA_LINT.txt` for the
+//! CI artifact. Exits non-zero if any cell produced an ERROR diagnostic,
+//! which gates CI: the builtin corpus must stay black-hole free.
+//!
+//! One-off mode: `contra_lint --topology <spec> --policy '<minimize(...)>'`
+//! lints a single policy instead of the corpus.
+
+use contra_bench::{csv_row, parse_topology_spec};
+use contra_core::{policies, verify_source, Severity};
+use contra_topology::{generators, Topology};
+use std::fmt::Write as _;
+
+/// The Figure 6 running example (A–B, A–C, B–C, B–D, C–D) with hosts on
+/// A, B and D; C stays transit-only so it can head a P6 link preference.
+fn fig6_topo() -> Topology {
+    let mut t = Topology::builder();
+    let a = t.switch("A");
+    let b = t.switch("B");
+    let c = t.switch("C");
+    let d = t.switch("D");
+    for (sw, name) in [(a, "hA"), (b, "hB"), (d, "hD")] {
+        let h = t.host(name);
+        t.biline(sw, h, 10e9, 1_000);
+    }
+    t.biline(a, b, 10e9, 1_000);
+    t.biline(a, c, 10e9, 1_000);
+    t.biline(b, c, 10e9, 1_000);
+    t.biline(b, d, 10e9, 1_000);
+    t.biline(c, d, 10e9, 1_000);
+    t.build()
+}
+
+/// Abilene with one host per city except Denver, which stays transit-only
+/// so the P6/P7 preferred cable `Denver KansasCity` has a head no traffic
+/// terminates at. (A `.*X Y.*` preference black-holes traffic *to* X:
+/// a compliant path would have to revisit its own destination, which the
+/// protocol forbids — the verifier rightly rejects such a corpus.)
+fn abilene_transit_denver() -> Topology {
+    let base = generators::abilene(40e9);
+    let spec = generators::LinkSpec::default();
+    let mut tb = Topology::builder();
+    let mut map = Vec::with_capacity(base.num_nodes());
+    for sw in base.switches() {
+        map.push(tb.switch(&base.node(sw).name));
+    }
+    for l in base.links() {
+        tb.line(
+            map[l.src.0 as usize],
+            map[l.dst.0 as usize],
+            l.bandwidth_bps,
+            l.delay_ns,
+        );
+    }
+    for sw in base.switches() {
+        let name = &base.node(sw).name;
+        if name != "Denver" {
+            let h = tb.host(&format!("{name}_h0"));
+            tb.biline(map[sw.0 as usize], h, spec.bandwidth_bps, spec.delay_ns);
+        }
+    }
+    tb.build()
+}
+
+/// The corpus: each topology with waypoint/link names that exist in it.
+/// `(label, topology, f1, f2, x, y)` — f1/f2 are the P5 waypoints, X–Y
+/// must be a physical cable for P6/P7 to be satisfiable, and X must be a
+/// transit-only switch (no hosts): `.*X Y.*` forbids traffic destined to
+/// X, since the only compliant "paths" would pass through the destination.
+fn corpus() -> Vec<(&'static str, Topology, [&'static str; 4])> {
+    let spec = generators::LinkSpec::default();
+    vec![
+        (
+            "leaf-spine",
+            generators::leaf_spine(4, 2, 2, spec, spec),
+            ["spine0", "spine1", "spine0", "leaf0"],
+        ),
+        (
+            "fat-tree",
+            generators::fat_tree(4, 1, spec),
+            ["core0", "core1", "agg0_0", "edge0_0"],
+        ),
+        (
+            "abilene",
+            abilene_transit_denver(),
+            ["Denver", "KansasCity", "Denver", "KansasCity"],
+        ),
+        ("fig6-diamond", fig6_topo(), ["B", "C", "C", "B"]),
+    ]
+}
+
+fn lint_cell(
+    report_out: &mut String,
+    topo_label: &str,
+    topo: &Topology,
+    policy_label: &str,
+    src: &str,
+) -> (usize, usize) {
+    let (_, report) = verify_source(src, topo);
+    let errors = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    let _ = writeln!(report_out, "## {topo_label} × {policy_label}\n   {src}");
+    if report.diagnostics.is_empty() {
+        let _ = writeln!(report_out, "clean\n");
+    } else {
+        let _ = writeln!(report_out, "{}", report.render(Some(src)));
+    }
+    csv_row(
+        "lint",
+        &format!("{topo_label}/{policy_label}"),
+        errors,
+        warnings,
+    );
+    (errors, warnings)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut topology = None;
+    let mut policy = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--topology" => {
+                topology = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--policy" => {
+                policy = args.get(i + 1).cloned();
+                i += 2;
+            }
+            _ => {
+                eprintln!(
+                    "usage: contra_lint [--topology <spec> --policy '<minimize(...)>']\n\
+                     (no arguments: lint the builtin P1–P9 corpus)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = String::new();
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    let mut cells = 0usize;
+
+    match (topology, policy) {
+        (Some(tspec), Some(src)) => {
+            let topo = match parse_topology_spec(&tspec) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            let (e, w) = lint_cell(&mut report, &tspec, &topo, "custom", &src);
+            total_errors += e;
+            total_warnings += w;
+            cells += 1;
+        }
+        (None, None) => {
+            for (topo_label, topo, [f1, f2, x, y]) in corpus() {
+                for (policy_label, src) in policies::catalogue(f1, f2, x, y) {
+                    let (e, w) = lint_cell(&mut report, topo_label, &topo, policy_label, &src);
+                    total_errors += e;
+                    total_warnings += w;
+                    cells += 1;
+                }
+            }
+        }
+        _ => {
+            eprintln!("--topology and --policy must be given together");
+            std::process::exit(2);
+        }
+    }
+
+    let _ = writeln!(
+        report,
+        "lint: {cells} cells, {total_errors} errors, {total_warnings} warnings"
+    );
+    eprint!("{report}");
+    if let Err(e) = std::fs::write("CONTRA_LINT.txt", &report) {
+        eprintln!("could not write CONTRA_LINT.txt: {e}");
+    }
+    if total_errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,48 +1,82 @@
 //! §6.5 loop measurement: the share of traffic that ever traversed a
 //! transient loop, with the MU policy at 60% load, on the leaf-spine
-//! fabric and on Abilene.
+//! fabric and on Abilene — now alongside the *static* verifier's verdict
+//! for the same policy, so the table shows prediction next to measurement.
 //!
 //! Paper numbers to compare against: 0.026% (fat-tree) and 0.007%
 //! (Abilene); all such loops were broken by the §5.5 detector.
 //!
-//! Output: CSV `tab,topology,looped_pct,loop_breaks`.
+//! Output: CSV `tab,topology,looped_pct,loop_breaks` plus
+//! `loops_static,topology,loop_risk,fragile_routes`.
 
-use contra_bench::{csv_row, Contra, Scenario, Workload};
+use contra_bench::{csv_row, Contra, RunResult, Scenario, Workload};
+use contra_core::{verify, Compiler};
+
+/// Static verdict for the policy the run used: does the verifier predict
+/// transient-loop exposure, and how many routes would one cable failure
+/// destroy? Returns `(loop_risk, fragile_routes, black_holes)`.
+fn static_verdict(scenario: &Scenario, policy: &str) -> (bool, usize, usize) {
+    let topo = scenario.topology();
+    let cp = Compiler::new(topo)
+        .compile_str(policy)
+        .expect("corpus policy compiles");
+    let v = verify(&cp, topo).verdicts;
+    (v.transient_loop_risk, v.fragile.len(), v.black_holes.len())
+}
+
+fn report(label: &str, paper_pct: &str, r: &RunResult, verdict: (bool, usize, usize)) {
+    let (loop_risk, fragile, holes) = verdict;
+    csv_row(
+        "loops",
+        label,
+        format!("{:.4}", r.looped_pct()),
+        r.figures.loop_breaks,
+    );
+    csv_row(
+        "loops_static",
+        label,
+        if loop_risk {
+            "util-dependent"
+        } else {
+            "static"
+        },
+        fragile,
+    );
+    eprintln!(
+        "loops {label}: {:.4}% of {} delivered packets; {} flowlet flushes (paper: {paper_pct})",
+        r.looped_pct(),
+        r.figures.delivered_packets,
+        r.figures.loop_breaks
+    );
+    eprintln!(
+        "  static verdict: transient-loop risk={loop_risk} (measured loops require it), \
+         {fragile} fragile route(s) under single failure, {holes} black hole(s)"
+    );
+    // The verifier must agree with the measurement in the sound direction:
+    // observed loops without predicted risk would falsify the analysis.
+    assert!(
+        loop_risk || r.figures.looped_packets == 0,
+        "measured transient loops but the verifier said the policy is static"
+    );
+    assert_eq!(holes, 0, "corpus policies must not black-hole");
+}
 
 fn main() {
-    let r = Scenario::leaf_spine(4, 2, 8)
+    let scenario = Scenario::leaf_spine(4, 2, 8)
         .load(0.6)
         .workload(Workload::WebSearch)
-        .trace_paths(true)
-        .run(&Contra::dc());
-    csv_row(
-        "loops",
-        "leaf-spine",
-        format!("{:.4}", r.looped_pct()),
-        r.figures.loop_breaks,
-    );
-    eprintln!(
-        "loops leaf-spine: {:.4}% of {} delivered packets; {} flowlet flushes (paper: 0.026%)",
-        r.looped_pct(),
-        r.figures.delivered_packets,
-        r.figures.loop_breaks
-    );
+        .trace_paths(true);
+    let policy = Contra::dc();
+    let verdict = static_verdict(&scenario, &policy.policy);
+    let r = scenario.run(&policy);
+    report("leaf-spine", "0.026%", &r, verdict);
 
-    let r = Scenario::abilene()
+    let scenario = Scenario::abilene()
         .load(0.6)
         .workload(Workload::WebSearch)
-        .trace_paths(true)
-        .run(&Contra::mu());
-    csv_row(
-        "loops",
-        "abilene",
-        format!("{:.4}", r.looped_pct()),
-        r.figures.loop_breaks,
-    );
-    eprintln!(
-        "loops abilene: {:.4}% of {} delivered packets; {} flowlet flushes (paper: 0.007%)",
-        r.looped_pct(),
-        r.figures.delivered_packets,
-        r.figures.loop_breaks
-    );
+        .trace_paths(true);
+    let policy = Contra::mu();
+    let verdict = static_verdict(&scenario, &policy.policy);
+    let r = scenario.run(&policy);
+    report("abilene", "0.007%", &r, verdict);
 }

@@ -38,6 +38,7 @@
 //! exists (e.g. P9 keeps a `util < 0.8` path if there is one).
 
 use crate::ast::{Attr, BinOp};
+use crate::diag::Span;
 use crate::normal::{BranchRank, MetricExpr, NormalPolicy};
 use std::fmt;
 
@@ -66,13 +67,24 @@ pub enum AnalysisWarning {
         pid: usize,
         /// Rendering of the retention tuple.
         retention: String,
+        /// Source span of the first branch mapped to this subpolicy.
+        span: Span,
     },
+}
+
+impl AnalysisWarning {
+    /// The source span this warning points at.
+    pub fn span(&self) -> Span {
+        match self {
+            AnalysisWarning::NonIsotonicRetention { span, .. } => *span,
+        }
+    }
 }
 
 impl fmt::Display for AnalysisWarning {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AnalysisWarning::NonIsotonicRetention { pid, retention } => write!(
+            AnalysisWarning::NonIsotonicRetention { pid, retention, .. } => write!(
                 f,
                 "subpolicy pid={pid} has non-isotonic retention order {retention}; \
                  converged paths may be suboptimal at some nodes"
@@ -89,13 +101,24 @@ pub enum AnalysisError {
     NonMonotonic {
         /// Rendering of the offending expression.
         expr: String,
+        /// Source span of the branch whose rank is non-monotonic.
+        span: Span,
     },
+}
+
+impl AnalysisError {
+    /// The source span this error points at.
+    pub fn span(&self) -> Span {
+        match self {
+            AnalysisError::NonMonotonic { span, .. } => *span,
+        }
+    }
 }
 
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AnalysisError::NonMonotonic { expr } => write!(
+            AnalysisError::NonMonotonic { expr, .. } => write!(
                 f,
                 "policy is not monotonic: {expr} may decrease as the path grows, \
                  which can create persistent probe loops"
@@ -138,6 +161,7 @@ pub fn analyze(policy: &NormalPolicy) -> Result<Analysis, AnalysisError> {
             if !monotone(comp) {
                 return Err(AnalysisError::NonMonotonic {
                     expr: comp.to_string(),
+                    span: branch.span,
                 });
             }
         }
@@ -160,6 +184,7 @@ pub fn analyze(policy: &NormalPolicy) -> Result<Analysis, AnalysisError> {
                     warnings.push(AnalysisWarning::NonIsotonicRetention {
                         pid,
                         retention: render_tuple(&retention),
+                        span: branch.span,
                     });
                 }
                 pid

@@ -11,7 +11,14 @@
 //! against a concrete topology (policies are "analyzed jointly with the
 //! topology", §4.1). The paper's examples also use `<`, which we accept
 //! alongside `≤`/`<=`.
+//!
+//! Every expression node carries the byte [`Span`] of the source text it
+//! was parsed from, so normalization errors and verifier diagnostics can
+//! point back at the offending policy fragment. Spans are *ignored* by
+//! equality: two policies that print the same compare equal regardless of
+//! where their nodes sat in the source.
 
+use crate::diag::Span;
 use std::fmt;
 
 /// A complete policy: `minimize(expr)`.
@@ -122,9 +129,19 @@ impl fmt::Display for CmpOp {
     }
 }
 
-/// Rank expressions (Fig 2 `e`).
+/// A rank expression with its source span.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// The expression itself.
+    pub kind: ExprKind,
+    /// Source bytes this node was parsed from ([`Span::DUMMY`] for
+    /// programmatically-built nodes).
+    pub span: Span,
+}
+
+/// Rank expression shapes (Fig 2 `e`).
 #[derive(Debug, Clone, PartialEq)]
-pub enum Expr {
+pub enum ExprKind {
     /// Constant numeric rank.
     Const(f64),
     /// Infinite rank (`inf` / `∞`): the path is forbidden.
@@ -140,9 +157,67 @@ pub enum Expr {
     Tuple(Vec<Expr>),
 }
 
-/// Boolean tests (Fig 2 `b`).
+impl PartialEq for Expr {
+    /// Structural equality; spans are ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl Expr {
+    /// An expression at a known source location.
+    pub fn new(kind: ExprKind, span: Span) -> Expr {
+        Expr { kind, span }
+    }
+
+    /// A programmatically-built expression (dummy span).
+    pub fn synthetic(kind: ExprKind) -> Expr {
+        Expr::new(kind, Span::DUMMY)
+    }
+
+    /// Constant (dummy span).
+    pub fn constant(c: f64) -> Expr {
+        Expr::synthetic(ExprKind::Const(c))
+    }
+
+    /// `inf` (dummy span).
+    pub fn inf() -> Expr {
+        Expr::synthetic(ExprKind::Inf)
+    }
+
+    /// Attribute read (dummy span).
+    pub fn attr(a: Attr) -> Expr {
+        Expr::synthetic(ExprKind::Attr(a))
+    }
+
+    /// Binary operation (dummy span).
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::synthetic(ExprKind::Bin(op, Box::new(a), Box::new(b)))
+    }
+
+    /// Conditional (dummy span).
+    pub fn if_(cond: BoolExpr, then: Expr, els: Expr) -> Expr {
+        Expr::synthetic(ExprKind::If(Box::new(cond), Box::new(then), Box::new(els)))
+    }
+
+    /// Tuple (dummy span).
+    pub fn tuple(parts: Vec<Expr>) -> Expr {
+        Expr::synthetic(ExprKind::Tuple(parts))
+    }
+}
+
+/// A boolean test with its source span.
+#[derive(Debug, Clone)]
+pub struct BoolExpr {
+    /// The test itself.
+    pub kind: BoolExprKind,
+    /// Source bytes this node was parsed from.
+    pub span: Span,
+}
+
+/// Boolean test shapes (Fig 2 `b`).
 #[derive(Debug, Clone, PartialEq)]
-pub enum BoolExpr {
+pub enum BoolExprKind {
     /// The path matches a regular expression.
     Regex(PathRegex),
     /// Comparison between two scalar rank expressions.
@@ -155,11 +230,65 @@ pub enum BoolExpr {
     And(Box<BoolExpr>, Box<BoolExpr>),
 }
 
-/// Regular expressions over switch *names* (Fig 2 `r`). Structurally
-/// identical to [`contra_automata::Regex`], but symbols are unresolved
-/// strings until the compiler binds them to a topology.
+impl PartialEq for BoolExpr {
+    /// Structural equality; spans are ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl BoolExpr {
+    /// A test at a known source location.
+    pub fn new(kind: BoolExprKind, span: Span) -> BoolExpr {
+        BoolExpr { kind, span }
+    }
+
+    /// A programmatically-built test (dummy span).
+    pub fn synthetic(kind: BoolExprKind) -> BoolExpr {
+        BoolExpr::new(kind, Span::DUMMY)
+    }
+
+    /// Regex test (dummy span).
+    pub fn regex(r: PathRegex) -> BoolExpr {
+        BoolExpr::synthetic(BoolExprKind::Regex(r))
+    }
+
+    /// Comparison (dummy span).
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> BoolExpr {
+        BoolExpr::synthetic(BoolExprKind::Cmp(op, a, b))
+    }
+
+    /// Negation (dummy span).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(b: BoolExpr) -> BoolExpr {
+        BoolExpr::synthetic(BoolExprKind::Not(Box::new(b)))
+    }
+
+    /// Disjunction (dummy span).
+    pub fn or(a: BoolExpr, b: BoolExpr) -> BoolExpr {
+        BoolExpr::synthetic(BoolExprKind::Or(Box::new(a), Box::new(b)))
+    }
+
+    /// Conjunction (dummy span).
+    pub fn and(a: BoolExpr, b: BoolExpr) -> BoolExpr {
+        BoolExpr::synthetic(BoolExprKind::And(Box::new(a), Box::new(b)))
+    }
+}
+
+/// A path regex with its source span. Structurally identical to
+/// [`contra_automata::Regex`], but symbols are unresolved strings until the
+/// compiler binds them to a topology.
+#[derive(Debug, Clone)]
+pub struct PathRegex {
+    /// The regex itself.
+    pub kind: PathRegexKind,
+    /// Source bytes this node was parsed from.
+    pub span: Span,
+}
+
+/// Regular expressions over switch *names* (Fig 2 `r`).
 #[derive(Debug, Clone, PartialEq)]
-pub enum PathRegex {
+pub enum PathRegexKind {
     /// A named switch.
     Node(String),
     /// `.` — any one switch.
@@ -172,18 +301,61 @@ pub enum PathRegex {
     Star(Box<PathRegex>),
 }
 
+impl PartialEq for PathRegex {
+    /// Structural equality; spans are ignored — this is what regex
+    /// interning in the normalizer compares.
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
 impl PathRegex {
+    /// A regex at a known source location.
+    pub fn new(kind: PathRegexKind, span: Span) -> PathRegex {
+        PathRegex { kind, span }
+    }
+
+    /// A programmatically-built regex (dummy span).
+    pub fn synthetic(kind: PathRegexKind) -> PathRegex {
+        PathRegex::new(kind, Span::DUMMY)
+    }
+
+    /// Named switch (dummy span).
+    pub fn node(name: impl Into<String>) -> PathRegex {
+        PathRegex::synthetic(PathRegexKind::Node(name.into()))
+    }
+
+    /// Wildcard `.` (dummy span).
+    pub fn any() -> PathRegex {
+        PathRegex::synthetic(PathRegexKind::Any)
+    }
+
+    /// Concatenation (dummy span).
+    pub fn concat(a: PathRegex, b: PathRegex) -> PathRegex {
+        PathRegex::synthetic(PathRegexKind::Concat(Box::new(a), Box::new(b)))
+    }
+
+    /// Union (dummy span).
+    pub fn alt(a: PathRegex, b: PathRegex) -> PathRegex {
+        PathRegex::synthetic(PathRegexKind::Alt(Box::new(a), Box::new(b)))
+    }
+
+    /// Kleene star (dummy span).
+    pub fn star(r: PathRegex) -> PathRegex {
+        PathRegex::synthetic(PathRegexKind::Star(Box::new(r)))
+    }
+
     /// All switch names mentioned, sorted and deduplicated.
     pub fn names(&self) -> Vec<&str> {
         fn go<'a>(r: &'a PathRegex, out: &mut Vec<&'a str>) {
-            match r {
-                PathRegex::Node(n) => out.push(n),
-                PathRegex::Any => {}
-                PathRegex::Concat(a, b) | PathRegex::Alt(a, b) => {
+            match &r.kind {
+                PathRegexKind::Node(n) => out.push(n),
+                PathRegexKind::Any => {}
+                PathRegexKind::Concat(a, b) | PathRegexKind::Alt(a, b) => {
                     go(a, out);
                     go(b, out);
                 }
-                PathRegex::Star(r) => go(r, out),
+                PathRegexKind::Star(r) => go(r, out),
             }
         }
         let mut out = Vec::new();
@@ -197,9 +369,9 @@ impl PathRegex {
 impl fmt::Display for PathRegex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn prec(r: &PathRegex) -> u8 {
-            match r {
-                PathRegex::Alt(..) => 0,
-                PathRegex::Concat(..) => 1,
+            match &r.kind {
+                PathRegexKind::Alt(..) => 0,
+                PathRegexKind::Concat(..) => 1,
                 _ => 2,
             }
         }
@@ -208,22 +380,22 @@ impl fmt::Display for PathRegex {
             if p < min {
                 write!(f, "(")?;
             }
-            match r {
-                PathRegex::Node(n) => write!(f, "{n}")?,
-                PathRegex::Any => write!(f, ".")?,
-                PathRegex::Concat(a, b) => {
+            match &r.kind {
+                PathRegexKind::Node(n) => write!(f, "{n}")?,
+                PathRegexKind::Any => write!(f, ".")?,
+                PathRegexKind::Concat(a, b) => {
                     // The parser right-associates concatenation, so keep a
                     // right-nested chain flat and parenthesize the left.
                     go(a, f, 2)?;
                     write!(f, " ")?;
                     go(b, f, 1)?;
                 }
-                PathRegex::Alt(a, b) => {
+                PathRegexKind::Alt(a, b) => {
                     go(a, f, 0)?;
                     write!(f, " + ")?;
                     go(b, f, 1)?;
                 }
-                PathRegex::Star(r) => {
+                PathRegexKind::Star(r) => {
                     go(r, f, 2)?;
                     write!(f, "*")?;
                 }
@@ -240,10 +412,10 @@ impl fmt::Display for PathRegex {
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn prec(e: &Expr) -> u8 {
-            match e {
-                Expr::If(..) => 0,
-                Expr::Bin(BinOp::Add | BinOp::Sub, ..) => 1,
-                Expr::Bin(BinOp::Mul, ..) => 2,
+            match &e.kind {
+                ExprKind::If(..) => 0,
+                ExprKind::Bin(BinOp::Add | BinOp::Sub, ..) => 1,
+                ExprKind::Bin(BinOp::Mul, ..) => 2,
                 _ => 3,
             }
         }
@@ -252,25 +424,25 @@ impl fmt::Display for Expr {
             if p < min {
                 write!(f, "(")?;
             }
-            match e {
-                Expr::Const(c) => write!(f, "{c}")?,
-                Expr::Inf => write!(f, "inf")?,
-                Expr::Attr(a) => write!(f, "{a}")?,
-                Expr::Bin(BinOp::Min, a, b) => write!(f, "min({a}, {b})")?,
-                Expr::Bin(BinOp::Max, a, b) => write!(f, "max({a}, {b})")?,
-                Expr::Bin(op, a, b) => {
+            match &e.kind {
+                ExprKind::Const(c) => write!(f, "{c}")?,
+                ExprKind::Inf => write!(f, "inf")?,
+                ExprKind::Attr(a) => write!(f, "{a}")?,
+                ExprKind::Bin(BinOp::Min, a, b) => write!(f, "min({a}, {b})")?,
+                ExprKind::Bin(BinOp::Max, a, b) => write!(f, "max({a}, {b})")?,
+                ExprKind::Bin(op, a, b) => {
                     let lv = prec(e);
                     go(a, f, lv)?;
                     write!(f, " {op} ")?;
                     go(b, f, lv + 1)?;
                 }
-                Expr::If(b, t, e2) => {
+                ExprKind::If(b, t, e2) => {
                     write!(f, "if {b} then ")?;
                     go(t, f, 1)?;
                     write!(f, " else ")?;
                     go(e2, f, 0)?;
                 }
-                Expr::Tuple(es) => {
+                ExprKind::Tuple(es) => {
                     write!(f, "(")?;
                     for (i, e) in es.iter().enumerate() {
                         if i > 0 {
@@ -292,12 +464,12 @@ impl fmt::Display for Expr {
 
 impl fmt::Display for BoolExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            BoolExpr::Regex(r) => write!(f, "{r}"),
-            BoolExpr::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
-            BoolExpr::Not(b) => write!(f, "not ({b})"),
-            BoolExpr::Or(a, b) => write!(f, "({a}) or ({b})"),
-            BoolExpr::And(a, b) => write!(f, "({a}) and ({b})"),
+        match &self.kind {
+            BoolExprKind::Regex(r) => write!(f, "{r}"),
+            BoolExprKind::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            BoolExprKind::Not(b) => write!(f, "not ({b})"),
+            BoolExprKind::Or(a, b) => write!(f, "({a}) or ({b})"),
+            BoolExprKind::And(a, b) => write!(f, "({a}) and ({b})"),
         }
     }
 }
@@ -331,13 +503,13 @@ mod tests {
     #[test]
     fn display_policy() {
         let p = Policy {
-            expr: Expr::If(
-                Box::new(BoolExpr::Regex(PathRegex::Concat(
-                    Box::new(PathRegex::Node("A".into())),
-                    Box::new(PathRegex::Star(Box::new(PathRegex::Any))),
-                ))),
-                Box::new(Expr::Attr(Attr::Util)),
-                Box::new(Expr::Attr(Attr::Lat)),
+            expr: Expr::if_(
+                BoolExpr::regex(PathRegex::concat(
+                    PathRegex::node("A"),
+                    PathRegex::star(PathRegex::any()),
+                )),
+                Expr::attr(Attr::Util),
+                Expr::attr(Attr::Lat),
             ),
         };
         assert_eq!(
@@ -348,13 +520,19 @@ mod tests {
 
     #[test]
     fn regex_names() {
-        let r = PathRegex::Alt(
-            Box::new(PathRegex::Node("B".into())),
-            Box::new(PathRegex::Concat(
-                Box::new(PathRegex::Node("A".into())),
-                Box::new(PathRegex::Node("B".into())),
-            )),
+        let r = PathRegex::alt(
+            PathRegex::node("B"),
+            PathRegex::concat(PathRegex::node("A"), PathRegex::node("B")),
         );
         assert_eq!(r.names(), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn equality_ignores_spans() {
+        let a = Expr::new(ExprKind::Const(1.0), Span::new(0, 1));
+        let b = Expr::new(ExprKind::Const(1.0), Span::new(5, 6));
+        assert_eq!(a, b);
+        let ra = PathRegex::new(PathRegexKind::Any, Span::new(3, 4));
+        assert_eq!(ra, PathRegex::any());
     }
 }

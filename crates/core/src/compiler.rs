@@ -54,6 +54,20 @@ impl fmt::Display for CompileError {
     }
 }
 
+impl CompileError {
+    /// The source span this error points at ([`crate::diag::Span::DUMMY`]
+    /// when not attributable to one location).
+    pub fn span(&self) -> crate::diag::Span {
+        match self {
+            CompileError::Syntax(e) => e.span,
+            CompileError::Norm(e) => e.span(),
+            CompileError::Analysis(e) => e.span(),
+            CompileError::Resolve(e) => e.span(),
+            CompileError::NoUsefulPaths => crate::diag::Span::DUMMY,
+        }
+    }
+}
+
 impl std::error::Error for CompileError {}
 
 impl From<SyntaxError> for CompileError {

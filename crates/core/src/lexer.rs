@@ -7,15 +7,23 @@
 //! any other dot is the wildcard token.
 
 use crate::ast::Attr;
+use crate::diag::Span;
 use std::fmt;
 
-/// A lexical token with its byte offset (for error messages).
+/// A lexical token with its source span (for error messages and AST spans).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// Kind and payload.
     pub kind: Tok,
-    /// Byte offset in the source string.
-    pub at: usize,
+    /// Byte range in the source string.
+    pub span: Span,
+}
+
+impl Token {
+    /// Byte offset where the token starts.
+    pub fn at(&self) -> usize {
+        self.span.start
+    }
 }
 
 /// Token kinds.
@@ -105,18 +113,22 @@ impl fmt::Display for Tok {
     }
 }
 
-/// Lexing / parsing error with a message and byte offset.
+/// Lexing / parsing error with a message and source span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SyntaxError {
     /// Human-readable description.
     pub message: String,
-    /// Byte offset into the policy source.
-    pub at: usize,
+    /// Byte range into the policy source.
+    pub span: Span,
 }
 
 impl fmt::Display for SyntaxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "syntax error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "syntax error at byte {}: {}",
+            self.span.start, self.message
+        )
     }
 }
 
@@ -130,67 +142,55 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
     while i < bytes.len() {
         let c = bytes[i] as char;
         let at = i;
+        let mut push1 = |kind: Tok, len: usize| {
+            out.push(Token {
+                kind,
+                span: Span::new(at, at + len),
+            });
+        };
         match c {
             ' ' | '\t' | '\n' | '\r' => {
                 i += 1;
             }
             '(' => {
-                out.push(Token {
-                    kind: Tok::LParen,
-                    at,
-                });
+                push1(Tok::LParen, 1);
                 i += 1;
             }
             ')' => {
-                out.push(Token {
-                    kind: Tok::RParen,
-                    at,
-                });
+                push1(Tok::RParen, 1);
                 i += 1;
             }
             ',' => {
-                out.push(Token {
-                    kind: Tok::Comma,
-                    at,
-                });
+                push1(Tok::Comma, 1);
                 i += 1;
             }
             '*' => {
-                out.push(Token {
-                    kind: Tok::Star,
-                    at,
-                });
+                push1(Tok::Star, 1);
                 i += 1;
             }
             '+' => {
-                out.push(Token {
-                    kind: Tok::Plus,
-                    at,
-                });
+                push1(Tok::Plus, 1);
                 i += 1;
             }
             '-' => {
-                out.push(Token {
-                    kind: Tok::Minus,
-                    at,
-                });
+                push1(Tok::Minus, 1);
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: Tok::Le, at });
+                    push1(Tok::Le, 2);
                     i += 2;
                 } else {
-                    out.push(Token { kind: Tok::Lt, at });
+                    push1(Tok::Lt, 1);
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: Tok::Ge, at });
+                    push1(Tok::Ge, 2);
                     i += 2;
                 } else {
-                    out.push(Token { kind: Tok::Gt, at });
+                    push1(Tok::Gt, 1);
                     i += 1;
                 }
             }
@@ -198,22 +198,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
                 // `.8` is a number; plain `.` is the wildcard.
                 if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
                     let (n, len) = lex_number(&src[i..], at)?;
-                    out.push(Token {
-                        kind: Tok::Number(n),
-                        at,
-                    });
+                    push1(Tok::Number(n), len);
                     i += len;
                 } else {
-                    out.push(Token { kind: Tok::Dot, at });
+                    push1(Tok::Dot, 1);
                     i += 1;
                 }
             }
             '0'..='9' => {
                 let (n, len) = lex_number(&src[i..], at)?;
-                out.push(Token {
-                    kind: Tok::Number(n),
-                    at,
-                });
+                push1(Tok::Number(n), len);
                 i += len;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -253,7 +247,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
                                             "unknown path attribute `path.{other}` \
                                              (expected util, lat or len)"
                                         ),
-                                        at,
+                                        span: Span::new(at, j),
                                     })
                                 }
                             };
@@ -263,30 +257,34 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
                             return Err(SyntaxError {
                                 message: "`path` must be followed by `.util`, `.lat` or `.len`"
                                     .into(),
-                                at,
+                                span: Span::new(at, i),
                             });
                         }
                     }
                     _ => Tok::Ident(word.to_string()),
                 };
-                out.push(Token { kind, at });
+                out.push(Token {
+                    kind,
+                    span: Span::new(at, i),
+                });
             }
             _ => {
                 // Check for multi-byte unicode (∞, ≤, ≥) starting here.
                 let rest = &src[i..];
                 if rest.starts_with('∞') {
-                    out.push(Token { kind: Tok::Inf, at });
+                    push1(Tok::Inf, '∞'.len_utf8());
                     i += '∞'.len_utf8();
                 } else if rest.starts_with('≤') {
-                    out.push(Token { kind: Tok::Le, at });
+                    push1(Tok::Le, '≤'.len_utf8());
                     i += '≤'.len_utf8();
                 } else if rest.starts_with('≥') {
-                    out.push(Token { kind: Tok::Ge, at });
+                    push1(Tok::Ge, '≥'.len_utf8());
                     i += '≥'.len_utf8();
                 } else {
+                    let ch = rest.chars().next().unwrap();
                     return Err(SyntaxError {
-                        message: format!("unexpected character {:?}", rest.chars().next().unwrap()),
-                        at,
+                        message: format!("unexpected character {ch:?}"),
+                        span: Span::new(at, at + ch.len_utf8()),
                     });
                 }
             }
@@ -294,7 +292,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
     }
     out.push(Token {
         kind: Tok::Eof,
-        at: src.len(),
+        span: Span::point(src.len()),
     });
     Ok(out)
 }
@@ -318,7 +316,7 @@ fn lex_number(rest: &str, at: usize) -> Result<(f64, usize), SyntaxError> {
         .map(|n| (n, len))
         .map_err(|e| SyntaxError {
             message: format!("bad number: {e}"),
-            at,
+            span: Span::new(at, at + len),
         })
 }
 
@@ -398,8 +396,17 @@ mod tests {
     }
 
     #[test]
-    fn offsets_recorded() {
-        let toks = lex("  minimize").unwrap();
-        assert_eq!(toks[0].at, 2);
+    fn spans_recorded() {
+        let toks = lex("  minimize(x)").unwrap();
+        assert_eq!(toks[0].span, Span::new(2, 10));
+        assert_eq!(toks[0].at(), 2);
+        // Eof sits at the end of the input.
+        assert_eq!(toks.last().unwrap().span, Span::point(13));
+    }
+
+    #[test]
+    fn multibyte_token_spans_cover_the_glyph() {
+        let toks = lex("≤").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, '≤'.len_utf8()));
     }
 }

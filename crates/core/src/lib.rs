@@ -41,6 +41,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod compiler;
+pub mod diag;
 pub mod lexer;
 pub mod metric;
 pub mod normal;
@@ -49,12 +50,17 @@ pub mod pg;
 pub mod policies;
 pub mod rank;
 pub mod resolve;
+pub mod verify;
 
 pub use analysis::{Analysis, AnalysisError, AnalysisWarning, Subpolicy};
-pub use ast::{Attr, BinOp, BoolExpr, CmpOp, Expr, PathRegex, Policy};
+pub use ast::{
+    Attr, BinOp, BoolExpr, BoolExprKind, CmpOp, Expr, ExprKind, PathRegex, PathRegexKind, Policy,
+};
 pub use compiler::{CompileError, CompiledPolicy, Compiler, CompilerOptions, SwitchProgram};
+pub use diag::{Diagnostic, Severity, Span};
 pub use metric::{MetricBasis, MetricVec};
 pub use normal::{normalize, Branch, BranchRank, Guard, MetricExpr, NormalPolicy};
 pub use parser::parse_policy;
-pub use pg::{ProductGraph, VNode, VNodeId};
+pub use pg::{PgLookupError, ProductGraph, VNode, VNodeId};
 pub use rank::Rank;
+pub use verify::{verify, verify_source, verify_with, BlackHole, Fragility, Report, VerifyOptions};

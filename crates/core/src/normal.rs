@@ -14,8 +14,13 @@
 //! evaluating its rank. Branches are also the unit of the paper's
 //! non-isotonic decomposition (§3 challenge 3, appendix A): each distinct
 //! finite branch ordering becomes one probe subpolicy (`pid`).
+//!
+//! Branches and guards keep the [`Span`] of the source expression they were
+//! derived from, so the verifier can point dead-branch or unsatisfiable-
+//! guard findings back at the policy text.
 
-use crate::ast::{Attr, BinOp, BoolExpr, CmpOp, Expr, PathRegex, Policy};
+use crate::ast::{Attr, BinOp, BoolExpr, BoolExprKind, CmpOp, Expr, ExprKind, PathRegex, Policy};
+use crate::diag::Span;
 use crate::metric::{MetricBasis, MetricVec};
 use crate::rank::Rank;
 use std::fmt;
@@ -84,7 +89,7 @@ impl fmt::Display for MetricExpr {
 }
 
 /// A metric guard: a comparison that must hold for the branch to apply.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Guard {
     /// Comparison operator.
     pub op: CmpOp,
@@ -92,6 +97,16 @@ pub struct Guard {
     pub lhs: MetricExpr,
     /// Right operand.
     pub rhs: MetricExpr,
+    /// Source span of the comparison this guard came from.
+    pub span: Span,
+}
+
+impl PartialEq for Guard {
+    /// Structural equality; spans are ignored (guard deduplication during
+    /// branch merging must not depend on source position).
+    fn eq(&self, other: &Self) -> bool {
+        self.op == other.op && self.lhs == other.lhs && self.rhs == other.rhs
+    }
 }
 
 impl Guard {
@@ -127,7 +142,7 @@ impl BranchRank {
 }
 
 /// One guarded branch of a normalized policy.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Branch {
     /// `(regex index, polarity)` — the path must (or must not) match the
     /// indexed regex for this branch to apply.
@@ -136,6 +151,15 @@ pub struct Branch {
     pub guards: Vec<Guard>,
     /// The branch's rank.
     pub rank: BranchRank,
+    /// Source span of the expression whose value this branch assigns.
+    pub span: Span,
+}
+
+impl PartialEq for Branch {
+    /// Structural equality; spans are ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.reqs == other.reqs && self.guards == other.guards && self.rank == other.rank
+    }
 }
 
 impl Branch {
@@ -143,6 +167,14 @@ impl Branch {
     /// metric vector.
     pub fn applies(&self, acc: &[bool], mv: &MetricVec) -> bool {
         self.reqs.iter().all(|&(i, want)| acc[i] == want) && self.guards.iter().all(|g| g.eval(mv))
+    }
+
+    /// Whether the branch's *regex requirements alone* hold for the given
+    /// acceptance vector (guards ignored — used by the verifier, which
+    /// reasons about metric guards separately since metrics are runtime
+    /// state).
+    pub fn reqs_match(&self, acc: &[bool]) -> bool {
+        self.reqs.iter().all(|&(i, want)| acc[i] == want)
     }
 }
 
@@ -193,23 +225,52 @@ impl NormalPolicy {
 #[derive(Debug, Clone, PartialEq)]
 pub enum NormError {
     /// A binary operator was applied to a tuple-valued expression.
-    BinOnTuple(String),
+    BinOnTuple {
+        /// Rendering of the offending expression.
+        expr: String,
+        /// Where it sits in the source.
+        span: Span,
+    },
     /// `inf` appeared inside a comparison.
-    InfInComparison,
+    InfInComparison {
+        /// Where the `inf` sits in the source.
+        span: Span,
+    },
     /// A conditional appeared inside a comparison operand.
-    IfInComparison,
+    IfInComparison {
+        /// Where the conditional sits in the source.
+        span: Span,
+    },
     /// Too many branches after expansion (pathological nesting).
     TooManyBranches(usize),
+}
+
+impl NormError {
+    /// The source span this error points at ([`Span::DUMMY`] when the
+    /// error is not attributable to one location).
+    pub fn span(&self) -> Span {
+        match self {
+            NormError::BinOnTuple { span, .. }
+            | NormError::InfInComparison { span }
+            | NormError::IfInComparison { span } => *span,
+            NormError::TooManyBranches(_) => Span::DUMMY,
+        }
+    }
 }
 
 impl fmt::Display for NormError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NormError::BinOnTuple(e) => {
-                write!(f, "binary operator applied to tuple-valued expression: {e}")
+            NormError::BinOnTuple { expr, .. } => {
+                write!(
+                    f,
+                    "binary operator applied to tuple-valued expression: {expr}"
+                )
             }
-            NormError::InfInComparison => write!(f, "`inf` cannot appear inside a comparison"),
-            NormError::IfInComparison => {
+            NormError::InfInComparison { .. } => {
+                write!(f, "`inf` cannot appear inside a comparison")
+            }
+            NormError::IfInComparison { .. } => {
                 write!(
                     f,
                     "conditionals are not supported inside comparison operands"
@@ -236,10 +297,11 @@ pub fn normalize(policy: &Policy) -> Result<NormalPolicy, NormError> {
     }
     let branches = branches
         .into_iter()
-        .map(|(cond, rank)| Branch {
+        .map(|(cond, rank, span)| Branch {
             reqs: cond.reqs,
             guards: cond.guards,
             rank,
+            span,
         })
         .collect();
     Ok(NormalPolicy { regexes, branches })
@@ -284,25 +346,32 @@ fn intern(regexes: &mut Vec<PathRegex>, r: &PathRegex) -> usize {
     }
 }
 
-fn norm_expr(e: &Expr, regexes: &mut Vec<PathRegex>) -> Result<Vec<(Cond, BranchRank)>, NormError> {
-    match e {
-        Expr::Const(c) => Ok(vec![(
+/// Each output entry is one branch: condition, rank, and the span of the
+/// expression that defined the rank (leaf arm of an `if` chain, or the
+/// combining expression for tuples and arithmetic).
+type NormBranches = Vec<(Cond, BranchRank, Span)>;
+
+fn norm_expr(e: &Expr, regexes: &mut Vec<PathRegex>) -> Result<NormBranches, NormError> {
+    match &e.kind {
+        ExprKind::Const(c) => Ok(vec![(
             Cond::default(),
             BranchRank::Finite(vec![MetricExpr::Const(*c)]),
+            e.span,
         )]),
-        Expr::Inf => Ok(vec![(Cond::default(), BranchRank::Inf)]),
-        Expr::Attr(a) => Ok(vec![(
+        ExprKind::Inf => Ok(vec![(Cond::default(), BranchRank::Inf, e.span)]),
+        ExprKind::Attr(a) => Ok(vec![(
             Cond::default(),
             BranchRank::Finite(vec![MetricExpr::Attr(*a)]),
+            e.span,
         )]),
-        Expr::Tuple(es) => {
+        ExprKind::Tuple(es) => {
             let mut acc: Vec<(Cond, Vec<MetricExpr>, bool)> =
                 vec![(Cond::default(), Vec::new(), false)];
             for comp in es {
                 let comp_branches = norm_expr(comp, regexes)?;
                 let mut next = Vec::new();
                 for (cond, parts, is_inf) in &acc {
-                    for (ccond, crank) in &comp_branches {
+                    for (ccond, crank, _cspan) in &comp_branches {
                         let Some(merged) = cond.merge(ccond) else {
                             continue;
                         };
@@ -330,19 +399,19 @@ fn norm_expr(e: &Expr, regexes: &mut Vec<PathRegex>) -> Result<Vec<(Cond, Branch
                     } else {
                         BranchRank::Finite(parts)
                     };
-                    (cond, rank)
+                    (cond, rank, e.span)
                 })
                 .collect())
         }
-        Expr::Bin(op, a, b) => {
+        ExprKind::Bin(op, a, b) => {
             let la = norm_expr(a, regexes)?;
             let lb = norm_expr(b, regexes)?;
             let mut out = Vec::new();
-            for (ca, ra) in &la {
-                for (cb, rb) in &lb {
+            for (ca, ra, _) in &la {
+                for (cb, rb, _) in &lb {
                     let Some(cond) = ca.merge(cb) else { continue };
                     let rank = combine_bin(*op, ra, rb, e)?;
-                    out.push((cond, rank));
+                    out.push((cond, rank, e.span));
                 }
             }
             if out.len() > MAX_BRANCHES {
@@ -350,16 +419,16 @@ fn norm_expr(e: &Expr, regexes: &mut Vec<PathRegex>) -> Result<Vec<(Cond, Branch
             }
             Ok(out)
         }
-        Expr::If(cond, then, els) => {
+        ExprKind::If(cond, then, els) => {
             let outcomes = bool_outcomes(cond, regexes)?;
             let lt = norm_expr(then, regexes)?;
             let le = norm_expr(els, regexes)?;
             let mut out = Vec::new();
             for (bc, val) in &outcomes {
                 let arm = if *val { &lt } else { &le };
-                for (ac, ar) in arm {
+                for (ac, ar, aspan) in arm {
                     if let Some(merged) = bc.merge(ac) {
-                        out.push((merged, ar.clone()));
+                        out.push((merged, ar.clone(), *aspan));
                     }
                 }
             }
@@ -381,7 +450,10 @@ fn combine_bin(
         match r {
             BranchRank::Inf => Ok(None),
             BranchRank::Finite(v) if v.len() == 1 => Ok(Some(v[0].clone())),
-            BranchRank::Finite(_) => Err(NormError::BinOnTuple(src.to_string())),
+            BranchRank::Finite(_) => Err(NormError::BinOnTuple {
+                expr: src.to_string(),
+                span: src.span,
+            }),
         }
     };
     let (xa, xb) = (scalar(a)?, scalar(b)?);
@@ -414,8 +486,8 @@ fn bool_outcomes(
     b: &BoolExpr,
     regexes: &mut Vec<PathRegex>,
 ) -> Result<Vec<(Cond, bool)>, NormError> {
-    match b {
-        BoolExpr::Regex(r) => {
+    match &b.kind {
+        BoolExprKind::Regex(r) => {
             let idx = intern(regexes, r);
             Ok(vec![
                 (
@@ -434,19 +506,21 @@ fn bool_outcomes(
                 ),
             ])
         }
-        BoolExpr::Cmp(op, e1, e2) => {
+        BoolExprKind::Cmp(op, e1, e2) => {
             let lhs = guard_operand(e1)?;
             let rhs = guard_operand(e2)?;
             let yes = Guard {
                 op: *op,
                 lhs: lhs.clone(),
                 rhs: rhs.clone(),
+                span: b.span,
             };
             // ¬(a op b) with operands swapped and operator flipped.
             let no = Guard {
                 op: op.negate_swapped(),
                 lhs: rhs,
                 rhs: lhs,
+                span: b.span,
             };
             Ok(vec![
                 (
@@ -465,15 +539,15 @@ fn bool_outcomes(
                 ),
             ])
         }
-        BoolExpr::Not(inner) => {
+        BoolExprKind::Not(inner) => {
             let mut out = bool_outcomes(inner, regexes)?;
             for (_, v) in out.iter_mut() {
                 *v = !*v;
             }
             Ok(out)
         }
-        BoolExpr::And(x, y) => combine_bool(x, y, regexes, |a, b| a && b),
-        BoolExpr::Or(x, y) => combine_bool(x, y, regexes, |a, b| a || b),
+        BoolExprKind::And(x, y) => combine_bool(x, y, regexes, |a, b| a && b),
+        BoolExprKind::Or(x, y) => combine_bool(x, y, regexes, |a, b| a || b),
     }
 }
 
@@ -498,17 +572,20 @@ fn combine_bool(
 
 /// Converts a comparison operand to a conditional-free metric expression.
 fn guard_operand(e: &Expr) -> Result<MetricExpr, NormError> {
-    match e {
-        Expr::Const(c) => Ok(MetricExpr::Const(*c)),
-        Expr::Inf => Err(NormError::InfInComparison),
-        Expr::Attr(a) => Ok(MetricExpr::Attr(*a)),
-        Expr::Bin(op, a, b) => Ok(MetricExpr::Bin(
+    match &e.kind {
+        ExprKind::Const(c) => Ok(MetricExpr::Const(*c)),
+        ExprKind::Inf => Err(NormError::InfInComparison { span: e.span }),
+        ExprKind::Attr(a) => Ok(MetricExpr::Attr(*a)),
+        ExprKind::Bin(op, a, b) => Ok(MetricExpr::Bin(
             *op,
             Box::new(guard_operand(a)?),
             Box::new(guard_operand(b)?),
         )),
-        Expr::If(..) => Err(NormError::IfInComparison),
-        Expr::Tuple(_) => Err(NormError::BinOnTuple(e.to_string())),
+        ExprKind::If(..) => Err(NormError::IfInComparison { span: e.span }),
+        ExprKind::Tuple(_) => Err(NormError::BinOnTuple {
+            expr: e.to_string(),
+            span: e.span,
+        }),
     }
 }
 
@@ -624,9 +701,34 @@ mod tests {
     #[test]
     fn type_errors() {
         let bad = parse_policy("minimize((path.util, path.len) + 1)").unwrap();
-        assert!(matches!(normalize(&bad), Err(NormError::BinOnTuple(_))));
+        assert!(matches!(normalize(&bad), Err(NormError::BinOnTuple { .. })));
         let bad = parse_policy("minimize(if inf <= 1 then 0 else 1)").unwrap();
-        assert!(matches!(normalize(&bad), Err(NormError::InfInComparison)));
+        assert!(matches!(
+            normalize(&bad),
+            Err(NormError::InfInComparison { .. })
+        ));
+    }
+
+    #[test]
+    fn type_error_spans_point_at_source() {
+        let src = "minimize(if inf <= 1 then 0 else 1)";
+        let bad = parse_policy(src).unwrap();
+        let Err(e) = normalize(&bad) else { panic!() };
+        let span = e.span();
+        assert_eq!(&src[span.start..span.end], "inf");
+    }
+
+    #[test]
+    fn branch_spans_point_at_arms() {
+        let src = "minimize(if .* W .* then path.util else inf)";
+        let n = norm(src);
+        for b in &n.branches {
+            let text = &src[b.span.start..b.span.end];
+            match b.rank {
+                BranchRank::Finite(_) => assert_eq!(text, "path.util"),
+                BranchRank::Inf => assert_eq!(text, "inf"),
+            }
+        }
     }
 
     #[test]

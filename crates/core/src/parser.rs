@@ -7,8 +7,15 @@
 //! (whose operands can never contain bare switch names) and falls back to a
 //! regex. `>=`/`>` are normalized to `<=`/`<` by swapping operands, so the
 //! AST only carries the two operators of the paper's grammar.
+//!
+//! Every AST node is stamped with the byte [`Span`] of the source text it
+//! covers, flowing from the lexer's token spans: a production's span runs
+//! from its first token to the last token it consumed.
 
-use crate::ast::{BinOp, BoolExpr, CmpOp, Expr, PathRegex, Policy};
+use crate::ast::{
+    BinOp, BoolExpr, BoolExprKind, CmpOp, Expr, ExprKind, PathRegex, PathRegexKind, Policy,
+};
+use crate::diag::Span;
 use crate::lexer::{lex, SyntaxError, Tok, Token};
 
 /// Parses a complete policy: `minimize(expr)`.
@@ -33,8 +40,19 @@ impl Parser {
         &self.toks[self.pos].kind
     }
 
-    fn at(&self) -> usize {
-        self.toks[self.pos].at
+    /// Span of the token about to be consumed.
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    /// End offset of the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        self.toks[self.pos.saturating_sub(1)].span.end
+    }
+
+    /// Span from `lo` through the last consumed token.
+    fn span_from(&self, lo: usize) -> Span {
+        Span::new(lo, self.prev_end())
     }
 
     fn bump(&mut self) -> Tok {
@@ -65,20 +83,24 @@ impl Parser {
     fn err(&self, message: String) -> SyntaxError {
         SyntaxError {
             message,
-            at: self.at(),
+            span: self.span(),
         }
     }
 
     // ---- rank expressions ------------------------------------------------
 
     fn expr(&mut self) -> Result<Expr, SyntaxError> {
+        let lo = self.span().start;
         if self.eat(&Tok::If) {
             let cond = self.bool_expr()?;
             self.expect(&Tok::Then)?;
             let then = self.expr_no_if()?;
             self.expect(&Tok::Else)?;
             let els = self.expr()?;
-            return Ok(Expr::If(Box::new(cond), Box::new(then), Box::new(els)));
+            return Ok(Expr::new(
+                ExprKind::If(Box::new(cond), Box::new(then), Box::new(els)),
+                self.span_from(lo),
+            ));
         }
         self.add_expr()
     }
@@ -95,15 +117,16 @@ impl Parser {
     fn add_expr(&mut self) -> Result<Expr, SyntaxError> {
         let mut lhs = self.mul_expr()?;
         loop {
-            if self.eat(&Tok::Plus) {
-                let rhs = self.mul_expr()?;
-                lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+            let op = if self.eat(&Tok::Plus) {
+                BinOp::Add
             } else if self.eat(&Tok::Minus) {
-                let rhs = self.mul_expr()?;
-                lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+                BinOp::Sub
             } else {
                 return Ok(lhs);
-            }
+            };
+            let rhs = self.mul_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), span);
         }
     }
 
@@ -111,24 +134,32 @@ impl Parser {
         let mut lhs = self.atom_expr()?;
         while self.eat(&Tok::Star) {
             let rhs = self.atom_expr()?;
-            lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
         }
         Ok(lhs)
     }
 
     fn atom_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let lo = self.span().start;
         match self.peek().clone() {
             Tok::Number(n) => {
+                let span = self.span();
                 self.bump();
-                Ok(Expr::Const(n))
+                Ok(Expr::new(ExprKind::Const(n), span))
             }
             Tok::Inf => {
+                let span = self.span();
                 self.bump();
-                Ok(Expr::Inf)
+                Ok(Expr::new(ExprKind::Inf, span))
             }
             Tok::Attr(a) => {
+                let span = self.span();
                 self.bump();
-                Ok(Expr::Attr(a))
+                Ok(Expr::new(ExprKind::Attr(a), span))
             }
             Tok::Min | Tok::Max => {
                 let op = if self.bump() == Tok::Min {
@@ -141,7 +172,10 @@ impl Parser {
                 self.expect(&Tok::Comma)?;
                 let b = self.expr()?;
                 self.expect(&Tok::RParen)?;
-                Ok(Expr::Bin(op, Box::new(a), Box::new(b)))
+                Ok(Expr::new(
+                    ExprKind::Bin(op, Box::new(a), Box::new(b)),
+                    self.span_from(lo),
+                ))
             }
             Tok::If => self.expr(),
             Tok::LParen => {
@@ -155,7 +189,7 @@ impl Parser {
                     parts.push(self.expr()?);
                 }
                 self.expect(&Tok::RParen)?;
-                Ok(Expr::Tuple(parts))
+                Ok(Expr::new(ExprKind::Tuple(parts), self.span_from(lo)))
             }
             other => Err(self.err(format!("expected a rank expression, found {other}"))),
         }
@@ -167,7 +201,8 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.eat(&Tok::Or) {
             let rhs = self.and_expr()?;
-            lhs = BoolExpr::Or(Box::new(lhs), Box::new(rhs));
+            let span = lhs.span.to(rhs.span);
+            lhs = BoolExpr::new(BoolExprKind::Or(Box::new(lhs), Box::new(rhs)), span);
         }
         Ok(lhs)
     }
@@ -176,15 +211,20 @@ impl Parser {
         let mut lhs = self.not_expr()?;
         while self.eat(&Tok::And) {
             let rhs = self.not_expr()?;
-            lhs = BoolExpr::And(Box::new(lhs), Box::new(rhs));
+            let span = lhs.span.to(rhs.span);
+            lhs = BoolExpr::new(BoolExprKind::And(Box::new(lhs), Box::new(rhs)), span);
         }
         Ok(lhs)
     }
 
     fn not_expr(&mut self) -> Result<BoolExpr, SyntaxError> {
+        let lo = self.span().start;
         if self.eat(&Tok::Not) {
             let inner = self.not_expr()?;
-            return Ok(BoolExpr::Not(Box::new(inner)));
+            return Ok(BoolExpr::new(
+                BoolExprKind::Not(Box::new(inner)),
+                self.span_from(lo),
+            ));
         }
         self.bool_atom()
     }
@@ -205,17 +245,21 @@ impl Parser {
             if let Some((op, swap)) = cmp {
                 self.bump();
                 let rhs = self.add_expr()?;
+                let span = lhs.span.to(rhs.span);
                 return Ok(if swap {
-                    BoolExpr::Cmp(op, rhs, lhs)
+                    BoolExpr::new(BoolExprKind::Cmp(op, rhs, lhs), span)
                 } else {
-                    BoolExpr::Cmp(op, lhs, rhs)
+                    BoolExpr::new(BoolExprKind::Cmp(op, lhs, rhs), span)
                 });
             }
         }
         // Attempt 2: a path regex, retried from the same saved position.
         self.pos = save;
         match self.regex() {
-            Ok(r) => Ok(BoolExpr::Regex(r)),
+            Ok(r) => {
+                let span = r.span;
+                Ok(BoolExpr::new(BoolExprKind::Regex(r), span))
+            }
             Err(regex_err) => {
                 self.pos = save;
                 // Attempt 3: parenthesized boolean.
@@ -240,7 +284,8 @@ impl Parser {
         let mut lhs = self.regex_cat()?;
         while self.eat(&Tok::Plus) {
             let rhs = self.regex_cat()?;
-            lhs = PathRegex::Alt(Box::new(lhs), Box::new(rhs));
+            let span = lhs.span.to(rhs.span);
+            lhs = PathRegex::new(PathRegexKind::Alt(Box::new(lhs), Box::new(rhs)), span);
         }
         Ok(lhs)
     }
@@ -253,33 +298,43 @@ impl Parser {
         let mut it = parts.into_iter().rev();
         let mut acc = it.next().unwrap();
         for p in it {
-            acc = PathRegex::Concat(Box::new(p), Box::new(acc));
+            let span = p.span.to(acc.span);
+            acc = PathRegex::new(PathRegexKind::Concat(Box::new(p), Box::new(acc)), span);
         }
         Ok(acc)
     }
 
     fn regex_postfix(&mut self) -> Result<PathRegex, SyntaxError> {
         let mut r = self.regex_atom()?;
-        while self.eat(&Tok::Star) {
-            r = PathRegex::Star(Box::new(r));
+        while self.peek() == &Tok::Star {
+            let star = self.span();
+            self.bump();
+            let span = r.span.to(star);
+            r = PathRegex::new(PathRegexKind::Star(Box::new(r)), span);
         }
         Ok(r)
     }
 
     fn regex_atom(&mut self) -> Result<PathRegex, SyntaxError> {
+        let lo = self.span().start;
         match self.peek().clone() {
             Tok::Ident(name) => {
+                let span = self.span();
                 self.bump();
-                Ok(PathRegex::Node(name))
+                Ok(PathRegex::new(PathRegexKind::Node(name), span))
             }
             Tok::Dot => {
+                let span = self.span();
                 self.bump();
-                Ok(PathRegex::Any)
+                Ok(PathRegex::new(PathRegexKind::Any, span))
             }
             Tok::LParen => {
                 self.bump();
                 let inner = self.regex()?;
                 self.expect(&Tok::RParen)?;
+                // Keep the inner span; widening to the parens is harmless
+                // but the tighter span points more precisely.
+                let _ = lo;
                 Ok(inner)
             }
             other => Err(self.err(format!("expected a path regex, found {other}"))),
@@ -298,26 +353,26 @@ mod tests {
 
     #[test]
     fn p1_shortest_path() {
-        assert_eq!(p("minimize(path.len)").expr, Expr::Attr(Attr::Len));
+        assert_eq!(p("minimize(path.len)").expr, Expr::attr(Attr::Len));
     }
 
     #[test]
     fn p3_widest_shortest() {
         assert_eq!(
             p("minimize((path.util, path.len))").expr,
-            Expr::Tuple(vec![Expr::Attr(Attr::Util), Expr::Attr(Attr::Len)])
+            Expr::tuple(vec![Expr::attr(Attr::Util), Expr::attr(Attr::Len)])
         );
     }
 
     #[test]
     fn p5_waypointing() {
         let pol = p("minimize(if .*(F1+F2).* then path.util else inf)");
-        let Expr::If(cond, t, e) = pol.expr else {
+        let ExprKind::If(cond, t, e) = pol.expr.kind else {
             panic!("expected if")
         };
-        assert!(matches!(*t, Expr::Attr(Attr::Util)));
-        assert!(matches!(*e, Expr::Inf));
-        let BoolExpr::Regex(r) = *cond else {
+        assert!(matches!(t.kind, ExprKind::Attr(Attr::Util)));
+        assert!(matches!(e.kind, ExprKind::Inf));
+        let BoolExprKind::Regex(r) = cond.kind else {
             panic!("expected regex cond")
         };
         assert_eq!(r.names(), vec!["F1", "F2"]);
@@ -327,28 +382,28 @@ mod tests {
     fn p9_congestion_aware() {
         let pol = p("minimize(if path.util < .8 then (1, 0, path.util) \
              else (2, path.len, path.util))");
-        let Expr::If(cond, ..) = pol.expr else {
+        let ExprKind::If(cond, ..) = pol.expr.kind else {
             panic!("expected if")
         };
         assert_eq!(
             *cond,
-            BoolExpr::Cmp(CmpOp::Lt, Expr::Attr(Attr::Util), Expr::Const(0.8))
+            BoolExpr::cmp(CmpOp::Lt, Expr::attr(Attr::Util), Expr::constant(0.8))
         );
     }
 
     #[test]
     fn weighted_links_p7() {
         let pol = p("minimize((if .*X Y.* then 10 else 0) + path.len)");
-        assert!(matches!(pol.expr, Expr::Bin(BinOp::Add, ..)));
+        assert!(matches!(pol.expr.kind, ExprKind::Bin(BinOp::Add, ..)));
     }
 
     #[test]
     fn failover_chain() {
         let pol = p("minimize(if A B D then 0 else if A C D then 1 else inf)");
-        let Expr::If(_, _, els) = pol.expr else {
+        let ExprKind::If(_, _, els) = pol.expr.kind else {
             panic!()
         };
-        assert!(matches!(*els, Expr::If(..)));
+        assert!(matches!(els.kind, ExprKind::If(..)));
     }
 
     #[test]
@@ -357,26 +412,28 @@ mod tests {
         let b = p("minimize(if .5 <= path.util then 0 else 1)");
         assert_eq!(a, b);
         let c = p("minimize(if path.len > 3 then 0 else 1)");
-        let Expr::If(cond, ..) = c.expr else { panic!() };
+        let ExprKind::If(cond, ..) = c.expr.kind else {
+            panic!()
+        };
         assert_eq!(
             *cond,
-            BoolExpr::Cmp(CmpOp::Lt, Expr::Const(3.0), Expr::Attr(Attr::Len))
+            BoolExpr::cmp(CmpOp::Lt, Expr::constant(3.0), Expr::attr(Attr::Len))
         );
     }
 
     #[test]
     fn boolean_connectives() {
         let pol = p("minimize(if path.util < .5 and not (A .*) then 0 else 1)");
-        let Expr::If(cond, ..) = pol.expr else {
+        let ExprKind::If(cond, ..) = pol.expr.kind else {
             panic!()
         };
-        assert!(matches!(*cond, BoolExpr::And(..)));
+        assert!(matches!(cond.kind, BoolExprKind::And(..)));
     }
 
     #[test]
     fn min_max_functions() {
         let pol = p("minimize(max(path.util, path.lat))");
-        assert!(matches!(pol.expr, Expr::Bin(BinOp::Max, ..)));
+        assert!(matches!(pol.expr.kind, ExprKind::Bin(BinOp::Max, ..)));
     }
 
     #[test]
@@ -409,6 +466,31 @@ mod tests {
     #[test]
     fn star_is_mul_in_expr_context() {
         let pol = p("minimize(2 * path.len)");
-        assert!(matches!(pol.expr, Expr::Bin(BinOp::Mul, ..)));
+        assert!(matches!(pol.expr.kind, ExprKind::Bin(BinOp::Mul, ..)));
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let src = "minimize(if A B then path.util else inf)";
+        let pol = p(src);
+        // The whole `if` covers from `if` to `inf`.
+        assert_eq!(
+            &src[pol.expr.span.start..pol.expr.span.end],
+            "if A B then path.util else inf"
+        );
+        let ExprKind::If(cond, t, e) = &pol.expr.kind else {
+            panic!()
+        };
+        assert_eq!(&src[cond.span.start..cond.span.end], "A B");
+        assert_eq!(&src[t.span.start..t.span.end], "path.util");
+        assert_eq!(&src[e.span.start..e.span.end], "inf");
+    }
+
+    #[test]
+    fn error_spans_locate_the_bad_token() {
+        let err = parse_policy("minimize(1 +)").unwrap_err();
+        assert_eq!(err.span.start, 12); // the `)`
+        let err = parse_policy("minimize(path.util").unwrap_err();
+        assert_eq!(err.span.start, 18); // Eof
     }
 }

@@ -21,6 +21,57 @@ use crate::normal::NormalPolicy;
 use contra_automata::Dfa;
 use contra_topology::{NodeId, Topology};
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a product-graph lookup failed. `find`/`step` collapse all of these
+/// into `None`; [`ProductGraph::try_find`] and [`ProductGraph::try_step`]
+/// keep them apart so callers can tell a dropped probe (the normal,
+/// by-design outcome of pruning) from a caller bug (wrong automaton count
+/// or a switch the graph never contained).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PgLookupError {
+    /// The caller supplied a state vector whose length does not match the
+    /// number of policy automata — always a caller bug.
+    WrongArity {
+        /// Number of automata the graph was built with.
+        expected: usize,
+        /// Number of states the caller passed.
+        got: usize,
+    },
+    /// The switch has no virtual nodes at all. For an unpruned graph this
+    /// means the switch is unreachable by any probe; passing a host or a
+    /// node from a different topology also lands here.
+    UnknownSwitch(NodeId),
+    /// The switch exists in the graph but this exact state combination was
+    /// pruned (or never explored): the probe can no longer lead to a
+    /// finite-rank path and is dropped.
+    Pruned {
+        /// The switch at which the lookup happened.
+        switch: NodeId,
+        /// The automaton states that had no virtual node.
+        states: Vec<usize>,
+    },
+}
+
+impl fmt::Display for PgLookupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PgLookupError::WrongArity { expected, got } => write!(
+                f,
+                "product-graph lookup with {got} automaton states, expected {expected}"
+            ),
+            PgLookupError::UnknownSwitch(n) => {
+                write!(f, "switch {n} has no virtual nodes in the product graph")
+            }
+            PgLookupError::Pruned { switch, states } => write!(
+                f,
+                "virtual node ({switch}, {states:?}) was pruned from the product graph"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PgLookupError {}
 
 /// Identifier of a virtual node in the product graph. Probes and packets
 /// carry these as their `tag` field.
@@ -247,9 +298,22 @@ impl ProductGraph {
         &self.out[v.0 as usize]
     }
 
+    /// Number of automaton states each virtual node carries, or `None` for
+    /// an empty graph.
+    fn arity(&self) -> Option<usize> {
+        self.vnodes.first().map(|v| v.states.len())
+    }
+
     /// Looks up the virtual node at `switch` with exactly these automaton
-    /// states.
+    /// states. Collapses every failure into `None`; use [`try_find`]
+    /// (ProductGraph::try_find) when the reason matters.
     pub fn find(&self, switch: NodeId, states: &[usize]) -> Option<VNodeId> {
+        debug_assert!(
+            self.arity().is_none_or(|n| n == states.len()),
+            "product-graph lookup with {} automaton states, expected {:?}",
+            states.len(),
+            self.arity()
+        );
         self.by_switch
             .get(&switch)?
             .iter()
@@ -257,18 +321,63 @@ impl ProductGraph {
             .find(|&v| self.vnodes[v.0 as usize].states == states)
     }
 
+    /// Like [`find`](ProductGraph::find), but distinguishes *why* the
+    /// lookup failed: a pruned state combination (expected, the probe is
+    /// dropped) versus caller errors (wrong arity, unknown switch).
+    pub fn try_find(&self, switch: NodeId, states: &[usize]) -> Result<VNodeId, PgLookupError> {
+        if let Some(expected) = self.arity() {
+            if expected != states.len() {
+                return Err(PgLookupError::WrongArity {
+                    expected,
+                    got: states.len(),
+                });
+            }
+        }
+        let Some(here) = self.by_switch.get(&switch) else {
+            return Err(PgLookupError::UnknownSwitch(switch));
+        };
+        here.iter()
+            .copied()
+            .find(|&v| self.vnodes[v.0 as usize].states == states)
+            .ok_or_else(|| PgLookupError::Pruned {
+                switch,
+                states: states.to_vec(),
+            })
+    }
+
     /// `NEXTPGNODE` (Fig 7): the virtual node a probe tagged `from` maps to
     /// when processed by switch `at`. Returns `None` when the step leaves
     /// the pruned graph (the probe is then dropped — it can no longer lead
     /// to a finite-rank path).
     pub fn step(&self, automata: &[Dfa], from: VNodeId, at: NodeId) -> Option<VNodeId> {
+        debug_assert_eq!(
+            automata.len(),
+            self.vnodes[from.0 as usize].states.len(),
+            "stepping the product graph with the wrong automaton set"
+        );
+        self.try_step(automata, from, at).ok()
+    }
+
+    /// Like [`step`](ProductGraph::step), but reports why the step failed.
+    pub fn try_step(
+        &self,
+        automata: &[Dfa],
+        from: VNodeId,
+        at: NodeId,
+    ) -> Result<VNodeId, PgLookupError> {
         let src = &self.vnodes[from.0 as usize];
+        if automata.len() != src.states.len() {
+            return Err(PgLookupError::WrongArity {
+                expected: src.states.len(),
+                got: automata.len(),
+            });
+        }
         let states: Vec<usize> = automata
             .iter()
             .zip(&src.states)
             .map(|(a, &s)| a.step(s, at.0))
             .collect();
-        self.find(at, &states)
+        self.try_find(at, &states)
     }
 
     /// Maximum number of tags any switch needs — determines header bits.
@@ -407,6 +516,86 @@ mod tests {
         let (pg, ..) = build("minimize(inf)", &topo, true);
         assert!(pg.is_empty());
         assert!(pg.sending.is_empty());
+    }
+
+    #[test]
+    fn try_find_distinguishes_failure_modes() {
+        let topo = fig6_topo();
+        let (pg, automata, _) = build("minimize(if A B D then 0 else inf)", &topo, true);
+        let a = topo.find("A").unwrap();
+        let d = topo.find("D").unwrap();
+
+        // Wrong arity is a caller bug, reported before anything else.
+        assert_eq!(
+            pg.try_find(a, &[0, 0]),
+            Err(PgLookupError::WrongArity {
+                expected: 1,
+                got: 2
+            })
+        );
+
+        // A node outside the graph (pruning removed every C vnode that is
+        // not on the surviving D→B→A chain, or the node never existed).
+        let ghost = NodeId(999);
+        assert_eq!(
+            pg.try_find(ghost, &[0]),
+            Err(PgLookupError::UnknownSwitch(ghost))
+        );
+
+        // A state combination the switch does not carry is a pruned probe.
+        let states_at_a = pg.vnode(pg.by_switch[&a][0]).states.clone();
+        let bogus = vec![automata[0].num_states() + 7];
+        assert!(matches!(
+            pg.try_find(a, &bogus),
+            Err(PgLookupError::Pruned { switch, .. }) if switch == a
+        ));
+
+        // And the happy path agrees with `find`.
+        assert_eq!(pg.try_find(a, &states_at_a).ok(), pg.find(a, &states_at_a));
+        assert_eq!(
+            pg.try_find(d, &pg.vnode(pg.sending[&d]).states.clone())
+                .ok(),
+            Some(pg.sending[&d])
+        );
+    }
+
+    #[test]
+    fn try_step_reports_pruned_probe_drops() {
+        // With an exact-path policy A B D for destination D, the pruned
+        // graph keeps only the D→B→A chain. `try_step` names where and why
+        // a probe dies, where `step` only says `None`.
+        let topo = fig6_topo();
+        let (pg, automata, _) = build("minimize(if A B D then 0 else inf)", &topo, true);
+        let b = topo.find("B").unwrap();
+        let c = topo.find("C").unwrap();
+        let d = topo.find("D").unwrap();
+        let v = pg.sending[&d];
+
+        // Every C vnode was pruned, so a probe stepping into C finds the
+        // switch itself absent from the graph.
+        assert_eq!(pg.step(&automata, v, c), None);
+        assert_eq!(
+            pg.try_step(&automata, v, c),
+            Err(PgLookupError::UnknownSwitch(c))
+        );
+
+        // B still exists, but bouncing a probe B→D→B lands on a state
+        // combination B does not carry: reported as a pruned vnode.
+        let at_b = pg.try_step(&automata, v, b).unwrap();
+        let back_at_d = pg.try_step(&automata, at_b, d);
+        assert!(matches!(
+            back_at_d,
+            Err(PgLookupError::UnknownSwitch(_) | PgLookupError::Pruned { .. })
+        ));
+        let a = topo.find("A").unwrap();
+        let at_a = pg.try_step(&automata, at_b, a).unwrap();
+        assert!(matches!(
+            pg.try_step(&automata, at_a, b),
+            Err(PgLookupError::Pruned { switch, .. }) if switch == b
+        ));
+
+        // The surviving direction agrees with `step`.
+        assert_eq!(pg.try_step(&automata, v, b).ok(), pg.step(&automata, v, b));
     }
 
     #[test]

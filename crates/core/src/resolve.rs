@@ -4,7 +4,8 @@
 //! not exist in the topology or that refer to hosts (hosts never appear on
 //! forwarding paths, §4.1).
 
-use crate::ast::PathRegex;
+use crate::ast::{PathRegex, PathRegexKind};
+use crate::diag::Span;
 use contra_automata::Regex;
 use contra_topology::Topology;
 use std::fmt;
@@ -13,19 +14,41 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum ResolveError {
     /// The policy names a node the topology does not contain.
-    UnknownNode(String),
+    UnknownNode {
+        /// The unresolvable name.
+        name: String,
+        /// Where the name sits in the policy source.
+        span: Span,
+    },
     /// The policy names a host; only switches may appear in path regexes.
-    NotASwitch(String),
+    NotASwitch {
+        /// The host's name.
+        name: String,
+        /// Where the name sits in the policy source.
+        span: Span,
+    },
+}
+
+impl ResolveError {
+    /// The source span this error points at.
+    pub fn span(&self) -> Span {
+        match self {
+            ResolveError::UnknownNode { span, .. } | ResolveError::NotASwitch { span, .. } => *span,
+        }
+    }
 }
 
 impl fmt::Display for ResolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ResolveError::UnknownNode(n) => {
-                write!(f, "policy references unknown node `{n}`")
+            ResolveError::UnknownNode { name, .. } => {
+                write!(f, "policy references unknown node `{name}`")
             }
-            ResolveError::NotASwitch(n) => {
-                write!(f, "policy references `{n}`, which is a host, not a switch")
+            ResolveError::NotASwitch { name, .. } => {
+                write!(
+                    f,
+                    "policy references `{name}`, which is a host, not a switch"
+                )
             }
         }
     }
@@ -35,23 +58,29 @@ impl std::error::Error for ResolveError {}
 
 /// Resolves one named regex into a symbol regex over switch IDs.
 pub fn resolve_regex(r: &PathRegex, topo: &Topology) -> Result<Regex, ResolveError> {
-    match r {
-        PathRegex::Node(name) => {
-            let id = topo
-                .find(name)
-                .ok_or_else(|| ResolveError::UnknownNode(name.clone()))?;
+    match &r.kind {
+        PathRegexKind::Node(name) => {
+            let id = topo.find(name).ok_or_else(|| ResolveError::UnknownNode {
+                name: name.clone(),
+                span: r.span,
+            })?;
             if !topo.is_switch(id) {
-                return Err(ResolveError::NotASwitch(name.clone()));
+                return Err(ResolveError::NotASwitch {
+                    name: name.clone(),
+                    span: r.span,
+                });
             }
             Ok(Regex::Sym(id.0))
         }
-        PathRegex::Any => Ok(Regex::Any),
-        PathRegex::Concat(a, b) => Ok(Regex::concat(
+        PathRegexKind::Any => Ok(Regex::Any),
+        PathRegexKind::Concat(a, b) => Ok(Regex::concat(
             resolve_regex(a, topo)?,
             resolve_regex(b, topo)?,
         )),
-        PathRegex::Alt(a, b) => Ok(Regex::alt(resolve_regex(a, topo)?, resolve_regex(b, topo)?)),
-        PathRegex::Star(inner) => Ok(Regex::star(resolve_regex(inner, topo)?)),
+        PathRegexKind::Alt(a, b) => {
+            Ok(Regex::alt(resolve_regex(a, topo)?, resolve_regex(b, topo)?))
+        }
+        PathRegexKind::Star(inner) => Ok(Regex::star(resolve_regex(inner, topo)?)),
     }
 }
 
@@ -78,10 +107,7 @@ mod tests {
     #[test]
     fn resolves_names_to_switch_ids() {
         let t = topo();
-        let r = PathRegex::Concat(
-            Box::new(PathRegex::Node("A".into())),
-            Box::new(PathRegex::Star(Box::new(PathRegex::Any))),
-        );
+        let r = PathRegex::concat(PathRegex::node("A"), PathRegex::star(PathRegex::any()));
         let resolved = resolve_regex(&r, &t).unwrap();
         let a = t.find("A").unwrap().0;
         assert!(resolved.matches(&[a]));
@@ -92,20 +118,30 @@ mod tests {
     #[test]
     fn unknown_node_rejected() {
         let t = topo();
-        let r = PathRegex::Node("Zed".into());
-        assert_eq!(
+        let r = PathRegex::node("Zed");
+        assert!(matches!(
             resolve_regex(&r, &t),
-            Err(ResolveError::UnknownNode("Zed".into()))
-        );
+            Err(ResolveError::UnknownNode { name, .. }) if name == "Zed"
+        ));
     }
 
     #[test]
     fn host_in_regex_rejected() {
         let t = topo();
-        let r = PathRegex::Node("h0".into());
-        assert_eq!(
+        let r = PathRegex::node("h0");
+        assert!(matches!(
             resolve_regex(&r, &t),
-            Err(ResolveError::NotASwitch("h0".into()))
-        );
+            Err(ResolveError::NotASwitch { name, .. }) if name == "h0"
+        ));
+    }
+
+    #[test]
+    fn error_span_flows_from_the_regex_node() {
+        let src = "minimize(if Zed then 0 else 1)";
+        let pol = crate::parser::parse_policy(src).unwrap();
+        let n = crate::normal::normalize(&pol).unwrap();
+        let err = resolve_regexes(&n.regexes, &topo()).unwrap_err();
+        let span = err.span();
+        assert_eq!(&src[span.start..span.end], "Zed");
     }
 }

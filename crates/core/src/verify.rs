@@ -1,0 +1,884 @@
+//! Compile-time policy verification: black-hole, fragility and dead-code
+//! diagnostics over the compiled artifacts.
+//!
+//! The compiler already rejects ill-typed and non-monotone policies; this
+//! module answers the questions that need the *topology*: will every source
+//! actually have a policy-compliant route ([`codes::BLACK_HOLE`])? Does one
+//! cable failure take a route away ([`codes::FRAGILE_LINK`])? Are there
+//! branches no real path can ever select ([`codes::DEAD_BRANCH`],
+//! [`codes::SHADOWED_BRANCH`]), guards no reachable metric vector can
+//! satisfy ([`codes::UNSAT_GUARD`]), or automaton states that are pure
+//! table bloat ([`codes::DEAD_DFA_STATE`])? Everything is reported as
+//! [`Diagnostic`]s with source [`Span`]s, alongside a machine-readable
+//! [`Verdicts`] record that the differential test-suite replays against the
+//! packet-level simulator.
+//!
+//! All reachability arguments run over the product graph in *probe*
+//! direction: a probe walk from destination `d` reaching a finite virtual
+//! node at switch `s` is exactly a policy-compliant traffic path `s → d`
+//! (the automata run over reversed regexes, §4.1). "No reachable finite
+//! vnode at `s`" therefore *is* "no compliant route", with no separate path
+//! enumeration to trust.
+
+use crate::ast::{Attr, CmpOp};
+use crate::compiler::{CompileError, CompiledPolicy, Compiler, CompilerOptions};
+use crate::diag::{self, codes, Diagnostic};
+use crate::metric::MetricVec;
+use crate::normal::{BranchRank, MetricExpr};
+use crate::pg::ProductGraph;
+use contra_topology::{NodeId, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Options for [`verify_with`].
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Probe single-cable failures (rebuilds the product graph once per
+    /// switch-to-switch cable — quadratic-ish, disable for huge fabrics).
+    pub check_fragility: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            check_fragility: true,
+        }
+    }
+}
+
+/// A source switch with no policy-compliant route to a destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BlackHole {
+    /// Traffic source (a host-bearing switch, or any switch when the
+    /// topology has no hosts).
+    pub src: NodeId,
+    /// The destination the policy cannot route to.
+    pub dst: NodeId,
+}
+
+/// A route that a single cable failure destroys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Fragility {
+    /// The failing cable, as an unordered switch pair.
+    pub cable: (NodeId, NodeId),
+    /// Source losing its route.
+    pub src: NodeId,
+    /// Destination it loses the route to.
+    pub dst: NodeId,
+    /// Whether the failure physically disconnects `src` from `dst` (then
+    /// no policy could route; otherwise the *policy* is what's fragile).
+    pub partitions: bool,
+}
+
+/// Machine-readable verification results. The differential tests replay
+/// these against the packet simulator.
+#[derive(Debug, Clone, Default)]
+pub struct Verdicts {
+    /// Source→destination pairs with no compliant route.
+    pub black_holes: Vec<BlackHole>,
+    /// Routes destroyed by a single cable failure.
+    pub fragile: Vec<Fragility>,
+    /// Indices of finite branches no product-graph walk can select.
+    pub dead_branches: Vec<usize>,
+    /// Dead branches whose positive regexes *are* matchable — an earlier
+    /// condition subsumes them.
+    pub shadowed_branches: Vec<usize>,
+    /// Indices of regexes whose language is empty over this topology's
+    /// switch alphabet.
+    pub unmatchable_regexes: Vec<usize>,
+    /// `(branch, guard)` indices of guards unsatisfiable even at the
+    /// metric lower bound of any reachable path.
+    pub unsat_guards: Vec<(usize, usize)>,
+    /// Automaton states that are reachable but can never accept, beyond
+    /// the canonical garbage state (pure table bloat).
+    pub dead_dfa_states: usize,
+    /// Virtual nodes removed by product-graph pruning.
+    pub pruned_vnodes: usize,
+    /// Whether ranks depend on utilization — routes can flap while probes
+    /// race metric churn, the transient-loop window of fig 14.
+    pub transient_loop_risk: bool,
+}
+
+/// A verification report: human diagnostics plus machine verdicts.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All diagnostics, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The structured verdicts behind them.
+    pub verdicts: Verdicts,
+}
+
+impl Report {
+    /// True if any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.is_error())
+    }
+
+    /// Renders all diagnostics rustc-style (with source snippets when the
+    /// policy text is given), most severe first, with a closing summary.
+    pub fn render(&self, source: Option<&str>) -> String {
+        diag::render(&self.diagnostics, source)
+    }
+}
+
+/// Verifies a compiled policy against its topology with default options.
+pub fn verify(cp: &CompiledPolicy, topo: &Topology) -> Report {
+    verify_with(cp, topo, &VerifyOptions::default())
+}
+
+/// Compiles and verifies policy source in one step. Compile errors become
+/// diagnostics (`C02xx`/`C0102`) instead of an `Err`, so lint drivers can
+/// render every failure mode uniformly.
+pub fn verify_source(src: &str, topo: &Topology) -> (Option<CompiledPolicy>, Report) {
+    match Compiler::with_options(topo, CompilerOptions::default()).compile_str(src) {
+        Ok(cp) => {
+            let report = verify(&cp, topo);
+            (Some(cp), report)
+        }
+        Err(e) => {
+            let code = match &e {
+                CompileError::Syntax(_) => codes::SYNTAX,
+                CompileError::Norm(_) => codes::NORM,
+                CompileError::Analysis(_) => codes::NON_MONOTONIC,
+                CompileError::Resolve(_) => codes::UNRESOLVED_NAME,
+                CompileError::NoUsefulPaths => codes::NO_USEFUL_PATHS,
+            };
+            let d = Diagnostic::error(code, e.to_string()).with_span(e.span());
+            (
+                None,
+                Report {
+                    diagnostics: vec![d],
+                    verdicts: Verdicts::default(),
+                },
+            )
+        }
+    }
+}
+
+/// Verifies a compiled policy against its topology.
+pub fn verify_with(cp: &CompiledPolicy, topo: &Topology, opts: &VerifyOptions) -> Report {
+    let mut r = Report::default();
+    let policy_span = cp.policy.expr.span;
+    let sources = traffic_sources(topo);
+
+    // Re-home the compiler's analysis warnings into the diagnostic stream.
+    for w in &cp.warnings {
+        r.diagnostics
+            .push(Diagnostic::warning(codes::NON_ISOTONIC, w.to_string()).with_span(w.span()));
+    }
+
+    // -- Black holes: per destination, reverse reachability over the PG.
+    r.verdicts.black_holes = black_holes(&cp.pg, &cp.destinations, &sources);
+    for bh in &r.verdicts.black_holes {
+        r.diagnostics.push(
+            Diagnostic::error(
+                codes::BLACK_HOLE,
+                format!(
+                    "black hole: traffic from {} to {} has no policy-compliant route",
+                    topo.node(bh.src).name,
+                    topo.node(bh.dst).name
+                ),
+            )
+            .with_span(policy_span)
+            .with_note(
+                "no product-graph walk from the destination reaches a \
+                 finite-rank virtual node at the source",
+            ),
+        );
+    }
+
+    // -- Branch- and automaton-level dead code. Classification needs the
+    // *unpruned* product graph: pruning already deletes exactly the states
+    // these checks reason about.
+    let full = ProductGraph::build(topo, &cp.automata, &cp.normal, &cp.destinations, false);
+    branch_checks(cp, topo, &full, &mut r);
+    automata_checks(cp, &mut r);
+
+    let pruned_away = full.len().saturating_sub(cp.pg.len());
+    r.verdicts.pruned_vnodes = pruned_away;
+    if pruned_away > 0 {
+        r.diagnostics.push(
+            Diagnostic::info(
+                codes::PRUNED_VNODES,
+                format!(
+                    "pruning removed {pruned_away} of {} virtual nodes that cannot \
+                     reach any finite-rank path",
+                    full.len()
+                ),
+            )
+            .with_span(policy_span),
+        );
+    }
+
+    if cp.basis.contains(Attr::Util) {
+        r.verdicts.transient_loop_risk = true;
+        r.diagnostics.push(
+            Diagnostic::info(
+                codes::TRANSIENT_LOOP_RISK,
+                "ranks depend on utilization: routes may loop transiently \
+                 while probes race metric churn",
+            )
+            .with_span(policy_span)
+            .with_note("bounded by the probe period; see the transient-loop experiment"),
+        );
+    }
+
+    // -- Single-cable fragility: re-verify reachability minus each cable.
+    if opts.check_fragility {
+        fragility_checks(cp, topo, &sources, &r.verdicts.black_holes.clone(), &mut r);
+    }
+
+    r
+}
+
+/// The switches that source traffic: host-bearing ones, or every switch
+/// when the topology models no hosts.
+fn traffic_sources(topo: &Topology) -> Vec<NodeId> {
+    let with_hosts: Vec<NodeId> = topo
+        .switches()
+        .into_iter()
+        .filter(|&s| !topo.hosts_of(s).is_empty())
+        .collect();
+    if with_hosts.is_empty() {
+        topo.switches()
+    } else {
+        with_hosts
+    }
+}
+
+/// Switches holding a reachable finite virtual node for destination `d` —
+/// i.e. the sources that have at least one compliant route to `d`.
+///
+/// The walk never re-enters `d`: the protocol drops probes that return to
+/// their origin (§5.5), so a "path" through the destination is not
+/// realizable in the dataplane even when the product graph contains it.
+fn routable_sources(pg: &ProductGraph, d: NodeId) -> BTreeSet<NodeId> {
+    let mut routable = BTreeSet::new();
+    let Some(&seed) = pg.sending.get(&d) else {
+        return routable;
+    };
+    let mut seen = vec![false; pg.len()];
+    let mut work = vec![seed];
+    seen[seed.0 as usize] = true;
+    while let Some(v) = work.pop() {
+        let vn = pg.vnode(v);
+        if vn.finite {
+            routable.insert(vn.switch);
+        }
+        for &w in pg.succs(v) {
+            if !seen[w.0 as usize] && pg.vnode(w).switch != d {
+                seen[w.0 as usize] = true;
+                work.push(w);
+            }
+        }
+    }
+    routable
+}
+
+fn black_holes(pg: &ProductGraph, destinations: &[NodeId], sources: &[NodeId]) -> Vec<BlackHole> {
+    let mut out = Vec::new();
+    for &d in destinations {
+        let routable = routable_sources(pg, d);
+        for &s in sources {
+            if s != d && !routable.contains(&s) {
+                out.push(BlackHole { src: s, dst: d });
+            }
+        }
+    }
+    out
+}
+
+/// Dead / shadowed branches and unsatisfiable guards, over the acceptance
+/// vectors the unpruned product graph can realize.
+fn branch_checks(cp: &CompiledPolicy, topo: &Topology, full: &ProductGraph, r: &mut Report) {
+    // Every acceptance vector some destination-ending walk realizes.
+    let acc_set: BTreeSet<&[bool]> = full.vnodes.iter().map(|v| v.acc.as_slice()).collect();
+
+    // Metric lower bounds per destination: least latency (seconds) and hop
+    // count from each switch, over the physical switch graph. A compliant
+    // path can only be longer, so evaluating an upper-bound guard here is
+    // sound.
+    let bounds: BTreeMap<NodeId, BTreeMap<NodeId, (f64, f64)>> = cp
+        .destinations
+        .iter()
+        .map(|&d| (d, shortest_to(topo, d)))
+        .collect();
+
+    for (bi, b) in cp.normal.branches.iter().enumerate() {
+        if !matches!(b.rank, BranchRank::Finite(_)) {
+            // An unreachable `inf` fallback forbids nothing — not a defect.
+            continue;
+        }
+        if !acc_set.iter().any(|acc| b.reqs_match(acc)) {
+            let positives_ok = acc_set.iter().any(|acc| {
+                b.reqs
+                    .iter()
+                    .filter(|&&(_, want)| want)
+                    .all(|&(i, _)| acc[i])
+            });
+            if positives_ok {
+                r.verdicts.shadowed_branches.push(bi);
+                r.diagnostics.push(
+                    Diagnostic::warning(
+                        codes::SHADOWED_BRANCH,
+                        format!("branch {bi} is shadowed: an earlier condition matches every path this branch could rank"),
+                    )
+                    .with_span(b.span)
+                    .with_note("its regexes are matchable, but never without an earlier branch's regex also matching"),
+                );
+            } else {
+                r.verdicts.dead_branches.push(bi);
+                r.diagnostics.push(
+                    Diagnostic::warning(
+                        codes::DEAD_BRANCH,
+                        format!("branch {bi} is dead: no path on this topology can satisfy its regex requirements"),
+                    )
+                    .with_span(b.span),
+                );
+            }
+            continue;
+        }
+
+        if b.guards.is_empty() {
+            continue;
+        }
+        // Tightest metric lower bound over every (destination, vnode) at
+        // which this branch's regex requirements hold.
+        let mut lb: Option<(f64, f64)> = None;
+        for (&d, dist) in &bounds {
+            let Some(&seed) = full.sending.get(&d) else {
+                continue;
+            };
+            let mut seen = vec![false; full.len()];
+            let mut work = vec![seed];
+            seen[seed.0 as usize] = true;
+            while let Some(v) = work.pop() {
+                let vn = full.vnode(v);
+                if b.reqs_match(&vn.acc) {
+                    let cand = if vn.switch == d {
+                        (0.0, 0.0)
+                    } else {
+                        dist.get(&vn.switch).copied().unwrap_or((0.0, 0.0))
+                    };
+                    lb = Some(match lb {
+                        None => cand,
+                        Some((l, h)) => (l.min(cand.0), h.min(cand.1)),
+                    });
+                }
+                for &w in full.succs(v) {
+                    if !seen[w.0 as usize] {
+                        seen[w.0 as usize] = true;
+                        work.push(w);
+                    }
+                }
+            }
+        }
+        let Some((min_lat, min_len)) = lb else {
+            continue;
+        };
+        let floor = MetricVec::new(0.0, min_lat, min_len);
+        for (gi, g) in b.guards.iter().enumerate() {
+            // Only upper-bound guards on monotone expressions can be
+            // refuted from a lower bound: `mono ≤ c` failing at the floor
+            // fails everywhere above it.
+            let Some(c) = const_value(&g.rhs) else {
+                continue;
+            };
+            if !monotone_nondecreasing(&g.lhs) {
+                continue;
+            }
+            let floor_val = g.lhs.eval(&floor);
+            if !matches!(g.op, CmpOp::Le | CmpOp::Lt) || g.op.eval(floor_val, c) {
+                continue;
+            }
+            r.verdicts.unsat_guards.push((bi, gi));
+            r.diagnostics.push(
+                Diagnostic::warning(
+                    codes::UNSAT_GUARD,
+                    format!(
+                        "guard `{g}` can never hold: its least possible value here is {floor_val}"
+                    ),
+                )
+                .with_span(g.span)
+                .with_note(format!(
+                    "the shortest path satisfying this branch's regexes already has \
+                     latency ≥ {min_lat}s and length ≥ {min_len}"
+                )),
+            );
+        }
+    }
+}
+
+/// Unmatchable regexes and redundant automaton dead states.
+fn automata_checks(cp: &CompiledPolicy, r: &mut Report) {
+    let mut redundant = 0usize;
+    for (i, a) in cp.automata.iter().enumerate() {
+        let live = a.live_states();
+        let reach = a.reachable_states();
+        if !live[a.start] {
+            r.verdicts.unmatchable_regexes.push(i);
+            r.diagnostics.push(
+                Diagnostic::warning(
+                    codes::UNMATCHABLE_REGEX,
+                    format!(
+                        "regex `{}` matches no path over this topology's switches",
+                        cp.normal.regexes[i]
+                    ),
+                )
+                .with_span(cp.normal.regexes[i].span),
+            );
+        }
+        redundant += (0..a.num_states())
+            .filter(|&s| reach[s] && !live[s] && !a.is_dead(s))
+            .count();
+    }
+    r.verdicts.dead_dfa_states = redundant;
+    if redundant > 0 {
+        r.diagnostics.push(
+            Diagnostic::info(
+                codes::DEAD_DFA_STATE,
+                format!(
+                    "{redundant} automaton state(s) can never accept but are not the \
+                     canonical dead state; minimization would fold them away"
+                ),
+            )
+            .with_span(cp.policy.expr.span),
+        );
+    }
+}
+
+/// For every switch-to-switch cable, rebuild the product graph without it
+/// and report routes that disappear.
+fn fragility_checks(
+    cp: &CompiledPolicy,
+    topo: &Topology,
+    sources: &[NodeId],
+    base: &[BlackHole],
+    r: &mut Report,
+) {
+    let base: BTreeSet<BlackHole> = base.iter().copied().collect();
+    let mut cables: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+    for l in topo.links() {
+        if topo.is_switch(l.src) && topo.is_switch(l.dst) {
+            let (a, b) = if l.src <= l.dst {
+                (l.src, l.dst)
+            } else {
+                (l.dst, l.src)
+            };
+            cables.insert((a, b));
+        }
+    }
+
+    for &(a, b) in &cables {
+        let cut = topo.without_cables(&[(a, b)]);
+        let pg = ProductGraph::build(&cut, &cp.automata, &cp.normal, &cp.destinations, true);
+        let comp = switch_components(&cut);
+        let mut new_pairs: Vec<Fragility> = Vec::new();
+        for bh in black_holes(&pg, &cp.destinations, sources) {
+            if base.contains(&bh) {
+                continue;
+            }
+            new_pairs.push(Fragility {
+                cable: (a, b),
+                src: bh.src,
+                dst: bh.dst,
+                partitions: comp[&bh.src] != comp[&bh.dst],
+            });
+        }
+        if new_pairs.is_empty() {
+            continue;
+        }
+        let policy_only: Vec<&Fragility> = new_pairs.iter().filter(|f| !f.partitions).collect();
+        let name = |n: NodeId| topo.node(n).name.clone();
+        let examples = |fs: &[&Fragility]| -> String {
+            fs.iter()
+                .take(3)
+                .map(|f| format!("{}→{}", name(f.src), name(f.dst)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        if !policy_only.is_empty() {
+            r.diagnostics.push(
+                Diagnostic::warning(
+                    codes::FRAGILE_LINK,
+                    format!(
+                        "failing cable {}–{} black-holes {} route(s) ({}) although the \
+                         network stays connected",
+                        name(a),
+                        name(b),
+                        policy_only.len(),
+                        examples(&policy_only),
+                    ),
+                )
+                .with_span(cp.policy.expr.span)
+                .with_note("the policy admits no alternate path; consider widening its regexes"),
+            );
+        }
+        let partition_pairs: Vec<&Fragility> = new_pairs.iter().filter(|f| f.partitions).collect();
+        if !partition_pairs.is_empty() {
+            r.diagnostics.push(
+                Diagnostic::info(
+                    codes::FRAGILE_LINK,
+                    format!(
+                        "cable {}–{} is a physical cut: its failure partitions {} route(s) ({})",
+                        name(a),
+                        name(b),
+                        partition_pairs.len(),
+                        examples(&partition_pairs),
+                    ),
+                )
+                .with_span(cp.policy.expr.span),
+            );
+        }
+        r.verdicts.fragile.extend(new_pairs);
+    }
+}
+
+/// Connected components of the switch graph (hosts ignored).
+fn switch_components(topo: &Topology) -> BTreeMap<NodeId, usize> {
+    let mut comp: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut next = 0usize;
+    for s in topo.switches() {
+        if comp.contains_key(&s) {
+            continue;
+        }
+        let id = next;
+        next += 1;
+        let mut work = vec![s];
+        comp.insert(s, id);
+        while let Some(x) = work.pop() {
+            for y in topo.switch_neighbors(x) {
+                if let std::collections::btree_map::Entry::Vacant(e) = comp.entry(y) {
+                    e.insert(id);
+                    work.push(y);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Per-switch (least latency in seconds, least hop count) to `d` over the
+/// physical switch graph. The two minima may come from different paths —
+/// each is separately a valid lower bound.
+fn shortest_to(topo: &Topology, d: NodeId) -> BTreeMap<NodeId, (f64, f64)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // Hops: BFS.
+    let mut hops: BTreeMap<NodeId, f64> = BTreeMap::new();
+    hops.insert(d, 0.0);
+    let mut queue = std::collections::VecDeque::from([d]);
+    while let Some(x) = queue.pop_front() {
+        let hx = hops[&x];
+        for y in topo.switch_neighbors(x) {
+            if let std::collections::btree_map::Entry::Vacant(e) = hops.entry(y) {
+                e.insert(hx + 1.0);
+                queue.push_back(y);
+            }
+        }
+    }
+
+    // Latency: Dijkstra over link delays (symmetric cables, so the
+    // direction read does not matter for propagation delay).
+    let mut lat: BTreeMap<NodeId, u64> = BTreeMap::new();
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    lat.insert(d, 0);
+    heap.push(Reverse((0, d)));
+    while let Some(Reverse((dist, x))) = heap.pop() {
+        if lat.get(&x).copied() != Some(dist) {
+            continue;
+        }
+        for y in topo.switch_neighbors(x) {
+            let Some(l) = topo.link_between(x, y) else {
+                continue;
+            };
+            let nd = dist + topo.link(l).delay_ns;
+            if lat.get(&y).is_none_or(|&cur| nd < cur) {
+                lat.insert(y, nd);
+                heap.push(Reverse((nd, y)));
+            }
+        }
+    }
+
+    hops.into_iter()
+        .map(|(n, h)| (n, (lat.get(&n).map_or(0.0, |&ns| ns as f64 * 1e-9), h)))
+        .collect()
+}
+
+/// The value of a metric-free expression, if it is one.
+fn const_value(e: &MetricExpr) -> Option<f64> {
+    match e {
+        MetricExpr::Const(c) => Some(*c),
+        MetricExpr::Attr(_) => None,
+        MetricExpr::Bin(op, a, b) => {
+            let (x, y) = (const_value(a)?, const_value(b)?);
+            Some(match op {
+                crate::ast::BinOp::Add => x + y,
+                crate::ast::BinOp::Sub => x - y,
+                crate::ast::BinOp::Mul => x * y,
+                crate::ast::BinOp::Min => x.min(y),
+                crate::ast::BinOp::Max => x.max(y),
+            })
+        }
+    }
+}
+
+/// Whether the expression is non-decreasing in every metric component
+/// (conservative: subtraction and multiplication are rejected outright).
+fn monotone_nondecreasing(e: &MetricExpr) -> bool {
+    match e {
+        MetricExpr::Const(_) | MetricExpr::Attr(_) => true,
+        MetricExpr::Bin(op, a, b) => match op {
+            crate::ast::BinOp::Add | crate::ast::BinOp::Min | crate::ast::BinOp::Max => {
+                monotone_nondecreasing(a) && monotone_nondecreasing(b)
+            }
+            crate::ast::BinOp::Sub | crate::ast::BinOp::Mul => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::Compiler;
+
+    /// Figure 6's running example: A–B, A–C, B–C, B–D, C–D.
+    fn fig6_topo() -> Topology {
+        let mut t = Topology::builder();
+        let a = t.switch("A");
+        let b = t.switch("B");
+        let c = t.switch("C");
+        let d = t.switch("D");
+        t.biline(a, b, 10e9, 1_000);
+        t.biline(a, c, 10e9, 1_000);
+        t.biline(b, c, 10e9, 1_000);
+        t.biline(b, d, 10e9, 1_000);
+        t.biline(c, d, 10e9, 1_000);
+        t.build()
+    }
+
+    fn check(src: &str, topo: &Topology) -> Report {
+        let cp = Compiler::new(topo).compile_str(src).unwrap();
+        verify(&cp, topo)
+    }
+
+    #[test]
+    fn clean_policy_has_no_errors() {
+        let topo = fig6_topo();
+        let r = check("minimize(path.util)", &topo);
+        assert!(!r.has_errors(), "{}", r.render(None));
+        assert!(r.verdicts.black_holes.is_empty());
+        assert!(r.verdicts.dead_branches.is_empty());
+        // util in the basis ⇒ the transient-loop info is present.
+        assert!(r.verdicts.transient_loop_risk);
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::TRANSIENT_LOOP_RISK));
+    }
+
+    #[test]
+    fn exact_path_policy_black_holes_off_path_sources() {
+        let topo = fig6_topo();
+        let r = check("minimize(if A B D then 0 else inf)", &topo);
+        let b = topo.find("B").unwrap();
+        let c = topo.find("C").unwrap();
+        let d = topo.find("D").unwrap();
+        assert!(r.has_errors());
+        // C has no compliant route to D; B *is* on the path but traffic
+        // sourced at B would take B→D, which does not match A B D.
+        assert!(r
+            .verdicts
+            .black_holes
+            .contains(&BlackHole { src: c, dst: d }));
+        assert!(r
+            .verdicts
+            .black_holes
+            .contains(&BlackHole { src: b, dst: d }));
+        let a = topo.find("A").unwrap();
+        assert!(!r
+            .verdicts
+            .black_holes
+            .contains(&BlackHole { src: a, dst: d }));
+    }
+
+    #[test]
+    fn shadowed_branch_detected() {
+        let topo = fig6_topo();
+        let r = check(
+            "minimize(if A .* D then path.util else if A B D then 0 else inf)",
+            &topo,
+        );
+        // A B D ⊆ A .* D: the second branch can never fire.
+        assert_eq!(r.verdicts.shadowed_branches.len(), 1);
+        assert!(r.verdicts.dead_branches.is_empty());
+        let diag = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == codes::SHADOWED_BRANCH)
+            .unwrap();
+        assert!(!diag.span.is_dummy());
+    }
+
+    #[test]
+    fn dead_branch_detected() {
+        let topo = fig6_topo();
+        // A A needs an A→A self-link; no walk on fig6 realizes it.
+        let r = check("minimize(if A A then 0 else path.len)", &topo);
+        assert_eq!(r.verdicts.dead_branches.len(), 1);
+        assert!(r.verdicts.shadowed_branches.is_empty());
+        assert!(r.diagnostics.iter().any(|d| d.code == codes::DEAD_BRANCH));
+    }
+
+    #[test]
+    fn unsatisfiable_guard_detected() {
+        let topo = fig6_topo();
+        let r = check("minimize(if path.len < 0 then 0 else path.len)", &topo);
+        assert_eq!(r.verdicts.unsat_guards, vec![(0, 0)]);
+        let diag = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == codes::UNSAT_GUARD)
+            .unwrap();
+        assert!(!diag.span.is_dummy());
+        // A satisfiable guard stays quiet.
+        let ok = check("minimize(if path.len < 10 then 0 else path.len)", &topo);
+        assert!(ok.verdicts.unsat_guards.is_empty());
+    }
+
+    #[test]
+    fn exact_path_policy_is_fragile() {
+        let topo = fig6_topo();
+        let r = check("minimize(if A B D then 0 else inf)", &topo);
+        let a = topo.find("A").unwrap();
+        let b = topo.find("B").unwrap();
+        let d = topo.find("D").unwrap();
+        // Cutting A–B (or B–D) kills A→D even though the network survives.
+        let on_ab = r
+            .verdicts
+            .fragile
+            .iter()
+            .find(|f| f.cable == (a.min(b), a.max(b)) && f.src == a && f.dst == d)
+            .expect("A→D must be fragile under A–B");
+        assert!(!on_ab.partitions);
+        assert!(r.diagnostics.iter().any(|d| d.code == codes::FRAGILE_LINK));
+    }
+
+    #[test]
+    fn robust_policy_is_not_fragile() {
+        let topo = fig6_topo();
+        let r = check("minimize(path.len)", &topo);
+        assert!(
+            r.verdicts.fragile.is_empty(),
+            "fig6 is 2-connected; shortest-path routing survives any one cut: {:?}",
+            r.verdicts.fragile
+        );
+    }
+
+    #[test]
+    fn fragility_can_be_disabled() {
+        let topo = fig6_topo();
+        let cp = Compiler::new(&topo)
+            .compile_str("minimize(if A B D then 0 else inf)")
+            .unwrap();
+        let r = verify_with(
+            &cp,
+            &topo,
+            &VerifyOptions {
+                check_fragility: false,
+            },
+        );
+        assert!(r.verdicts.fragile.is_empty());
+    }
+
+    #[test]
+    fn partition_cut_reported_as_info() {
+        // A–B–C line: cutting B–C physically strands C.
+        let mut t = Topology::builder();
+        let a = t.switch("A");
+        let b = t.switch("B");
+        let c = t.switch("C");
+        t.biline(a, b, 1e9, 1_000);
+        t.biline(b, c, 1e9, 1_000);
+        let topo = t.build();
+        let r = check("minimize(path.len)", &topo);
+        assert!(!r.verdicts.fragile.is_empty());
+        assert!(r.verdicts.fragile.iter().all(|f| f.partitions));
+        // Physical cuts are info, not warnings — no policy can fix them.
+        assert!(r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == codes::FRAGILE_LINK)
+            .all(|d| d.severity == crate::diag::Severity::Info));
+    }
+
+    #[test]
+    fn hosts_restrict_sources() {
+        // Hosts only on A and D: B/C black holes are not reported.
+        let mut t = Topology::builder();
+        let a = t.switch("A");
+        let b = t.switch("B");
+        let c = t.switch("C");
+        let d = t.switch("D");
+        t.biline(a, b, 10e9, 1_000);
+        t.biline(a, c, 10e9, 1_000);
+        t.biline(b, c, 10e9, 1_000);
+        t.biline(b, d, 10e9, 1_000);
+        t.biline(c, d, 10e9, 1_000);
+        let ha = t.host("hA");
+        let hd = t.host("hD");
+        t.biline(a, ha, 10e9, 1_000);
+        t.biline(d, hd, 10e9, 1_000);
+        let topo = t.build();
+        let cp = Compiler::new(&topo)
+            .compile_str("minimize(if A B D then 0 else inf)")
+            .unwrap();
+        let r = verify_with(
+            &cp,
+            &topo,
+            &VerifyOptions {
+                check_fragility: false,
+            },
+        );
+        // Destinations default to host-bearing switches {A, D}; sources
+        // likewise. A→D routes; D→A does not (D B A ∉ A B D) — one hole.
+        assert_eq!(
+            r.verdicts.black_holes,
+            vec![BlackHole {
+                src: topo.find("D").unwrap(),
+                dst: topo.find("A").unwrap()
+            }]
+        );
+    }
+
+    #[test]
+    fn verify_source_reports_compile_errors_as_diagnostics() {
+        let topo = fig6_topo();
+        let (cp, r) = verify_source("minimize(1 +", &topo);
+        assert!(cp.is_none());
+        assert!(r.has_errors());
+        assert_eq!(r.diagnostics[0].code, codes::SYNTAX);
+
+        let (cp, r) = verify_source("minimize(if Zed then 0 else inf)", &topo);
+        assert!(cp.is_none());
+        assert_eq!(r.diagnostics[0].code, codes::UNRESOLVED_NAME);
+        let src = "minimize(if Zed then 0 else inf)";
+        let sp = r.diagnostics[0].span;
+        assert_eq!(&src[sp.start..sp.end], "Zed");
+
+        let (cp, r) = verify_source("minimize(inf)", &topo);
+        assert!(cp.is_none());
+        assert_eq!(r.diagnostics[0].code, codes::NO_USEFUL_PATHS);
+    }
+
+    #[test]
+    fn render_includes_snippets() {
+        let topo = fig6_topo();
+        let src = "minimize(if A A then 0 else path.len)";
+        let (_, r) = verify_source(src, &topo);
+        let out = r.render(Some(src));
+        assert!(out.contains(codes::DEAD_BRANCH), "{out}");
+        assert!(out.contains("-->"), "{out}");
+        assert!(out.contains("policy check:"), "{out}");
+    }
+}

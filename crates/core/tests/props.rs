@@ -13,52 +13,42 @@ fn arb_attr() -> impl Strategy<Value = Attr> {
 
 fn arb_regex() -> impl Strategy<Value = PathRegex> {
     let leaf = prop_oneof![
-        Just(PathRegex::Any),
-        (0u8..4).prop_map(|i| PathRegex::Node(format!("N{i}"))),
+        Just(PathRegex::any()),
+        (0u8..4).prop_map(|i| PathRegex::node(format!("N{i}"))),
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| PathRegex::Concat(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| PathRegex::Alt(Box::new(a), Box::new(b))),
-            inner.prop_map(|r| PathRegex::Star(Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| PathRegex::concat(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| PathRegex::alt(a, b)),
+            inner.prop_map(PathRegex::star),
         ]
     })
 }
 
 fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
-        (0u32..1000).prop_map(|n| Expr::Const(n as f64 / 10.0)),
-        Just(Expr::Inf),
-        arb_attr().prop_map(Expr::Attr),
+        (0u32..1000).prop_map(|n| Expr::constant(n as f64 / 10.0)),
+        Just(Expr::inf()),
+        arb_attr().prop_map(Expr::attr),
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         let bool_leaf = prop_oneof![
-            arb_regex().prop_map(BoolExpr::Regex),
+            arb_regex().prop_map(BoolExpr::regex),
             (
                 prop_oneof![Just(CmpOp::Le), Just(CmpOp::Lt)],
                 arb_attr(),
                 0u32..20
             )
-                .prop_map(|(op, a, c)| BoolExpr::Cmp(
+                .prop_map(|(op, a, c)| BoolExpr::cmp(
                     op,
-                    Expr::Attr(a),
-                    Expr::Const(c as f64 / 10.0)
+                    Expr::attr(a),
+                    Expr::constant(c as f64 / 10.0)
                 )),
         ];
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
-                BinOp::Add,
-                Box::new(a),
-                Box::new(b)
-            )),
-            (bool_leaf, inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::If(
-                Box::new(c),
-                Box::new(t),
-                Box::new(e)
-            )),
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Tuple),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Add, a, b)),
+            (bool_leaf, inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::if_(c, t, e)),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::tuple),
         ]
     })
 }

@@ -1,0 +1,245 @@
+//! Differential property tests for the static verifier.
+//!
+//! The verifier decides "source S black-holes to destination D" by
+//! reverse reachability over the product graph — reversed automata, probe
+//! direction. The oracle here re-decides the same question from first
+//! principles: run the *unreversed* traffic regexes forward over a BFS of
+//! `(switch, DFA-state-vector)` pairs starting at S and ask whether any
+//! walk arrives at D with an acceptance vector some finite branch matches.
+//! The two constructions share no code past normalization, so agreement
+//! over random policies × random connected topologies exercises the
+//! regex-reversal, determinization and product construction end to end.
+
+use contra_automata::Dfa;
+use contra_core::{
+    normalize, parse_policy, resolve::resolve_regexes, verify_with, Attr, BoolExpr, BranchRank,
+    CompileError, Compiler, Expr, NormalPolicy, PathRegex, Policy, VerifyOptions,
+};
+use contra_topology::{generators, NodeId, Topology};
+use proptest::prelude::*;
+use std::collections::{HashSet, VecDeque};
+
+/// Regexes over node names `r0..r3` — [`generators::random_connected`]
+/// names its switches `r{i}`, so with `n ≥ 4` every name resolves.
+fn arb_regex() -> impl Strategy<Value = PathRegex> {
+    let leaf = prop_oneof![
+        Just(PathRegex::any()),
+        (0u8..4).prop_map(|i| PathRegex::node(format!("r{i}"))),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| PathRegex::concat(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| PathRegex::alt(a, b)),
+            inner.prop_map(PathRegex::star),
+        ]
+    })
+}
+
+/// Guard-free policies with one or two regex conditions — the shapes whose
+/// black-hole structure is decided purely by path-set emptiness, which is
+/// exactly what the forward oracle can re-derive.
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    (arb_regex(), arb_regex(), 0usize..3).prop_map(|(r1, r2, shape)| {
+        let expr = match shape {
+            0 => Expr::if_(BoolExpr::regex(r1), Expr::attr(Attr::Len), Expr::inf()),
+            1 => Expr::if_(
+                BoolExpr::regex(r1),
+                Expr::constant(0.0),
+                Expr::if_(BoolExpr::regex(r2), Expr::attr(Attr::Len), Expr::inf()),
+            ),
+            // No `inf` branch at all: every pair must be routable.
+            _ => Expr::if_(
+                BoolExpr::not(BoolExpr::regex(r1)),
+                Expr::attr(Attr::Lat),
+                Expr::attr(Attr::Len),
+            ),
+        };
+        Policy { expr }
+    })
+}
+
+fn alphabet(topo: &Topology) -> Vec<u32> {
+    topo.switches().iter().map(|s| s.0).collect()
+}
+
+/// Brute-force forward search: does any walk `src … dst` end at `dst`
+/// with an acceptance vector that satisfies some finite-rank branch?
+/// Walks may revisit intermediate switches but stop on reaching `dst`,
+/// mirroring the protocol: probes that return to their origin are dropped,
+/// so a route through the destination is never installable.
+fn oracle_routable(
+    topo: &Topology,
+    normal: &NormalPolicy,
+    fdfas: &[Dfa],
+    src: NodeId,
+    dst: NodeId,
+) -> bool {
+    let finite = |states: &[usize]| {
+        let acc: Vec<bool> = fdfas
+            .iter()
+            .zip(states)
+            .map(|(a, &s)| a.accept[s])
+            .collect();
+        normal
+            .branches
+            .iter()
+            .any(|b| matches!(b.rank, BranchRank::Finite(_)) && b.reqs_match(&acc))
+    };
+    let start: Vec<usize> = fdfas.iter().map(|a| a.step(a.start, src.0)).collect();
+    let mut seen: HashSet<(NodeId, Vec<usize>)> = HashSet::new();
+    let mut work = VecDeque::new();
+    seen.insert((src, start.clone()));
+    work.push_back((src, start));
+    while let Some((x, states)) = work.pop_front() {
+        if x == dst {
+            if finite(&states) {
+                return true;
+            }
+            continue; // the walk ends at the destination
+        }
+        for y in topo.switch_neighbors(x) {
+            let next: Vec<usize> = fdfas
+                .iter()
+                .zip(&states)
+                .map(|(a, &s)| a.step(s, y.0))
+                .collect();
+            if seen.insert((y, next.clone())) {
+                work.push_back((y, next));
+            }
+        }
+    }
+    false
+}
+
+/// Forward DFAs for a normalized policy's traffic-direction regexes.
+fn forward_dfas(normal: &NormalPolicy, topo: &Topology) -> Option<Vec<Dfa>> {
+    let regexes = resolve_regexes(&normal.regexes, topo).ok()?;
+    let alpha = alphabet(topo);
+    Some(regexes.iter().map(|r| Dfa::from_regex(r, &alpha)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Verifier black-hole verdicts agree with brute-force forward path
+    /// enumeration on every ordered switch pair of a random topology.
+    #[test]
+    fn black_hole_verdicts_match_forward_search(
+        policy in arb_policy(),
+        n in 4usize..7,
+        extra in 0usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let topo =
+            generators::random_connected(n, extra, generators::LinkSpec::default(), seed);
+        let text = policy.to_string();
+        match Compiler::new(&topo).compile_str(&text) {
+            Ok(cp) => {
+                let report =
+                    verify_with(&cp, &topo, &VerifyOptions { check_fragility: false });
+                let holes: HashSet<(NodeId, NodeId)> = report
+                    .verdicts
+                    .black_holes
+                    .iter()
+                    .map(|b| (b.src, b.dst))
+                    .collect();
+                let fdfas = forward_dfas(&cp.normal, &topo).expect("names resolved");
+                for &d in &cp.destinations {
+                    for &s in &topo.switches() {
+                        if s == d {
+                            continue;
+                        }
+                        let routable = oracle_routable(&topo, &cp.normal, &fdfas, s, d);
+                        prop_assert_eq!(
+                            !routable,
+                            holes.contains(&(s, d)),
+                            "verifier and oracle disagree on {:?}→{:?} for `{}` (seed {})",
+                            s, d, text, seed
+                        );
+                    }
+                }
+            }
+            // The compiler found no useful path for *any* pair — the
+            // oracle must find none either.
+            Err(CompileError::NoUsefulPaths) => {
+                let Ok(normal) = normalize(&policy) else { return Ok(()) };
+                let Some(fdfas) = forward_dfas(&normal, &topo) else { return Ok(()) };
+                for &d in &topo.switches() {
+                    for &s in &topo.switches() {
+                        if s == d {
+                            continue;
+                        }
+                        prop_assert!(
+                            !oracle_routable(&topo, &normal, &fdfas, s, d),
+                            "compiler said NoUsefulPaths but oracle routes {:?}→{:?} for `{}`",
+                            s, d, text
+                        );
+                    }
+                }
+            }
+            // Resolve/analysis failures carry no path semantics to check.
+            Err(_) => {}
+        }
+    }
+
+    /// Parser → normalizer differential on generated ASTs: printing and
+    /// reparsing a policy never changes whether it normalizes, nor the
+    /// branch structure (requirement vectors, guard counts, finiteness),
+    /// and every reparsed branch/guard span stays inside the source text.
+    #[test]
+    fn normalization_survives_reparse_with_sane_spans(
+        policy in arb_policy(),
+        // Also run the richer expression space from the grammar corners:
+        // tuples, sums, comparisons.
+        cmp_const in 0u32..30,
+    ) {
+        let policy = Policy {
+            expr: Expr::if_(
+                BoolExpr::cmp(
+                    contra_core::CmpOp::Lt,
+                    Expr::attr(Attr::Len),
+                    Expr::constant(cmp_const as f64),
+                ),
+                policy.expr,
+                Expr::tuple(vec![Expr::attr(Attr::Util), Expr::attr(Attr::Len)]),
+            ),
+        };
+        let printed = policy.to_string();
+        let reparsed = parse_policy(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+        let direct = normalize(&policy);
+        let roundtrip = normalize(&reparsed);
+        prop_assert_eq!(
+            direct.is_ok(),
+            roundtrip.is_ok(),
+            "normalization outcome changed across reparse of `{}`",
+            printed
+        );
+        let (Ok(a), Ok(b)) = (direct, roundtrip) else { return Ok(()) };
+        prop_assert_eq!(a.regexes.len(), b.regexes.len());
+        prop_assert_eq!(a.branches.len(), b.branches.len());
+        for (ba, bb) in a.branches.iter().zip(&b.branches) {
+            prop_assert_eq!(&ba.reqs, &bb.reqs);
+            prop_assert_eq!(ba.guards.len(), bb.guards.len());
+            prop_assert_eq!(
+                matches!(ba.rank, BranchRank::Finite(_)),
+                matches!(bb.rank, BranchRank::Finite(_))
+            );
+        }
+        // Reparsed spans point into the printed source.
+        for br in &b.branches {
+            prop_assert!(
+                br.span.start <= br.span.end && br.span.end <= printed.len(),
+                "branch span {:?} outside source (len {}) for `{}`",
+                br.span, printed.len(), printed
+            );
+            for g in &br.guards {
+                prop_assert!(
+                    g.span.start <= g.span.end && g.span.end <= printed.len(),
+                    "guard span {:?} outside source (len {}) for `{}`",
+                    g.span, printed.len(), printed
+                );
+            }
+        }
+    }
+}

@@ -106,6 +106,7 @@ pub struct Scenario {
     link_pipeline: LinkPipeline,
     extra_flows: Vec<FlowSpec>,
     jobs: Jobs,
+    verify_policy: bool,
 }
 
 impl Scenario {
@@ -136,6 +137,7 @@ impl Scenario {
             link_pipeline: LinkPipeline::default(),
             extra_flows: Vec::new(),
             jobs: Jobs::Serial,
+            verify_policy: false,
         }
     }
 
@@ -339,6 +341,16 @@ impl Scenario {
         self
     }
 
+    /// Runs the full static policy verifier (black holes, single-failure
+    /// fragility, dead branches) on policy-driven systems and attaches
+    /// its diagnostics to [`RunResult::diagnostics`]. Off by default —
+    /// compiler warnings are surfaced regardless; this adds the
+    /// topology-wide reachability and per-cable analyses.
+    pub fn verify_policy(mut self, on: bool) -> Scenario {
+        self.verify_policy = on;
+        self
+    }
+
     /// Worker-pool size for [`Scenario::matrix`] sweeps (default
     /// [`Jobs::Serial`], preserving the historical sequential behavior;
     /// the `CONTRA_JOBS` env var overrides whatever is set here at run
@@ -463,6 +475,33 @@ impl Scenario {
         // cell costs no node/link-table copy.
         let mut sim = Simulator::new(Arc::clone(&self.topology), cfg);
         system.install(&mut sim, &InstallCtx::new(topo, &failed, cache))?;
+
+        // Policy-driven systems get their static diagnostics attached:
+        // the compile below is a cache hit (install just compiled it), so
+        // surfacing compiler warnings is free; the full verifier runs only
+        // when the scenario opted in.
+        let diagnostics = match system.policy_text() {
+            Some(text) => {
+                let cp = cache
+                    .get_or_compile(topo, text)
+                    .expect("policy compiled during install");
+                if self.verify_policy {
+                    contra_core::verify(&cp, topo).diagnostics
+                } else {
+                    cp.warnings
+                        .iter()
+                        .map(|w| {
+                            contra_core::Diagnostic::warning(
+                                contra_core::diag::codes::NON_ISOTONIC,
+                                w.to_string(),
+                            )
+                            .with_span(w.span())
+                        })
+                        .collect()
+                }
+            }
+            None => Vec::new(),
+        };
         for (a, b, at) in &self.fails {
             sim.fail_link_at(self.find(a), self.find(b), *at);
         }
@@ -504,6 +543,7 @@ impl Scenario {
             stats,
             traces,
             wall_secs,
+            diagnostics,
         })
     }
 

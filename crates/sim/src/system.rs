@@ -41,6 +41,15 @@ pub trait RoutingSystem: Send + Sync {
 
     /// Installs this system's switch logic on every switch of `sim`.
     fn install(&self, sim: &mut Simulator, ctx: &InstallCtx<'_>) -> Result<(), InstallError>;
+
+    /// The Contra policy source this system routes by, if it is
+    /// policy-driven. The experiment layer uses this to run the static
+    /// policy verifier alongside a simulation and attach its diagnostics
+    /// to the run's results; baselines (ECMP, Hula, …) keep the default
+    /// `None` and are never verified.
+    fn policy_text(&self) -> Option<&str> {
+        None
+    }
 }
 
 /// Everything a [`RoutingSystem`] may consult while installing itself.
