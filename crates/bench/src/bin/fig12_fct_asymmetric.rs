@@ -1,46 +1,81 @@
-//! Figure 12: average FCT vs load on the *asymmetric* fabric (one
-//! leaf-spine uplink failed) — ECMP vs Contra vs Hula.
+//! Figure 12: average FCT vs load on the *asymmetric* fabric (leaf-spine
+//! uplinks failed) — ECMP vs Contra vs Hula.
 //!
 //! Paper shape to reproduce: ECMP collapses beyond ~50% load (it keeps
 //! hashing half of leaf0's traffic onto the halved uplink capacity);
 //! Contra and Hula degrade gracefully (~1.7-1.8× their symmetric FCT).
 //!
-//! Output: CSV `fig,system,load_pct,fct_ms`.
+//! The failure set is a sweep axis ([`SweepSpec::fault_sets`]): the
+//! paper's single dead uplink plus a harsher two-uplink variant, each
+//! point averaged over a seed band like Fig 11.
+//!
+//! Output: CSV `fig,system,fault_set,load_pct,fct_ms_mean,fct_ms_min,
+//! fct_ms_max`.
 
 use contra_bench::{
-    csv_row, load_sweep, Contra, Ecmp, Hula, Jobs, RoutingSystem, Scenario, Workload,
+    aggregate_seeds, load_sweep, Contra, Ecmp, FaultPlan, Hula, Jobs, RoutingSystem, Scenario,
+    SweepSpec, Workload,
 };
 use contra_sim::Time;
+
+fn seeds() -> Vec<u64> {
+    if contra_bench::fast_mode() {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    }
+}
 
 fn main() {
     let (contra, hula) = (Contra::dc(), Hula::default());
     let systems: [&dyn RoutingSystem; 3] = [&Ecmp, &contra, &hula];
+    // Uplinks die before traffic starts; adaptive systems detect them
+    // during warm-up, ECMP keeps hashing into them (§6.3 asymmetric
+    // setting — its control plane is slow on this timescale).
+    let one = FaultPlan::new().fail_link("leaf0", "spine0", Time::us(100));
+    let two = one.clone().fail_link("leaf1", "spine0", Time::us(100));
     for workload in [Workload::WebSearch, Workload::Cache] {
         let fig = match workload {
             Workload::WebSearch => "fig12a",
             Workload::Cache => "fig12b",
         };
-        // The uplink dies before traffic starts; adaptive systems detect
-        // it during warm-up, ECMP keeps hashing into it (§6.3 asymmetric
-        // setting — its control plane is slow on this timescale).
-        let scenario = Scenario::leaf_spine(4, 2, 8)
-            .workload(workload)
-            .fail_link("leaf0", "spine0", Time::us(100))
-            .jobs(Jobs::Auto);
-        for r in scenario.matrix(&systems, &load_sweep()) {
-            let fct = r.figures.mean_fct_ms.unwrap_or(f64::NAN);
-            csv_row(
-                fig,
-                &r.system,
-                format!("{:.0}", r.scenario.load * 100.0),
-                format!("{fct:.3}"),
+        let results = SweepSpec::new(
+            Scenario::leaf_spine(4, 2, 8)
+                .workload(workload)
+                .jobs(Jobs::Auto),
+        )
+        .systems(&systems)
+        .loads(&load_sweep())
+        .seeds(&seeds())
+        .fault_sets(&[("1-uplink", one.clone()), ("2-uplink", two.clone())])
+        .run();
+        for p in aggregate_seeds(&results) {
+            let band = p.mean_fct_ms;
+            let fmt = |f: fn(&contra_bench::Band) -> f64| match &band {
+                Some(b) => format!("{:.3}", f(b)),
+                None => "nan".to_string(),
+            };
+            let knob = p.knob.as_deref().unwrap_or("-");
+            println!(
+                "{fig},{},{},{:.0},{},{},{}",
+                p.system,
+                knob,
+                p.load * 100.0,
+                fmt(|b| b.mean),
+                fmt(|b| b.min),
+                fmt(|b| b.max),
             );
             eprintln!(
-                "{fig} {} load={:.0}%: fct={fct:.3} ms completion={:.3} drops={:?}",
-                r.system,
-                r.scenario.load * 100.0,
-                r.figures.completion_rate,
-                r.stats.drops
+                "{fig} {} [{}] load={:.0}%: fct={} ms [{}, {}] over {} seeds \
+                 completion={:.3}",
+                p.system,
+                knob,
+                p.load * 100.0,
+                fmt(|b| b.mean),
+                fmt(|b| b.min),
+                fmt(|b| b.max),
+                p.seeds.len(),
+                p.completion_rate.mean,
             );
         }
     }

@@ -5,34 +5,70 @@
 //! between (static multipath), Contra best (utilization-aware spreading;
 //! paper: ~31% / ~14% lower FCT than SPAIN).
 //!
-//! Output: CSV `fig,system,load_pct,fct_ms`.
+//! Each point is a seed band like Fig 11, swept over a failure-set axis:
+//! the intact backbone and the same WAN with the Denver–KansasCity trunk
+//! cut during warm-up (adaptive spreading should absorb the cut; the
+//! static baselines pay for it).
+//!
+//! Output: CSV `fig,system,fault_set,load_pct,fct_ms_mean,fct_ms_min,
+//! fct_ms_max`.
 
 use contra_bench::{
-    csv_row, load_sweep, Contra, Jobs, RoutingSystem, Scenario, Sp, Spain, Workload,
+    aggregate_seeds, load_sweep, Contra, FaultPlan, Jobs, RoutingSystem, Scenario, Sp, Spain,
+    SweepSpec, Workload,
 };
+use contra_sim::Time;
+
+fn seeds() -> Vec<u64> {
+    if contra_bench::fast_mode() {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    }
+}
 
 fn main() {
     let (contra, spain) = (Contra::dc(), Spain::new(4));
     let systems: [&dyn RoutingSystem; 3] = [&Sp, &spain, &contra];
+    let cut = FaultPlan::new().fail_link("Denver", "KansasCity", Time::us(100));
     for workload in [Workload::WebSearch, Workload::Cache] {
         let fig = match workload {
             Workload::WebSearch => "fig15a",
             Workload::Cache => "fig15b",
         };
-        let scenario = Scenario::abilene().workload(workload).jobs(Jobs::Auto);
-        for r in scenario.matrix(&systems, &load_sweep()) {
-            let fct = r.figures.mean_fct_ms.unwrap_or(f64::NAN);
-            csv_row(
-                fig,
-                &r.system,
-                format!("{:.0}", r.scenario.load * 100.0),
-                format!("{fct:.3}"),
+        let results = SweepSpec::new(Scenario::abilene().workload(workload).jobs(Jobs::Auto))
+            .systems(&systems)
+            .loads(&load_sweep())
+            .seeds(&seeds())
+            .fault_sets(&[("intact", FaultPlan::new()), ("DenverKC-cut", cut.clone())])
+            .run();
+        for p in aggregate_seeds(&results) {
+            let band = p.mean_fct_ms;
+            let fmt = |f: fn(&contra_bench::Band) -> f64| match &band {
+                Some(b) => format!("{:.3}", f(b)),
+                None => "nan".to_string(),
+            };
+            let knob = p.knob.as_deref().unwrap_or("-");
+            println!(
+                "{fig},{},{},{:.0},{},{},{}",
+                p.system,
+                knob,
+                p.load * 100.0,
+                fmt(|b| b.mean),
+                fmt(|b| b.min),
+                fmt(|b| b.max),
             );
             eprintln!(
-                "{fig} {} load={:.0}%: fct={fct:.3} ms completion={:.3}",
-                r.system,
-                r.scenario.load * 100.0,
-                r.figures.completion_rate
+                "{fig} {} [{}] load={:.0}%: fct={} ms [{}, {}] over {} seeds \
+                 completion={:.3}",
+                p.system,
+                knob,
+                p.load * 100.0,
+                fmt(|b| b.mean),
+                fmt(|b| b.min),
+                fmt(|b| b.max),
+                p.seeds.len(),
+                p.completion_rate.mean,
             );
         }
     }

@@ -53,6 +53,14 @@ pub struct Figures {
     /// §5.3 sizing discussion. Split counts live in
     /// [`SimStats::flowlet_collisions`] / [`SimStats::loop_collisions`].
     pub register_collisions: u64,
+    /// Worst observed time-to-reconvergence across the run's *failure*
+    /// epochs, in ms: from the fault instant to the last `NoRoute`/
+    /// `LinkDown` drop attributed to it (0 when routing absorbed every
+    /// failure losslessly). `None` when the run had no failure epochs.
+    pub convergence_ms: Option<f64>,
+    /// Packets lost while routing converged — `NoRoute` + `LinkDown`
+    /// drops attributed to any fault epoch (failures and recoveries).
+    pub lost_in_convergence: u64,
 }
 
 impl Figures {
@@ -72,6 +80,14 @@ impl Figures {
             Some(fcts.iter().sum::<f64>() / fcts.len() as f64)
         };
         let p99_fct_ms = contra_sim::percentile(&fcts, 99.0);
+        let convergence_ms = stats
+            .fault_epochs
+            .iter()
+            .filter(|e| e.is_down)
+            .map(|e| e.convergence().as_millis_f64())
+            .fold(None, |acc: Option<f64>, c| {
+                Some(acc.map_or(c, |a| a.max(c)))
+            });
         Figures {
             mean_fct_ms,
             p99_fct_ms,
@@ -82,6 +98,8 @@ impl Figures {
             loop_breaks: stats.loop_breaks,
             delivered_packets: stats.delivered_packets,
             register_collisions: stats.flowlet_collisions + stats.loop_collisions,
+            convergence_ms,
+            lost_in_convergence: stats.fault_epochs.iter().map(|e| e.disruption_drops).sum(),
         }
     }
 }
@@ -183,6 +201,11 @@ pub struct SeedSummary {
     pub completion_rate: Band,
     /// Register-collision band (flowlet + loop tables).
     pub register_collisions: Band,
+    /// Worst time-to-reconvergence band (ms); `None` when no seed had a
+    /// failure epoch.
+    pub convergence_ms: Option<Band>,
+    /// Band of packets lost during convergence.
+    pub lost_in_convergence: Band,
 }
 
 /// Collapses a sweep's seed axis: results that share (scenario, system,
@@ -229,6 +252,11 @@ pub fn aggregate_seeds(results: &[RunResult]) -> Vec<SeedSummary> {
                     .expect("group is non-empty"),
                 register_collisions: Band::over(
                     rs.iter().map(|r| r.figures.register_collisions as f64),
+                )
+                .expect("group is non-empty"),
+                convergence_ms: band_of(&|r| r.figures.convergence_ms),
+                lost_in_convergence: Band::over(
+                    rs.iter().map(|r| r.figures.lost_in_convergence as f64),
                 )
                 .expect("group is non-empty"),
             }

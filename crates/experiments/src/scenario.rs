@@ -6,6 +6,7 @@
 //! [`RoutingSystem`] is a method call; sweeping the cartesian product of
 //! systems × loads is [`Scenario::matrix`].
 
+use crate::fault::{ChaosSpec, FaultCmd, FaultPlan, FaultTarget};
 use crate::result::{Figures, RunResult, ScenarioInfo};
 use crate::sweep::{Jobs, SweepSpec};
 use contra_sim::{
@@ -96,7 +97,9 @@ pub struct Scenario {
     warmup: Time,
     drain: Time,
     seed: u64,
-    fails: Vec<(String, String, Time)>,
+    faults: Vec<FaultCmd>,
+    chaos: Vec<ChaosSpec>,
+    audit: Option<bool>,
     queue_sampling: Option<Time>,
     trace_paths: bool,
     util_tau: Option<Time>,
@@ -127,7 +130,9 @@ impl Scenario {
             warmup: Time::ms(2),
             drain: Time::ms(40),
             seed: 1,
-            fails: Vec::new(),
+            faults: Vec::new(),
+            chaos: Vec::new(),
+            audit: None,
             queue_sampling: None,
             trace_paths: false,
             util_tau: None,
@@ -279,7 +284,65 @@ impl Scenario {
     /// Fails the cable between the named nodes (both directions) at `at`.
     /// May be called repeatedly for multiple failures.
     pub fn fail_link(mut self, a: impl Into<String>, b: impl Into<String>, at: Time) -> Scenario {
-        self.fails.push((a.into(), b.into(), at));
+        self.faults.push(FaultCmd {
+            at,
+            target: FaultTarget::Cable(a.into(), b.into()),
+            up: false,
+        });
+        self
+    }
+
+    /// Brings the cable between the named nodes back up at `at`
+    /// (pair with [`Scenario::fail_link`] for a flap).
+    pub fn recover_link(
+        mut self,
+        a: impl Into<String>,
+        b: impl Into<String>,
+        at: Time,
+    ) -> Scenario {
+        self.faults.push(FaultCmd {
+            at,
+            target: FaultTarget::Cable(a.into(), b.into()),
+            up: true,
+        });
+        self
+    }
+
+    /// Fails the named node at `at`: every incident link goes down
+    /// atomically, flushing queues and committed trains.
+    pub fn fail_node(mut self, node: impl Into<String>, at: Time) -> Scenario {
+        self.faults.push(FaultCmd {
+            at,
+            target: FaultTarget::Node(node.into()),
+            up: false,
+        });
+        self
+    }
+
+    /// Recovers the named node at `at`: every incident link comes back.
+    pub fn recover_node(mut self, node: impl Into<String>, at: Time) -> Scenario {
+        self.faults.push(FaultCmd {
+            at,
+            target: FaultTarget::Node(node.into()),
+            up: true,
+        });
+        self
+    }
+
+    /// Merges a whole [`FaultPlan`] into the scenario — its explicit
+    /// commands and its chaos processes (expanded deterministically at
+    /// run time, before the simulation starts).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Scenario {
+        self.faults.extend(plan.commands().iter().cloned());
+        self.chaos.extend(plan.chaos_specs().iter().cloned());
+        self
+    }
+
+    /// Forces the runtime invariant auditor on or off for this scenario
+    /// (default: the engine's own default — on in debug builds; the
+    /// `CONTRA_SIM_AUDIT` env var still wins over both).
+    pub fn audit(mut self, on: bool) -> Scenario {
+        self.audit = Some(on);
         self
     }
 
@@ -393,6 +456,16 @@ impl Scenario {
         self.jobs
     }
 
+    /// The fully-resolved fault schedule this scenario will run: explicit
+    /// commands plus every chaos process expanded against the topology,
+    /// sorted by instant. Pure — calling it twice (or in another
+    /// process) yields the same list byte for byte, which is what makes
+    /// chaos runs replayable.
+    pub fn resolved_faults(&self) -> Vec<FaultCmd> {
+        FaultPlan::from_parts(self.faults.clone(), self.chaos.clone())
+            .expand(&self.topology, self.duration + self.drain)
+    }
+
     /// The deterministic random sender/receiver pairs this scenario's
     /// seed selects (resolves [`Pairs::Random`]; mainly for tests and
     /// custom traffic construction).
@@ -447,11 +520,12 @@ impl Scenario {
         cache: &CompileCache,
     ) -> Result<RunResult, InstallError> {
         let topo = &self.topology;
-        let failed: Vec<(NodeId, NodeId)> = self
-            .fails
-            .iter()
-            .map(|(a, b, _)| (self.find(a), self.find(b)))
-            .collect();
+        // Chaos processes expand here, before the simulator exists: the
+        // run consumes only the explicit list, so a replay (same
+        // scenario value) is byte-identical and a failing plan can be
+        // dumped and re-run verbatim.
+        let faults = self.resolved_faults();
+        let failed = self.final_down_cables(&faults);
 
         let mut cfg = SimConfig {
             stop_at: self.duration + self.drain,
@@ -469,6 +543,9 @@ impl Scenario {
         }
         if let Some(bucket) = self.udp_bucket {
             cfg.udp_bucket = bucket;
+        }
+        if let Some(audit) = self.audit {
+            cfg.audit = audit;
         }
 
         // The simulator shares the scenario's topology (`Arc`): building a
@@ -502,8 +579,18 @@ impl Scenario {
             }
             None => Vec::new(),
         };
-        for (a, b, at) in &self.fails {
-            sim.fail_link_at(self.find(a), self.find(b), *at);
+        for c in &faults {
+            let res = match (&c.target, c.up) {
+                (FaultTarget::Cable(a, b), false) => {
+                    sim.try_fail_link_at(self.find(a), self.find(b), c.at)
+                }
+                (FaultTarget::Cable(a, b), true) => {
+                    sim.try_recover_link_at(self.find(a), self.find(b), c.at)
+                }
+                (FaultTarget::Node(n), false) => sim.try_fail_node_at(self.find(n), c.at),
+                (FaultTarget::Node(n), true) => sim.try_recover_node_at(self.find(n), c.at),
+            };
+            res.unwrap_or_else(|e| panic!("scenario {}: {e}", self.label));
         }
         for f in self.generated_flows() {
             sim.add_flow(f);
@@ -572,6 +659,36 @@ impl Scenario {
             .systems(systems)
             .loads(loads)
             .run_cached(cache)
+    }
+
+    /// The cables that are down when the run *ends*, for
+    /// [`InstallCtx`]'s informational `failed` list (reconverged
+    /// baselines plan around them). Replays the command list in time
+    /// order with the engine's semantics — a node transition moves every
+    /// incident cable, later commands override earlier ones — ignoring
+    /// commands past the stop instant, which the engine never processes.
+    fn final_down_cables(&self, faults: &[FaultCmd]) -> Vec<(NodeId, NodeId)> {
+        let stop = self.duration + self.drain;
+        let mut state: std::collections::BTreeMap<(NodeId, NodeId), bool> =
+            std::collections::BTreeMap::new();
+        let canon = |a: NodeId, b: NodeId| if a <= b { (a, b) } else { (b, a) };
+        for c in faults.iter().filter(|c| c.at <= stop) {
+            match &c.target {
+                FaultTarget::Cable(a, b) => {
+                    state.insert(canon(self.find(a), self.find(b)), !c.up);
+                }
+                FaultTarget::Node(n) => {
+                    let n = self.find(n);
+                    for &(nbr, _) in self.topology.adjacency(n) {
+                        state.insert(canon(n, nbr), !c.up);
+                    }
+                }
+            }
+        }
+        state
+            .into_iter()
+            .filter_map(|(cable, down)| down.then_some(cable))
+            .collect()
     }
 
     fn find(&self, name: &str) -> NodeId {

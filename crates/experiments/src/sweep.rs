@@ -243,6 +243,19 @@ impl<'a> SweepSpec<'a> {
         self
     }
 
+    /// Adds a failure-set axis: one knob entry per labeled
+    /// [`FaultPlan`](crate::FaultPlan), each cell running its scenario
+    /// under exactly one plan (sugar over [`SweepSpec::vary`], so the
+    /// plan label lands in [`ScenarioInfo::knob`](crate::ScenarioInfo)
+    /// and seed aggregation keeps one band per failure set).
+    pub fn fault_sets(mut self, sets: &[(&str, crate::FaultPlan)]) -> SweepSpec<'a> {
+        for (label, plan) in sets {
+            let plan = plan.clone();
+            self = self.vary(*label, move |s| s.fault_plan(plan.clone()));
+        }
+        self
+    }
+
     /// Sets the worker-pool size ([`Jobs::Serial`] is the default;
     /// `CONTRA_JOBS` overrides whatever is set here at run time).
     pub fn jobs(mut self, jobs: Jobs) -> SweepSpec<'a> {

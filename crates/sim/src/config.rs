@@ -37,6 +37,14 @@ pub struct SimConfig {
     /// statistics; the `CONTRA_LINK_PIPELINE` env var overrides this at
     /// construction (mirroring `CONTRA_JOBS`).
     pub link_pipeline: LinkPipeline,
+    /// Runs the runtime invariant auditor: packet conservation, pool and
+    /// trace-table leak freedom, queue-occupancy bounds, dead-epoch
+    /// detection — checked at every fault epoch and at end of run. Pure
+    /// observation (stats are byte-identical either way); costs a few
+    /// counter bumps per hop plus a scan per check. On by default in
+    /// debug builds; the `CONTRA_SIM_AUDIT` env var overrides this at
+    /// construction (`0`/`off`/`false` forces it off, anything else on).
+    pub audit: bool,
 }
 
 impl Default for SimConfig {
@@ -52,6 +60,17 @@ impl Default for SimConfig {
             trace_paths: false,
             scheduler: SchedulerKind::default(),
             link_pipeline: LinkPipeline::default(),
+            audit: cfg!(debug_assertions),
         }
     }
+}
+
+/// The `CONTRA_SIM_AUDIT` override, if set: `0`, `off`, `false` and the
+/// empty string disable the auditor, any other value enables it.
+pub fn audit_from_env() -> Option<bool> {
+    let raw = std::env::var("CONTRA_SIM_AUDIT").ok()?;
+    Some(!matches!(
+        raw.trim().to_ascii_lowercase().as_str(),
+        "" | "0" | "off" | "false" | "no"
+    ))
 }

@@ -19,6 +19,7 @@
 //! pipeline.
 
 use crate::config::SimConfig;
+use crate::fault::{Auditor, FaultError};
 use crate::link::{DropReason, LinkState};
 use crate::packet::{FlowId, Packet, PacketKind, PacketPool, HDR_BYTES};
 use crate::sched::EventQueue;
@@ -61,6 +62,11 @@ enum Event {
     LinkDown { a: NodeId, b: NodeId },
     /// Bring both directions back up.
     LinkUp { a: NodeId, b: NodeId },
+    /// Fail a node: atomically take down every incident link (both
+    /// directions), flushing their queues and trains.
+    NodeDown { node: NodeId },
+    /// Recover a node: bring every incident link back up.
+    NodeUp { node: NodeId },
     /// Periodic queue sampling.
     QueueSample,
 }
@@ -98,6 +104,9 @@ pub struct Simulator {
     debug_ttl: bool,
     /// Switch paths of in-flight traced packets (`cfg.trace_paths`).
     traces: TraceTable,
+    /// The runtime invariant auditor (`cfg.audit`), `None` when off.
+    /// Boxed so the disabled case costs one null check per hop.
+    audit: Option<Box<Auditor>>,
     /// Run statistics (read after [`Simulator::run`]).
     pub stats: SimStats,
 }
@@ -111,6 +120,9 @@ impl Simulator {
         let topo = topo.into();
         let mut cfg = cfg;
         cfg.link_pipeline = cfg.link_pipeline.or_env();
+        if let Some(audit) = crate::config::audit_from_env() {
+            cfg.audit = audit;
+        }
         let links = topo
             .links()
             .iter()
@@ -139,6 +151,7 @@ impl Simulator {
         let queue = EventQueue::new(cfg.scheduler);
         let transport = Transport::new(cfg.min_rto, cfg.init_cwnd);
         let traces = TraceTable::new(cfg.trace_paths);
+        let audit = cfg.audit.then(|| Box::new(Auditor::default()));
         let mut sim = Simulator {
             topo,
             cfg,
@@ -155,6 +168,7 @@ impl Simulator {
             fabric_link,
             debug_ttl: std::env::var_os("CONTRA_SIM_DEBUG_TTL").is_some(),
             traces,
+            audit,
             stats,
         };
         if let Some(every) = sim.cfg.queue_sample_every {
@@ -193,15 +207,85 @@ impl Simulator {
         id
     }
 
-    /// Schedules both directions of the cable between `a` and `b` to fail.
-    pub fn fail_link_at(&mut self, a: NodeId, b: NodeId, at: Time) {
-        assert!(self.topo.link_between(a, b).is_some(), "no cable {a}–{b}");
-        self.push(at, Event::LinkDown { a, b });
+    /// The shared validation behind every cable-fault call: the cable
+    /// must exist in at least one direction. Fail and recover validate
+    /// identically — `recover_link_at` used to accept unknown cables
+    /// silently, which let a typo'd recovery no-op while its paired
+    /// failure stuck.
+    fn check_cable(&self, a: NodeId, b: NodeId) -> Result<(), FaultError> {
+        if self.topo.link_between(a, b).is_some() || self.topo.link_between(b, a).is_some() {
+            Ok(())
+        } else {
+            Err(FaultError::UnknownCable { a, b })
+        }
     }
 
-    /// Schedules both directions of the cable to come back.
-    pub fn recover_link_at(&mut self, a: NodeId, b: NodeId, at: Time) {
+    fn check_node(&self, node: NodeId) -> Result<(), FaultError> {
+        if (node.0 as usize) < self.topo.num_nodes() {
+            Ok(())
+        } else {
+            Err(FaultError::UnknownNode { node })
+        }
+    }
+
+    /// Schedules both directions of the cable between `a` and `b` to
+    /// fail; rejects unknown cables.
+    pub fn try_fail_link_at(&mut self, a: NodeId, b: NodeId, at: Time) -> Result<(), FaultError> {
+        self.check_cable(a, b)?;
+        self.push(at, Event::LinkDown { a, b });
+        Ok(())
+    }
+
+    /// Schedules both directions of the cable to come back; rejects
+    /// unknown cables (same validation as [`Simulator::try_fail_link_at`]).
+    pub fn try_recover_link_at(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        at: Time,
+    ) -> Result<(), FaultError> {
+        self.check_cable(a, b)?;
         self.push(at, Event::LinkUp { a, b });
+        Ok(())
+    }
+
+    /// Schedules a node failure: every incident link (both directions)
+    /// goes down atomically at `at`, flushing queues and trains.
+    pub fn try_fail_node_at(&mut self, node: NodeId, at: Time) -> Result<(), FaultError> {
+        self.check_node(node)?;
+        self.push(at, Event::NodeDown { node });
+        Ok(())
+    }
+
+    /// Schedules a node recovery: every incident link comes back up.
+    pub fn try_recover_node_at(&mut self, node: NodeId, at: Time) -> Result<(), FaultError> {
+        self.check_node(node)?;
+        self.push(at, Event::NodeUp { node });
+        Ok(())
+    }
+
+    /// Panicking convenience over [`Simulator::try_fail_link_at`].
+    pub fn fail_link_at(&mut self, a: NodeId, b: NodeId, at: Time) {
+        self.try_fail_link_at(a, b, at)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Panicking convenience over [`Simulator::try_recover_link_at`].
+    pub fn recover_link_at(&mut self, a: NodeId, b: NodeId, at: Time) {
+        self.try_recover_link_at(a, b, at)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Panicking convenience over [`Simulator::try_fail_node_at`].
+    pub fn fail_node_at(&mut self, node: NodeId, at: Time) {
+        self.try_fail_node_at(node, at)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Panicking convenience over [`Simulator::try_recover_node_at`].
+    pub fn recover_node_at(&mut self, node: NodeId, at: Time) {
+        self.try_recover_node_at(node, at)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// The stop condition lives here, in exactly one place: the queue
@@ -262,6 +346,7 @@ impl Simulator {
             self.stats.flowlet_collisions += flowlet;
             self.stats.loop_collisions += hloop;
         }
+        self.audit_check("end of run");
     }
 
     /// Runs to completion (queue empty, which includes the stop time
@@ -302,20 +387,10 @@ impl Simulator {
                 self.transport.on_udp_send(flow, self.now, &mut self.tfx);
                 self.apply_transport_fx();
             }
-            Event::LinkDown { a, b } => {
-                for (x, y) in [(a, b), (b, a)] {
-                    if let Some(l) = self.topo.link_between(x, y) {
-                        self.take_link_down(l);
-                    }
-                }
-            }
-            Event::LinkUp { a, b } => {
-                for (x, y) in [(a, b), (b, a)] {
-                    if let Some(l) = self.topo.link_between(x, y) {
-                        self.links[l.0 as usize].set_up();
-                    }
-                }
-            }
+            Event::LinkDown { a, b } => self.on_cable_fault(a, b, true),
+            Event::LinkUp { a, b } => self.on_cable_fault(a, b, false),
+            Event::NodeDown { node } => self.on_node_fault(node, true),
+            Event::NodeUp { node } => self.on_node_fault(node, false),
             Event::QueueSample => {
                 // Fabric links only (switch → switch), precomputed once.
                 for &i in &self.fabric_links {
@@ -333,6 +408,124 @@ impl Simulator {
                 }
             }
         }
+    }
+
+    // ---- fault events ---------------------------------------------------
+
+    /// Takes one directed link down if (and only if) it is up. Overlapping
+    /// flap schedules make double-fails routine; re-failing a down link
+    /// must not double-flush (the first flush already accounted every
+    /// packet, and `set_down` would bump the epoch under the feet of the
+    /// legitimate recovery).
+    fn link_down_idem(&mut self, lid: LinkId) -> bool {
+        if !self.links[lid.0 as usize].up {
+            return false;
+        }
+        self.take_link_down(lid);
+        true
+    }
+
+    /// Brings one directed link up if it is down; recovering an up link
+    /// is an explicit no-op.
+    fn link_up_idem(&mut self, lid: LinkId) -> bool {
+        let link = &mut self.links[lid.0 as usize];
+        if link.up {
+            return false;
+        }
+        link.set_up();
+        true
+    }
+
+    /// A cable fault event fires: applies the transition to both
+    /// directions idempotently. When any direction actually changes
+    /// state a fault epoch opens *first* — so the flush's `LinkDown`
+    /// drops attribute to this fault, not a previous one — and the
+    /// invariant auditor (if on) re-proves conservation afterwards.
+    fn on_cable_fault(&mut self, a: NodeId, b: NodeId, down: bool) {
+        let dirs = [(a, b), (b, a)];
+        let will_change = dirs.iter().any(|&(x, y)| {
+            self.topo
+                .link_between(x, y)
+                .is_some_and(|l| self.links[l.0 as usize].up == down)
+        });
+        if will_change {
+            let label = format!(
+                "{} {}~{}",
+                if down { "down" } else { "up" },
+                self.topo.node(a).name,
+                self.topo.node(b).name
+            );
+            self.stats.open_fault_epoch(self.now, label, down);
+        }
+        for (x, y) in dirs {
+            if let Some(l) = self.topo.link_between(x, y) {
+                if down {
+                    self.link_down_idem(l);
+                } else {
+                    self.link_up_idem(l);
+                }
+            }
+        }
+        if will_change {
+            self.audit_check("fault epoch");
+        }
+    }
+
+    /// A node fault event fires: every incident directed link (in link
+    /// index order, for determinism) transitions idempotently — a node
+    /// failure atomically downs all incident links, flushing queues and
+    /// trains exactly as the per-cable path does.
+    fn on_node_fault(&mut self, node: NodeId, down: bool) {
+        let incident: Vec<LinkId> = (0..self.links.len() as u32)
+            .map(LinkId)
+            .filter(|&l| {
+                let link = self.topo.link(l);
+                link.src == node || link.dst == node
+            })
+            .collect();
+        let will_change = incident
+            .iter()
+            .any(|&l| self.links[l.0 as usize].up == down);
+        if will_change {
+            let label = format!(
+                "{} node {}",
+                if down { "down" } else { "up" },
+                self.topo.node(node).name
+            );
+            self.stats.open_fault_epoch(self.now, label, down);
+        }
+        for l in incident {
+            if down {
+                self.link_down_idem(l);
+            } else {
+                self.link_up_idem(l);
+            }
+        }
+        if will_change {
+            self.audit_check("fault epoch");
+        }
+    }
+
+    /// Runs the invariant auditor, when enabled: syncs every link to the
+    /// current instant (observationally neutral — the lazy train fold is
+    /// idempotent) and checks conservation, occupancy and leak freedom.
+    fn audit_check(&mut self, phase: &str) {
+        if self.audit.is_none() {
+            return;
+        }
+        let now = self.now;
+        for link in &mut self.links {
+            link.sync(now);
+        }
+        let aud = self.audit.as_deref().expect("checked above");
+        aud.verify(
+            phase,
+            now,
+            &self.links,
+            &self.pool,
+            &self.traces,
+            phase == "end of run",
+        );
     }
 
     /// Applies buffered transport effects strictly in append order —
@@ -366,6 +559,9 @@ impl Simulator {
             self.stats.events_processed -= 1;
             return;
         };
+        if let Some(aud) = self.audit.as_deref_mut() {
+            aud.taken += 1;
+        }
         if !self.topo.is_switch(node) {
             self.host_receive(node, pkt);
             return;
@@ -379,7 +575,8 @@ impl Simulator {
         }
         let Some(mut logic) = self.logics[node.0 as usize].take() else {
             // No logic installed (test harness omission): drop.
-            self.stats.on_drop(DropReason::NoRoute);
+            let probe = matches!(pkt.kind, PacketKind::Probe(_));
+            self.stats.on_drop_at(DropReason::NoRoute, self.now, probe);
             self.traces.forget(pkt.id);
             return;
         };
@@ -435,11 +632,11 @@ impl Simulator {
         node: NodeId,
         mut outs: Vec<(NodeId, Packet)>,
         loop_breaks: u64,
-        no_route: Vec<u64>,
+        no_route: Vec<(u64, bool)>,
     ) {
         self.stats.loop_breaks += loop_breaks;
-        for id in no_route {
-            self.stats.on_drop(DropReason::NoRoute);
+        for (id, probe) in no_route {
+            self.stats.on_drop_at(DropReason::NoRoute, self.now, probe);
             self.traces.forget(id);
         }
         for (next, p) in outs.drain(..) {

@@ -16,9 +16,16 @@ impl Simulator {
     /// Queues `pkt` on the link `from → to`, starting the serializer if
     /// idle. Handles TTL decrement on switch-to-switch hops.
     pub(super) fn transmit(&mut self, from: NodeId, to: NodeId, mut pkt: Packet) {
+        if let Some(aud) = self.audit.as_deref_mut() {
+            aud.offered += 1;
+        }
         let Some(lid) = self.topo.link_between(from, to) else {
             debug_assert!(false, "no link {from}→{to}");
-            self.stats.on_drop(DropReason::NoRoute);
+            if let Some(aud) = self.audit.as_deref_mut() {
+                aud.lost += 1;
+            }
+            let probe = matches!(pkt.kind, PacketKind::Probe(_));
+            self.stats.on_drop_at(DropReason::NoRoute, self.now, probe);
             self.traces.forget(pkt.id);
             return;
         };
@@ -36,7 +43,11 @@ impl Simulator {
                         self.traces.tail(pkt.id),
                     );
                 }
-                self.stats.on_drop(DropReason::TtlExpired);
+                if let Some(aud) = self.audit.as_deref_mut() {
+                    aud.lost += 1;
+                }
+                self.stats
+                    .on_drop_at(DropReason::TtlExpired, self.now, false);
                 self.traces.forget(pkt.id);
                 return;
             }
@@ -55,7 +66,11 @@ impl Simulator {
                 self.stats.on_wire(kind, size);
             }
             EnqueueOutcome::Dropped(reason) => {
-                self.stats.on_drop(reason);
+                if let Some(aud) = self.audit.as_deref_mut() {
+                    aud.lost += 1;
+                }
+                self.stats
+                    .on_drop_at(reason, self.now, kind == TrafficKind::Probe);
                 self.traces.forget(id);
             }
         }
@@ -74,6 +89,13 @@ impl Simulator {
         let from = self.topo.link(lid).src;
         let arrive_at = self.now + tx + delay;
         let done_at = self.now + tx;
+        if arrive_at > self.cfg.stop_at {
+            // The arrival below is never enqueued: the packet stays in
+            // the pool at end of run by design, not as a leak.
+            if let Some(aud) = self.audit.as_deref_mut() {
+                aud.stop_cut += 1;
+            }
+        }
         let (slot, gen) = self.pool.insert(pkt);
         self.push_arrival(
             arrive_at,
@@ -95,6 +117,15 @@ impl Simulator {
     /// flap could double-start the serializer.
     pub(super) fn on_tx_done(&mut self, lid: LinkId, epoch: u64) {
         let link = &mut self.links[lid.0 as usize];
+        // Audit: an event addressed to the *current* epoch of a down
+        // link would mean `set_down` failed to bump the epoch — every
+        // legitimately stale completion carries an older epoch.
+        if self.audit.is_some() && !link.up && link.epoch == epoch {
+            panic!(
+                "audit: TxDone addressed to live epoch {epoch} of down link {} at {}",
+                lid.0, self.now
+            );
+        }
         if !link.up || link.epoch != epoch {
             return; // stale completion from before a failure
         }
@@ -141,6 +172,13 @@ impl Simulator {
             if done <= self.cfg.stop_at {
                 elided += 1;
             }
+            if done + delay > self.cfg.stop_at {
+                // Arrival never enqueued — stranded in the pool by design
+                // (same accounting as `start_tx`).
+                if let Some(aud) = self.audit.as_deref_mut() {
+                    aud.stop_cut += 1;
+                }
+            }
             let (slot, gen) = self.pool.insert(pkt);
             let link = &mut self.links[lid.0 as usize];
             if count == 0 {
@@ -185,14 +223,20 @@ impl Simulator {
         let link = &mut self.links[lid.0 as usize];
         link.sync(self.now);
         let bw = link.bandwidth_bps;
+        let delay = link.delay;
         let flush = link.set_down();
+        if let Some(aud) = self.audit.as_deref_mut() {
+            aud.lost += flush.dropped() as u64;
+        }
         for pkt in &flush.queued {
-            self.stats.on_drop(DropReason::LinkDown);
+            let probe = matches!(pkt.kind, PacketKind::Probe(_));
+            self.stats.on_drop_at(DropReason::LinkDown, self.now, probe);
             self.traces.forget(pkt.id);
         }
         for (i, entry) in flush.train.iter().enumerate() {
             let pkt = self.pool.cancel(entry.slot, entry.gen);
-            self.stats.on_drop(DropReason::LinkDown);
+            let probe = matches!(pkt.kind, PacketKind::Probe(_));
+            self.stats.on_drop_at(DropReason::LinkDown, self.now, probe);
             self.traces.forget(pkt.id);
             // Under the per-packet pipeline this packet never started, so
             // no completion was ever scheduled for it. Keep
@@ -216,6 +260,13 @@ impl Simulator {
                 self.stats.events_processed -= 1;
                 if i + 1 != flush.train.len() {
                     self.stats.txdone_coalesced -= 1;
+                }
+            }
+            // A cancelled entry whose arrival was past the stop had been
+            // counted into `stop_cut`; it is no longer in the pool.
+            if done + delay > self.cfg.stop_at {
+                if let Some(aud) = self.audit.as_deref_mut() {
+                    aud.stop_cut -= 1;
                 }
             }
         }

@@ -38,6 +38,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod fx;
 pub mod link;
 pub mod packet;
@@ -51,13 +52,16 @@ pub mod transport;
 
 pub use config::SimConfig;
 pub use engine::Simulator;
+pub use fault::FaultError;
 pub use fx::{fx_mix64, FxBuildHasher, FxHashMap, FxHasher64};
 pub use link::{DropReason, LinkPipeline, LinkState, UtilEstimator};
 pub use packet::{
     flow_hash, FlowId, Packet, PacketKind, Probe, HDR_BYTES, INITIAL_TTL, MSS, PROBE_BASE_BYTES,
 };
 pub use sched::{EventQueue, HeapQueue, SchedCounters, SchedEntry, SchedulerKind, TimingWheel};
-pub use stats::{percentile, FlowRecord, QueueSample, SimStats, TrafficKind, WireBytes};
+pub use stats::{
+    percentile, FaultEpoch, FlowRecord, GoodputDip, QueueSample, SimStats, TrafficKind, WireBytes,
+};
 pub use switch::{SwitchCtx, SwitchLogic};
 pub use system::{CompileCache, InstallCtx, InstallError, RoutingSystem};
 pub use time::{tx_time, Time};

@@ -392,6 +392,17 @@ impl LinkState {
     pub fn queue_len(&self) -> usize {
         self.queue.len() + self.pending.len()
     }
+
+    /// Raw queued packets (auditor view — packets not yet committed to a
+    /// train; committed ones live in the engine's pool).
+    pub(crate) fn audit_queue(&self) -> impl Iterator<Item = &Packet> {
+        self.queue.iter()
+    }
+
+    /// Unstarted train commitments (auditor view).
+    pub(crate) fn audit_pending(&self) -> impl Iterator<Item = &PendingTx> {
+        self.pending.iter()
+    }
 }
 
 #[cfg(test)]

@@ -156,6 +156,19 @@ impl PacketPool {
         self.take(slot, gen)
             .expect("cancelled train entry is live exactly once")
     }
+
+    /// Number of live packets (auditor view; off the hot path, so a scan
+    /// beats carrying a counter every insert/take).
+    pub(crate) fn live(&self) -> u64 {
+        self.slots.iter().filter(|(_, p)| p.is_some()).count() as u64
+    }
+
+    /// Ids of live packets (auditor view).
+    pub(crate) fn live_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots
+            .iter()
+            .filter_map(|(_, p)| p.as_ref().map(|p| p.id))
+    }
 }
 
 /// Deterministic 64-bit mix of a flow id (stand-in for a five-tuple hash).

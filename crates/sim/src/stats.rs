@@ -125,6 +125,57 @@ pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
     Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
+/// One fault event's convergence record (Fig 14's per-failure numbers).
+///
+/// An epoch opens when a scheduled fault actually changes link state
+/// (idempotent re-fails/re-recoveries open nothing). Subsequent
+/// `NoRoute`/`LinkDown` drops are attributed to the most recently
+/// opened epoch — with concurrent overlapping faults the attribution is
+/// to the *latest* epoch, a deliberate simplification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEpoch {
+    /// When the fault took effect.
+    pub at: Time,
+    /// Human-readable description (`"down Denver~KansasCity"`).
+    pub label: String,
+    /// `true` for a failure, `false` for a recovery.
+    pub is_down: bool,
+    /// Instant of the last `NoRoute`/`LinkDown` drop attributed to this
+    /// epoch — the observed reconvergence point. `None` when routing
+    /// absorbed the fault without losing a packet.
+    pub last_disruption: Option<Time>,
+    /// `NoRoute` + `LinkDown` drops attributed to this epoch: packets
+    /// lost while routing converged.
+    pub disruption_drops: u64,
+}
+
+impl FaultEpoch {
+    /// Time from the fault to the last attributed disruption drop
+    /// (zero when the fault was absorbed losslessly).
+    pub fn convergence(&self) -> Time {
+        self.last_disruption
+            .map_or(Time::ZERO, |t| t.saturating_sub(self.at))
+    }
+}
+
+/// Goodput-dip summary around a fault instant, derived from the UDP
+/// goodput timeline ([`SimStats::goodput_dip`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoodputDip {
+    /// Mean goodput (Gbps) over buckets fully before the fault.
+    pub baseline_gbps: f64,
+    /// Minimum goodput (Gbps) over buckets at or after the fault.
+    pub min_gbps: f64,
+    /// `baseline − min`, clamped at zero: how deep goodput fell.
+    pub depth_gbps: f64,
+    /// Time from the fault to the first bucket back at ≥ 90% of
+    /// baseline; spans to the end of the timeline when goodput never
+    /// recovered.
+    pub duration: Time,
+    /// Whether goodput regained 90% of baseline before the run ended.
+    pub recovered: bool,
+}
+
 /// A periodic queue-occupancy sample (Fig 13).
 #[derive(Debug, Clone, Copy)]
 pub struct QueueSample {
@@ -186,6 +237,9 @@ pub struct SimStats {
     pub udp_delivered: BTreeMap<u64, u64>,
     /// Bucket width used for `udp_delivered`.
     pub udp_bucket: Time,
+    /// Convergence record per effective fault event, in fault order
+    /// (empty when no fault changed link state).
+    pub fault_epochs: Vec<FaultEpoch>,
 }
 
 impl SimStats {
@@ -206,6 +260,37 @@ impl SimStats {
     /// Records a drop.
     pub fn on_drop(&mut self, reason: DropReason) {
         *self.drops.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Records a drop at `now`, attributing `NoRoute`/`LinkDown` losses
+    /// to the most recently opened fault epoch (convergence telemetry).
+    /// Drops before any fault — e.g. `NoRoute` during a routing
+    /// protocol's cold start — are counted but attributed to no epoch.
+    /// Probe drops (`probe == true`) are likewise counted but never
+    /// attributed: probes dying on a dead cable are the *detection
+    /// mechanism*, not convergence loss, and would otherwise stretch
+    /// every epoch's last-disruption instant to the end of the run.
+    pub fn on_drop_at(&mut self, reason: DropReason, now: Time, probe: bool) {
+        self.on_drop(reason);
+        if !probe && matches!(reason, DropReason::NoRoute | DropReason::LinkDown) {
+            if let Some(epoch) = self.fault_epochs.last_mut() {
+                epoch.last_disruption = Some(now);
+                epoch.disruption_drops += 1;
+            }
+        }
+    }
+
+    /// Opens a fault epoch: subsequent disruption drops are attributed
+    /// to it. Called by the engine only when a fault event actually
+    /// changed link state.
+    pub fn open_fault_epoch(&mut self, at: Time, label: String, is_down: bool) {
+        self.fault_epochs.push(FaultEpoch {
+            at,
+            label,
+            is_down,
+            last_disruption: None,
+            disruption_drops: 0,
+        });
     }
 
     /// Records UDP payload delivery at `now`.
@@ -264,6 +349,47 @@ impl SimStats {
             .iter()
             .map(|(&b, &bytes)| (Time(b * self.udp_bucket.0), bytes as f64 * 8.0 / w / 1e9))
             .collect()
+    }
+
+    /// The goodput dip around a fault at `fault_at`, from the UDP
+    /// goodput timeline: baseline over buckets fully before the fault,
+    /// minimum over buckets from the fault on, and the time until the
+    /// first post-fault bucket back at ≥ 90% of baseline. `None` when
+    /// the timeline has no buckets on one side of the fault.
+    pub fn goodput_dip(&self, fault_at: Time) -> Option<GoodputDip> {
+        let series = self.udp_goodput_gbps();
+        let w = self.udp_bucket;
+        let pre: Vec<f64> = series
+            .iter()
+            .filter(|(t, _)| *t + w <= fault_at)
+            .map(|(_, g)| *g)
+            .collect();
+        let post: Vec<(Time, f64)> = series
+            .iter()
+            .copied()
+            .filter(|(t, _)| *t + w > fault_at)
+            .collect();
+        if pre.is_empty() || post.is_empty() {
+            return None;
+        }
+        let baseline_gbps = pre.iter().sum::<f64>() / pre.len() as f64;
+        let min_gbps = post.iter().map(|(_, g)| *g).fold(f64::INFINITY, f64::min);
+        let threshold = 0.9 * baseline_gbps;
+        let recovered_at = post
+            .iter()
+            .find(|(t, g)| *t >= fault_at && *g >= threshold)
+            .map(|(t, _)| *t);
+        let duration = match recovered_at {
+            Some(t) => t.saturating_sub(fault_at),
+            None => (post.last().expect("post is non-empty").0 + w).saturating_sub(fault_at),
+        };
+        Some(GoodputDip {
+            baseline_gbps,
+            min_gbps,
+            depth_gbps: (baseline_gbps - min_gbps).max(0.0),
+            duration,
+            recovered: recovered_at.is_some(),
+        })
     }
 
     /// Queue-length CDF in MSS units: returns sorted (length, cumulative
@@ -375,6 +501,50 @@ mod tests {
         }
         let cdf = s.queue_cdf_mss(1500);
         assert_eq!(cdf, vec![(0, 0.25), (1, 0.75), (2, 1.0)]);
+    }
+
+    #[test]
+    fn drops_attribute_to_latest_fault_epoch() {
+        let mut s = SimStats::new(Time::ms(1));
+        // Pre-fault drops (cold start) attach to no epoch.
+        s.on_drop_at(DropReason::NoRoute, Time::us(5), false);
+        s.open_fault_epoch(Time::us(100), "down a~b".into(), true);
+        s.on_drop_at(DropReason::LinkDown, Time::us(110), false);
+        s.on_drop_at(DropReason::NoRoute, Time::us(150), false);
+        // A probe dying on the dead cable is detection, not disruption.
+        s.on_drop_at(DropReason::LinkDown, Time::us(155), true);
+        s.on_drop_at(DropReason::QueueFull, Time::us(160), false); // not a disruption
+        s.open_fault_epoch(Time::us(200), "up a~b".into(), false);
+        s.on_drop_at(DropReason::LinkDown, Time::us(210), false);
+        assert_eq!(s.fault_epochs.len(), 2);
+        let down = &s.fault_epochs[0];
+        assert_eq!(down.disruption_drops, 2);
+        assert_eq!(down.last_disruption, Some(Time::us(150)));
+        assert_eq!(down.convergence(), Time::us(50));
+        let up = &s.fault_epochs[1];
+        assert_eq!(up.disruption_drops, 1);
+        assert_eq!(s.drops[&DropReason::NoRoute], 2);
+        assert_eq!(s.drops[&DropReason::QueueFull], 1);
+    }
+
+    #[test]
+    fn goodput_dip_measures_depth_and_duration() {
+        let mut s = SimStats::new(Time::ms(1));
+        // 2 Gbps baseline for 3 ms, dip to ~0 for 2 ms, recover.
+        for b in 0..3u64 {
+            s.on_udp_delivered(Time::ms(b) + Time::us(1), 250_000);
+        }
+        s.on_udp_delivered(Time::ms(3) + Time::us(1), 10_000);
+        s.on_udp_delivered(Time::ms(4) + Time::us(1), 10_000);
+        s.on_udp_delivered(Time::ms(5) + Time::us(1), 250_000);
+        let dip = s.goodput_dip(Time::ms(3)).expect("both sides populated");
+        assert!((dip.baseline_gbps - 2.0).abs() < 1e-9, "{dip:?}");
+        assert!(dip.min_gbps < 0.1, "{dip:?}");
+        assert!((dip.depth_gbps - (dip.baseline_gbps - dip.min_gbps)).abs() < 1e-12);
+        assert!(dip.recovered);
+        assert_eq!(dip.duration, Time::ms(2), "{dip:?}");
+        // No pre-fault buckets → no dip measurement.
+        assert!(s.goodput_dip(Time::ZERO).is_none());
     }
 
     #[test]

@@ -51,10 +51,12 @@ pub struct SwitchCtx<'a> {
     pub(crate) out: Vec<(NodeId, Packet)>,
     /// Loop-break events reported by the logic (§5.5 statistics).
     pub(crate) loop_breaks: u64,
-    /// Ids of packets the logic declined to forward (no usable entry) —
-    /// ids, not just a count, so the engine can release their side-table
-    /// traces. Empty in steady state, so it never allocates there.
-    pub(crate) no_route: Vec<u64>,
+    /// Packets the logic declined to forward (no usable entry) — the id
+    /// (not just a count, so the engine can release side-table traces)
+    /// plus whether the packet was a probe (probe losses are routine
+    /// during failures and excluded from convergence telemetry). Empty
+    /// in steady state, so it never allocates there.
+    pub(crate) no_route: Vec<(u64, bool)>,
 }
 
 impl<'a> SwitchCtx<'a> {
@@ -114,7 +116,10 @@ impl<'a> SwitchCtx<'a> {
     /// Declares that no usable route existed for a packet (it is dropped
     /// and counted).
     pub fn drop_no_route(&mut self, pkt: Packet) {
-        self.no_route.push(pkt.id);
+        self.no_route.push((
+            pkt.id,
+            matches!(pkt.kind, crate::packet::PacketKind::Probe(_)),
+        ));
     }
 
     /// Records a flowlet loop-break event (§5.5).

@@ -114,6 +114,11 @@ impl TraceTable {
     pub fn into_delivered(self) -> Vec<(FlowId, Vec<NodeId>)> {
         self.delivered
     }
+
+    /// Ids of in-flight traced packets (auditor leak check).
+    pub(crate) fn live_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.live.keys().copied()
+    }
 }
 
 #[cfg(test)]

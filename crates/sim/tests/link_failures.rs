@@ -12,8 +12,8 @@
 //!   train outlives the failure by construction.
 
 use contra_sim::{
-    DropReason, FlowSpec, LinkPipeline, Packet, SchedulerKind, SimConfig, SimStats, Simulator,
-    SwitchCtx, SwitchLogic, Time,
+    DropReason, FaultError, FlowSpec, LinkPipeline, Packet, SchedulerKind, SimConfig, SimStats,
+    Simulator, SwitchCtx, SwitchLogic, Time,
 };
 use contra_topology::{paths, NodeId, Topology};
 
@@ -260,4 +260,183 @@ fn stale_txdone_across_flap_is_ignored() {
             w[1].2
         );
     }
+}
+
+/// Scheduling a fault on a cable that does not exist is a typed error —
+/// and, critically, `try_fail_link_at` and `try_recover_link_at` apply
+/// the *same* validation. Recovery used to accept unknown cables
+/// silently, so a typo'd recovery no-opped while its paired failure
+/// stuck forever.
+#[test]
+fn fault_scheduling_validates_symmetrically() {
+    let topo = bottleneck();
+    let s0 = topo.find("s0").unwrap();
+    let s1 = topo.find("s1").unwrap();
+    let h0 = topo.find("h0").unwrap();
+    let h1 = topo.find("h1").unwrap();
+    let mut sim = Simulator::new(topo, SimConfig::default());
+
+    // h0 and h1 hang off different switches: no cable in either
+    // direction. Failure and recovery must reject it identically.
+    assert_eq!(
+        sim.try_fail_link_at(h0, h1, Time::us(1)),
+        Err(FaultError::UnknownCable { a: h0, b: h1 })
+    );
+    assert_eq!(
+        sim.try_recover_link_at(h0, h1, Time::us(1)),
+        Err(FaultError::UnknownCable { a: h0, b: h1 })
+    );
+    // Existing cables pass in both orientations.
+    assert_eq!(sim.try_fail_link_at(s0, s1, Time::us(1)), Ok(()));
+    assert_eq!(sim.try_recover_link_at(s1, s0, Time::us(2)), Ok(()));
+
+    // Node validation: any id past the node table is rejected by both
+    // directions.
+    let bogus = contra_topology::NodeId(1_000);
+    assert_eq!(
+        sim.try_fail_node_at(bogus, Time::us(1)),
+        Err(FaultError::UnknownNode { node: bogus })
+    );
+    assert_eq!(
+        sim.try_recover_node_at(bogus, Time::us(1)),
+        Err(FaultError::UnknownNode { node: bogus })
+    );
+    assert_eq!(sim.try_fail_node_at(s1, Time::us(3)), Ok(()));
+    assert_eq!(sim.try_recover_node_at(s1, Time::us(4)), Ok(()));
+}
+
+/// The panicking convenience wrapper surfaces the typed error's message.
+#[test]
+#[should_panic(expected = "no cable")]
+fn recover_unknown_cable_panics() {
+    let topo = bottleneck();
+    let h0 = topo.find("h0").unwrap();
+    let h1 = topo.find("h1").unwrap();
+    let mut sim = Simulator::new(topo, SimConfig::default());
+    sim.recover_link_at(h0, h1, Time::us(1));
+}
+
+/// `LinkDown` on an already-down link and `LinkUp` on an already-up link
+/// are explicit no-ops: a doubled failure (or doubled recovery) produces
+/// byte-identical statistics to the single one, in all four engine
+/// configurations. This idempotence is what lets chaos plans overlap
+/// failures without any bookkeeping.
+#[test]
+fn doubled_fault_events_are_noops() {
+    if env_override() {
+        return;
+    }
+    let run = |pipeline, scheduler, doubled: bool| {
+        let topo = bottleneck();
+        let h0 = topo.find("h0").unwrap();
+        let h1 = topo.find("h1").unwrap();
+        let s0 = topo.find("s0").unwrap();
+        let s1 = topo.find("s1").unwrap();
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig {
+                stop_at: Time::ms(1),
+                link_pipeline: pipeline,
+                scheduler,
+                ..SimConfig::default()
+            },
+        );
+        install_static(&mut sim);
+        sim.add_flow(FlowSpec::Udp {
+            src: h0,
+            dst: h1,
+            rate_bps: 2e9,
+            start: Time::ZERO,
+            stop: Time::us(900),
+        });
+        sim.fail_link_at(s0, s1, Time::us(100));
+        sim.recover_link_at(s0, s1, Time::us(150));
+        if doubled {
+            // Second failure while already down, second recovery while
+            // already up — both must change nothing, not even a fault
+            // epoch (no state transition, no epoch).
+            sim.fail_link_at(s0, s1, Time::us(120));
+            sim.recover_link_at(s0, s1, Time::us(180));
+        }
+        let stats = sim.run();
+        assert_eq!(
+            stats.fault_epochs.len(),
+            2,
+            "exactly one down + one up epoch regardless of doubling"
+        );
+        let traffic = format!(
+            "delivered={} drops={:?} wire={}",
+            stats.delivered_packets,
+            stats.drops,
+            stats.wire_bytes.values().sum::<u64>(),
+        );
+        (traffic, stats.events_processed)
+    };
+    for (pipeline, scheduler) in configs() {
+        let (single, single_events) = run(pipeline, scheduler, false);
+        let (doubled, doubled_events) = run(pipeline, scheduler, true);
+        assert_eq!(
+            single, doubled,
+            "doubled fault events must be invisible ({pipeline:?}/{scheduler:?})"
+        );
+        // The two redundant events are popped and discarded — the only
+        // trace they leave is the event count itself.
+        assert_eq!(doubled_events, single_events + 2);
+    }
+}
+
+/// A node failure downs every incident link atomically (flushing queues
+/// and committed trains), and the recovery brings them all back; the
+/// numbers agree across both pipelines and both schedulers. Killing s1
+/// mid-stream severs both the s0→s1 bottleneck and the s1→h1 edge.
+#[test]
+fn node_failure_downs_all_incident_links() {
+    if env_override() {
+        return;
+    }
+    let mut prints = Vec::new();
+    for (pipeline, scheduler) in configs() {
+        let topo = bottleneck();
+        let h0 = topo.find("h0").unwrap();
+        let h1 = topo.find("h1").unwrap();
+        let s1 = topo.find("s1").unwrap();
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig {
+                stop_at: Time::ms(1),
+                link_pipeline: pipeline,
+                scheduler,
+                ..SimConfig::default()
+            },
+        );
+        install_static(&mut sim);
+        sim.add_flow(FlowSpec::Udp {
+            src: h0,
+            dst: h1,
+            rate_bps: 2e9,
+            start: Time::ZERO,
+            stop: Time::us(900),
+        });
+        sim.fail_node_at(s1, Time::us(100));
+        sim.recover_node_at(s1, Time::us(300));
+        let stats = sim.run();
+        // One epoch per transition that changed anything: the node down
+        // and the node up.
+        assert_eq!(stats.fault_epochs.len(), 2, "{:#?}", stats.fault_epochs);
+        assert!(stats.fault_epochs[0].is_down);
+        assert!(stats.fault_epochs[0].label.contains("node s1"));
+        assert!(
+            *stats.drops.get(&DropReason::LinkDown).unwrap_or(&0) > 0,
+            "severing s1 mid-stream must flush packets"
+        );
+        assert!(
+            stats.delivered_packets > 0,
+            "traffic must resume after the node recovers"
+        );
+        prints.push(fingerprint(&stats));
+    }
+    assert!(
+        prints.windows(2).all(|w| w[0] == w[1]),
+        "pipelines × schedulers disagree: {prints:#?}"
+    );
 }
