@@ -33,6 +33,28 @@ pub fn csv_row(figure: &str, series: &str, x: impl std::fmt::Display, y: impl st
     println!("{figure},{series},{x},{y}");
 }
 
+/// Escapes a string for embedding in a JSON string literal (RFC 8259):
+/// quotes, backslashes and control characters. Used by `contra_lint
+/// --json`, which emits machine-readable diagnostics without pulling a
+/// serialization dependency into the workspace.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// The three §6.2 compiler-scalability policies (MU, WP, CA), with the
 /// waypoints resolved to this topology's first two switches — shared by
 /// the Fig 9/10 binaries and the compiler micro-benchmarks.
@@ -45,4 +67,20 @@ pub fn compiler_policy_suite(topo: &contra_topology::Topology) -> Vec<(&'static 
         ("WP", contra_core::policies::waypoint(&f1, &f2)),
         ("CA", contra_core::policies::congestion_aware()),
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_escape;
+
+    #[test]
+    fn json_escape_handles_quotes_controls_and_unicode() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("line1\nline2\ttab"), "line1\\nline2\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        // Non-ASCII passes through unescaped — JSON strings are UTF-8.
+        assert_eq!(json_escape("café ∞"), "café ∞");
+    }
 }

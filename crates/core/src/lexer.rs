@@ -311,13 +311,21 @@ fn lex_number(rest: &str, at: usize) -> Result<(f64, usize), SyntaxError> {
             _ => break,
         }
     }
-    rest[..len]
-        .parse::<f64>()
-        .map(|n| (n, len))
-        .map_err(|e| SyntaxError {
-            message: format!("bad number: {e}"),
+    let n = rest[..len].parse::<f64>().map_err(|e| SyntaxError {
+        message: format!("bad number: {e}"),
+        span: Span::new(at, at + len),
+    })?;
+    // A long enough digit run parses to +inf, which `Display` prints as
+    // `inf` — a *different token* that reparses to `ExprKind::Inf` and
+    // flips a routable finite rank into a forbidden one. Keep literals
+    // finite; `inf` is spelled `inf`.
+    if !n.is_finite() {
+        return Err(SyntaxError {
+            message: "number literal overflows the representable range".to_string(),
             span: Span::new(at, at + len),
-        })
+        });
+    }
+    Ok((n, len))
 }
 
 #[cfg(test)]
@@ -326,6 +334,18 @@ mod tests {
 
     fn kinds(src: &str) -> Vec<Tok> {
         lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn overflowing_number_literal_is_a_spanned_error() {
+        let digits = "9".repeat(400);
+        let src = format!("minimize({digits})");
+        let err = lex(&src).unwrap_err();
+        assert!(err.message.contains("overflow"), "{}", err.message);
+        assert_eq!(err.span.start, "minimize(".len());
+        assert_eq!(err.span.end, "minimize(".len() + digits.len());
+        // The largest finite literal still lexes.
+        assert!(lex(&format!("minimize({})", f64::MAX)).is_ok());
     }
 
     #[test]

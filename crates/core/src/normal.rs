@@ -384,6 +384,9 @@ fn norm_expr(e: &Expr, regexes: &mut Vec<PathRegex>) -> Result<NormBranches, Nor
                                 next.push((merged, p, *is_inf));
                             }
                         }
+                        if next.len() > MAX_BRANCHES {
+                            return Err(NormError::TooManyBranches(next.len()));
+                        }
                     }
                 }
                 acc = next;
@@ -412,6 +415,9 @@ fn norm_expr(e: &Expr, regexes: &mut Vec<PathRegex>) -> Result<NormBranches, Nor
                     let Some(cond) = ca.merge(cb) else { continue };
                     let rank = combine_bin(*op, ra, rb, e)?;
                     out.push((cond, rank, e.span));
+                    if out.len() > MAX_BRANCHES {
+                        return Err(NormError::TooManyBranches(out.len()));
+                    }
                 }
             }
             if out.len() > MAX_BRANCHES {
@@ -429,6 +435,9 @@ fn norm_expr(e: &Expr, regexes: &mut Vec<PathRegex>) -> Result<NormBranches, Nor
                 for (ac, ar, aspan) in arm {
                     if let Some(merged) = bc.merge(ac) {
                         out.push((merged, ar.clone(), *aspan));
+                        if out.len() > MAX_BRANCHES {
+                            return Err(NormError::TooManyBranches(out.len()));
+                        }
                     }
                 }
             }
@@ -564,6 +573,12 @@ fn combine_bool(
         for (cy, vy) in &ly {
             if let Some(cond) = cx.merge(cy) {
                 out.push((cond, f(*vx, *vy)));
+                // `or`/`and` chains of n distinct regexes produce 2^n
+                // outcomes; bail while the product is still small instead
+                // of materializing gigabytes before the post-loop checks.
+                if out.len() > MAX_BRANCHES {
+                    return Err(NormError::TooManyBranches(out.len()));
+                }
             }
         }
     }

@@ -21,7 +21,11 @@ use crate::lexer::{lex, SyntaxError, Tok, Token};
 /// Parses a complete policy: `minimize(expr)`.
 pub fn parse_policy(src: &str) -> Result<Policy, SyntaxError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     p.expect(&Tok::Minimize)?;
     p.expect(&Tok::LParen)?;
     let expr = p.expr()?;
@@ -30,12 +34,37 @@ pub fn parse_policy(src: &str) -> Result<Policy, SyntaxError> {
     Ok(Policy { expr })
 }
 
+/// Maximum nesting depth of the recursive-descent productions. Policies
+/// are written by humans and rarely nest past a dozen levels; the limit
+/// turns adversarially deep inputs (`((((…))))`, `not not not …`) into a
+/// spanned syntax error instead of a stack overflow, which `catch_unwind`
+/// cannot contain.
+const MAX_DEPTH: usize = 200;
+
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
+    /// Runs a recursive production under the [`MAX_DEPTH`] guard. Every
+    /// cycle in the grammar's call graph passes through `expr`,
+    /// `not_expr` or `regex`, so wrapping those three bounds all
+    /// recursion.
+    fn with_depth<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, SyntaxError>,
+    ) -> Result<T, SyntaxError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(format!("policy nesting exceeds {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
+    }
+
     fn peek(&self) -> &Tok {
         &self.toks[self.pos].kind
     }
@@ -90,6 +119,10 @@ impl Parser {
     // ---- rank expressions ------------------------------------------------
 
     fn expr(&mut self) -> Result<Expr, SyntaxError> {
+        self.with_depth(Self::expr_inner)
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr, SyntaxError> {
         let lo = self.span().start;
         if self.eat(&Tok::If) {
             let cond = self.bool_expr()?;
@@ -218,6 +251,10 @@ impl Parser {
     }
 
     fn not_expr(&mut self) -> Result<BoolExpr, SyntaxError> {
+        self.with_depth(Self::not_expr_inner)
+    }
+
+    fn not_expr_inner(&mut self) -> Result<BoolExpr, SyntaxError> {
         let lo = self.span().start;
         if self.eat(&Tok::Not) {
             let inner = self.not_expr()?;
@@ -281,6 +318,10 @@ impl Parser {
     // ---- path regexes ----------------------------------------------------
 
     fn regex(&mut self) -> Result<PathRegex, SyntaxError> {
+        self.with_depth(Self::regex_inner)
+    }
+
+    fn regex_inner(&mut self) -> Result<PathRegex, SyntaxError> {
         let mut lhs = self.regex_cat()?;
         while self.eat(&Tok::Plus) {
             let rhs = self.regex_cat()?;
@@ -484,6 +525,28 @@ mod tests {
         assert_eq!(&src[cond.span.start..cond.span.end], "A B");
         assert_eq!(&src[t.span.start..t.span.end], "path.util");
         assert_eq!(&src[e.span.start..e.span.end], "inf");
+    }
+
+    #[test]
+    fn adversarial_nesting_is_rejected_not_overflowed() {
+        // Deep parens in expression position.
+        let deep = format!("minimize({}path.len{})", "(".repeat(5000), ")".repeat(5000));
+        let err = parse_policy(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{}", err.message);
+        assert!(err.span.end <= deep.len());
+        // Deep `not` chains in boolean position.
+        let nots = format!("minimize(if {} A then 0 else 1)", "not ".repeat(5000));
+        assert!(parse_policy(&nots).is_err());
+        // Deep parens in regex position.
+        let rx = format!(
+            "minimize(if {}A{} then 0 else 1)",
+            "(".repeat(5000),
+            ")".repeat(5000)
+        );
+        assert!(parse_policy(&rx).is_err());
+        // Reasonable nesting is untouched.
+        let ok = format!("minimize({}path.len{})", "(".repeat(50), ")".repeat(50));
+        assert!(parse_policy(&ok).is_ok());
     }
 
     #[test]

@@ -1,56 +1,17 @@
 //! Property tests for the policy language: pretty-printer ↔ parser
 //! round-trips, normalization totality and evaluation consistency on random
 //! policies.
+//!
+//! The expression generator is shared with the fuzz harness
+//! (`contra_fuzz::strategies::arb_expr`) so the property suite and the
+//! standing `contra_fuzz` campaign draw from one grammar.
 
-use contra_core::{
-    normalize, parse_policy, Attr, BinOp, BoolExpr, CmpOp, Expr, MetricVec, PathRegex, Policy,
-};
+use contra_core::{normalize, parse_policy, Expr, MetricVec, Policy};
+use contra_fuzz::strategies::{arb_expr as arb_expr_over, names};
 use proptest::prelude::*;
 
-fn arb_attr() -> impl Strategy<Value = Attr> {
-    prop_oneof![Just(Attr::Util), Just(Attr::Lat), Just(Attr::Len)]
-}
-
-fn arb_regex() -> impl Strategy<Value = PathRegex> {
-    let leaf = prop_oneof![
-        Just(PathRegex::any()),
-        (0u8..4).prop_map(|i| PathRegex::node(format!("N{i}"))),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| PathRegex::concat(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| PathRegex::alt(a, b)),
-            inner.prop_map(PathRegex::star),
-        ]
-    })
-}
-
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0u32..1000).prop_map(|n| Expr::constant(n as f64 / 10.0)),
-        Just(Expr::inf()),
-        arb_attr().prop_map(Expr::attr),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        let bool_leaf = prop_oneof![
-            arb_regex().prop_map(BoolExpr::regex),
-            (
-                prop_oneof![Just(CmpOp::Le), Just(CmpOp::Lt)],
-                arb_attr(),
-                0u32..20
-            )
-                .prop_map(|(op, a, c)| BoolExpr::cmp(
-                    op,
-                    Expr::attr(a),
-                    Expr::constant(c as f64 / 10.0)
-                )),
-        ];
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Add, a, b)),
-            (bool_leaf, inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::if_(c, t, e)),
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::tuple),
-        ]
-    })
+fn arb_expr() -> BoxedStrategy<Expr> {
+    arb_expr_over(names("N", 4))
 }
 
 proptest! {

@@ -2,120 +2,32 @@
 //!
 //! The verifier decides "source S black-holes to destination D" by
 //! reverse reachability over the product graph — reversed automata, probe
-//! direction. The oracle here re-decides the same question from first
-//! principles: run the *unreversed* traffic regexes forward over a BFS of
-//! `(switch, DFA-state-vector)` pairs starting at S and ask whether any
-//! walk arrives at D with an acceptance vector some finite branch matches.
+//! direction. The oracle (shared with the fuzz harness in `contra-fuzz`)
+//! re-decides the same question from first principles: run the
+//! *unreversed* traffic regexes forward over a BFS of `(switch,
+//! DFA-state-vector)` pairs starting at S and ask whether any walk
+//! arrives at D with an acceptance vector some finite branch matches.
 //! The two constructions share no code past normalization, so agreement
 //! over random policies × random connected topologies exercises the
 //! regex-reversal, determinization and product construction end to end.
+//!
+//! Generators and oracle live in `contra_fuzz::{strategies, oracle}` —
+//! the same grammar the standing `contra_fuzz` campaign draws from.
 
-use contra_automata::Dfa;
 use contra_core::{
-    normalize, parse_policy, resolve::resolve_regexes, verify_with, Attr, BoolExpr, BranchRank,
-    CompileError, Compiler, Expr, NormalPolicy, PathRegex, Policy, VerifyOptions,
+    normalize, parse_policy, verify_with, Attr, BoolExpr, BranchRank, CompileError, Compiler, Expr,
+    Policy, VerifyOptions,
 };
-use contra_topology::{generators, NodeId, Topology};
+use contra_fuzz::oracle::{forward_dfas, oracle_routable};
+use contra_fuzz::strategies::{arb_routing_policy, names};
+use contra_topology::{generators, NodeId};
 use proptest::prelude::*;
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 
-/// Regexes over node names `r0..r3` — [`generators::random_connected`]
+/// Policies over node names `r0..r3` — [`generators::random_connected`]
 /// names its switches `r{i}`, so with `n ≥ 4` every name resolves.
-fn arb_regex() -> impl Strategy<Value = PathRegex> {
-    let leaf = prop_oneof![
-        Just(PathRegex::any()),
-        (0u8..4).prop_map(|i| PathRegex::node(format!("r{i}"))),
-    ];
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| PathRegex::concat(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| PathRegex::alt(a, b)),
-            inner.prop_map(PathRegex::star),
-        ]
-    })
-}
-
-/// Guard-free policies with one or two regex conditions — the shapes whose
-/// black-hole structure is decided purely by path-set emptiness, which is
-/// exactly what the forward oracle can re-derive.
-fn arb_policy() -> impl Strategy<Value = Policy> {
-    (arb_regex(), arb_regex(), 0usize..3).prop_map(|(r1, r2, shape)| {
-        let expr = match shape {
-            0 => Expr::if_(BoolExpr::regex(r1), Expr::attr(Attr::Len), Expr::inf()),
-            1 => Expr::if_(
-                BoolExpr::regex(r1),
-                Expr::constant(0.0),
-                Expr::if_(BoolExpr::regex(r2), Expr::attr(Attr::Len), Expr::inf()),
-            ),
-            // No `inf` branch at all: every pair must be routable.
-            _ => Expr::if_(
-                BoolExpr::not(BoolExpr::regex(r1)),
-                Expr::attr(Attr::Lat),
-                Expr::attr(Attr::Len),
-            ),
-        };
-        Policy { expr }
-    })
-}
-
-fn alphabet(topo: &Topology) -> Vec<u32> {
-    topo.switches().iter().map(|s| s.0).collect()
-}
-
-/// Brute-force forward search: does any walk `src … dst` end at `dst`
-/// with an acceptance vector that satisfies some finite-rank branch?
-/// Walks may revisit intermediate switches but stop on reaching `dst`,
-/// mirroring the protocol: probes that return to their origin are dropped,
-/// so a route through the destination is never installable.
-fn oracle_routable(
-    topo: &Topology,
-    normal: &NormalPolicy,
-    fdfas: &[Dfa],
-    src: NodeId,
-    dst: NodeId,
-) -> bool {
-    let finite = |states: &[usize]| {
-        let acc: Vec<bool> = fdfas
-            .iter()
-            .zip(states)
-            .map(|(a, &s)| a.accept[s])
-            .collect();
-        normal
-            .branches
-            .iter()
-            .any(|b| matches!(b.rank, BranchRank::Finite(_)) && b.reqs_match(&acc))
-    };
-    let start: Vec<usize> = fdfas.iter().map(|a| a.step(a.start, src.0)).collect();
-    let mut seen: HashSet<(NodeId, Vec<usize>)> = HashSet::new();
-    let mut work = VecDeque::new();
-    seen.insert((src, start.clone()));
-    work.push_back((src, start));
-    while let Some((x, states)) = work.pop_front() {
-        if x == dst {
-            if finite(&states) {
-                return true;
-            }
-            continue; // the walk ends at the destination
-        }
-        for y in topo.switch_neighbors(x) {
-            let next: Vec<usize> = fdfas
-                .iter()
-                .zip(&states)
-                .map(|(a, &s)| a.step(s, y.0))
-                .collect();
-            if seen.insert((y, next.clone())) {
-                work.push_back((y, next));
-            }
-        }
-    }
-    false
-}
-
-/// Forward DFAs for a normalized policy's traffic-direction regexes.
-fn forward_dfas(normal: &NormalPolicy, topo: &Topology) -> Option<Vec<Dfa>> {
-    let regexes = resolve_regexes(&normal.regexes, topo).ok()?;
-    let alpha = alphabet(topo);
-    Some(regexes.iter().map(|r| Dfa::from_regex(r, &alpha)).collect())
+fn arb_policy() -> BoxedStrategy<Policy> {
+    arb_routing_policy(names("r", 4))
 }
 
 proptest! {

@@ -1,0 +1,105 @@
+//! Deterministic differential fuzzing driver for the Contra compiler
+//! front end.
+//!
+//! ```text
+//! contra_fuzz [--seed N] [--cases N] [--budget N] [--out PATH]
+//!             [--write-regressions DIR]
+//! contra_fuzz --replay DIR
+//! ```
+//!
+//! Fuzz mode generates `--cases` cases from `--seed`, runs the oracle
+//! stack (spending `--budget` cases on the deep harness + simulator
+//! tier), shrinks divergences, and writes `FUZZ_REPORT.txt` (or `--out`).
+//! The report is byte-identical across runs with the same flags. Replay
+//! mode re-checks every `*.case` file in DIR.
+//!
+//! Exit codes: 0 — no divergences / all regressions green; 1 — at least
+//! one divergence or failing regression; 2 — usage error.
+
+use contra_fuzz::{replay_dir, run_fuzz, FuzzConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: contra_fuzz [--seed N] [--cases N] [--budget N] [--out PATH] \
+         [--write-regressions DIR]\n       contra_fuzz --replay DIR"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    // Oracles trap panics with catch_unwind; keep the default hook from
+    // spraying expected backtraces over the report output.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut cfg = FuzzConfig::default();
+    let mut out = PathBuf::from("FUZZ_REPORT.txt");
+    let mut replay: Option<PathBuf> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--seed" => match value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.seed = v,
+                None => return usage(),
+            },
+            "--cases" => match value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.cases = v,
+                None => return usage(),
+            },
+            "--budget" => match value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.deep_budget = v,
+                None => return usage(),
+            },
+            "--out" => match value(&mut i) {
+                Some(v) => out = PathBuf::from(v),
+                None => return usage(),
+            },
+            "--write-regressions" => match value(&mut i) {
+                Some(v) => cfg.regressions_out = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--replay" => match value(&mut i) {
+                Some(v) => replay = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    // Stdout may be a closed pipe (`contra_fuzz | head`); never let that
+    // abort the run before the report file lands on disk.
+    let emit = |s: &str| {
+        use std::io::Write as _;
+        let _ = std::io::stdout().write_all(s.as_bytes());
+    };
+
+    if let Some(dir) = replay {
+        let (report, failures) = replay_dir(&dir);
+        emit(&report);
+        return if failures == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let outcome = run_fuzz(&cfg);
+    if let Err(e) = std::fs::write(&out, &outcome.report) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    emit(&outcome.report);
+    if outcome.divergences == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

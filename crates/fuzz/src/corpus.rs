@@ -1,0 +1,130 @@
+//! Regression corpus format: one minimized reproducer per `.case` file
+//! under `fuzz/regressions/`, replayed by `crates/fuzz/tests/regressions.rs`
+//! and by `contra_fuzz --replay`.
+//!
+//! ```text
+//! # contra-fuzz regression case
+//! # <free-form note lines>
+//! oracle: totality
+//! seed: 42
+//! topology:
+//! switch r0
+//! switch r1
+//! cable r0 r1
+//! policy:
+//! minimize(if r0 then path.len else inf)
+//! ```
+//!
+//! Everything after the `policy:` line is the policy source, verbatim
+//! (minus one trailing newline), so reproducers may contain blank lines,
+//! `#`, or any other bytes the fuzzer found interesting.
+
+use crate::gen::{Case, TopoSpec};
+use crate::oracle::OracleKind;
+use std::fmt::Write as _;
+
+/// Serializes a case into the `.case` file format.
+pub fn format_case(case: &Case, oracle: OracleKind, note: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# contra-fuzz regression case");
+    for line in note.lines() {
+        let _ = writeln!(s, "# {line}");
+    }
+    let _ = writeln!(s, "oracle: {}", oracle.name());
+    let _ = writeln!(s, "seed: {}", case.seed);
+    let _ = writeln!(s, "topology:");
+    s.push_str(&case.topo.to_text());
+    let _ = writeln!(s, "policy:");
+    s.push_str(&case.policy);
+    s.push('\n');
+    s
+}
+
+/// Parses a `.case` file back into a case plus the oracle expected to
+/// have (historically) fired on it.
+pub fn parse_case(text: &str) -> Result<(Case, OracleKind), String> {
+    let mut oracle = None;
+    let mut seed = 0u64;
+    let mut topo_lines = String::new();
+    let mut policy: Option<String> = None;
+    let mut mode = 0u8; // 0 = header, 1 = topology, 2 = policy
+
+    let mut rest = text;
+    while !rest.is_empty() {
+        let (line, tail) = match rest.find('\n') {
+            Some(i) => (&rest[..i], &rest[i + 1..]),
+            None => (rest, ""),
+        };
+        if mode == 2 {
+            let p = policy.get_or_insert_with(String::new);
+            if !p.is_empty() {
+                p.push('\n');
+            }
+            p.push_str(line);
+            rest = tail;
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') || trimmed.is_empty() {
+            rest = tail;
+            continue;
+        }
+        if let Some(v) = trimmed.strip_prefix("oracle:") {
+            let v = v.trim();
+            oracle = Some(OracleKind::from_name(v).ok_or_else(|| format!("unknown oracle `{v}`"))?);
+        } else if let Some(v) = trimmed.strip_prefix("seed:") {
+            seed = v
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad seed `{}`: {e}", v.trim()))?;
+        } else if trimmed == "topology:" {
+            mode = 1;
+        } else if trimmed == "policy:" {
+            mode = 2;
+        } else if mode == 1 {
+            topo_lines.push_str(line);
+            topo_lines.push('\n');
+        } else {
+            return Err(format!("unexpected header line `{line}`"));
+        }
+        rest = tail;
+    }
+
+    let oracle = oracle.ok_or("missing `oracle:` line")?;
+    let topo = TopoSpec::parse(&topo_lines)?;
+    let policy = policy.ok_or("missing `policy:` section")?;
+    Ok((Case { seed, topo, policy }, oracle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+
+    #[test]
+    fn case_files_round_trip() {
+        for seed in [3u64, 99, 1234] {
+            let case = gen_case(seed);
+            let text = format_case(&case, OracleKind::Totality, "two\nnote lines");
+            let (back, oracle) = parse_case(&text).unwrap();
+            assert_eq!(oracle, OracleKind::Totality);
+            assert_eq!(back, case, "round trip failed for seed {seed}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn policy_section_is_verbatim() {
+        let case = Case {
+            seed: 0,
+            topo: TopoSpec {
+                switches: vec!["a".into()],
+                ..Default::default()
+            },
+            // Lines that look like headers must survive inside the policy.
+            policy: "minimize(\n# not a comment\noracle: nope\n)".into(),
+        };
+        let text = format_case(&case, OracleKind::RoundTrip, "");
+        let (back, _) = parse_case(&text).unwrap();
+        assert_eq!(back.policy, case.policy);
+    }
+}

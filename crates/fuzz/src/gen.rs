@@ -1,0 +1,505 @@
+//! Seeded, structure-aware generators: topologies as shrinkable
+//! [`TopoSpec`]s, grammar-driven policy ASTs whose regexes draw from the
+//! topology's actual switch names, and token-soup text mutations for the
+//! totality tier. Everything is a pure function of a single `u64` seed
+//! through the vendored splitmix64 [`StdRng`], so any case — and any whole
+//! fuzzing run — replays bit-for-bit.
+
+use contra_core::{Attr, BinOp, BoolExpr, CmpOp, Expr, PathRegex, Policy};
+use contra_topology::{generators, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+/// One fuzz case: a per-case seed (for triage), a topology spec and the
+/// policy *source text* under test (possibly mutated into invalidity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Case {
+    /// Seed this case was generated from (0 for hand-written regressions).
+    pub seed: u64,
+    /// The topology the policy is compiled against.
+    pub topo: TopoSpec,
+    /// Policy source text.
+    pub policy: String,
+}
+
+/// A plain-text, shrinkable topology description: switch names, hosts
+/// attached to switches, and undirected switch-switch cables. All links
+/// are built with the default 10 Gbps / 1 µs spec — the fuzzer probes the
+/// compiler's *structural* behavior, not link timing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TopoSpec {
+    /// Switch names, in declaration order.
+    pub switches: Vec<String>,
+    /// `(host name, switch name)` attachments.
+    pub hosts: Vec<(String, String)>,
+    /// Undirected cables between two distinct switches.
+    pub cables: Vec<(String, String)>,
+}
+
+impl TopoSpec {
+    /// Captures an existing topology as a spec (link timing is dropped).
+    pub fn from_topology(t: &Topology) -> TopoSpec {
+        let switches: Vec<String> = t
+            .switches()
+            .iter()
+            .map(|&s| t.node(s).name.clone())
+            .collect();
+        let hosts: Vec<(String, String)> = t
+            .hosts()
+            .iter()
+            .map(|&h| {
+                let sw = t.host_switch(h);
+                (t.node(h).name.clone(), t.node(sw).name.clone())
+            })
+            .collect();
+        let mut seen = BTreeSet::new();
+        let mut cables = Vec::new();
+        for l in t.links() {
+            if t.is_switch(l.src) && t.is_switch(l.dst) {
+                let (a, b) = (t.node(l.src).name.clone(), t.node(l.dst).name.clone());
+                let key = if a <= b {
+                    (a.clone(), b.clone())
+                } else {
+                    (b.clone(), a.clone())
+                };
+                if seen.insert(key) {
+                    cables.push((a, b));
+                }
+            }
+        }
+        TopoSpec {
+            switches,
+            hosts,
+            cables,
+        }
+    }
+
+    /// Builds the concrete [`Topology`]; rejects malformed specs (duplicate
+    /// names, unknown endpoints, self-loops, parallel cables) instead of
+    /// panicking, so hand-edited regression files fail gracefully.
+    pub fn build(&self) -> Result<Topology, String> {
+        let mut b = Topology::builder();
+        let mut sw = HashMap::new();
+        let mut names = BTreeSet::new();
+        for s in &self.switches {
+            if !names.insert(s.clone()) {
+                return Err(format!("duplicate node name `{s}`"));
+            }
+            sw.insert(s.clone(), b.switch(s));
+        }
+        for (h, at) in &self.hosts {
+            let &sid = sw
+                .get(at)
+                .ok_or_else(|| format!("host `{h}` attached to unknown switch `{at}`"))?;
+            if !names.insert(h.clone()) {
+                return Err(format!("duplicate node name `{h}`"));
+            }
+            let hid = b.host(h);
+            b.biline(sid, hid, 10e9, 1_000);
+        }
+        let mut cseen = BTreeSet::new();
+        for (x, y) in &self.cables {
+            if x == y {
+                return Err(format!("self-loop cable on `{x}`"));
+            }
+            let &xa = sw
+                .get(x)
+                .ok_or_else(|| format!("cable endpoint `{x}` is not a switch"))?;
+            let &ya = sw
+                .get(y)
+                .ok_or_else(|| format!("cable endpoint `{y}` is not a switch"))?;
+            let key = if x <= y { (x, y) } else { (y, x) };
+            if !cseen.insert(key) {
+                return Err(format!("duplicate cable `{x}`–`{y}`"));
+            }
+            b.biline(xa, ya, 10e9, 1_000);
+        }
+        Ok(b.build())
+    }
+
+    /// Serializes to the regression-file block format (one declaration per
+    /// line: `switch <name>`, `host <name> <switch>`, `cable <a> <b>`).
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for n in &self.switches {
+            let _ = writeln!(s, "switch {n}");
+        }
+        for (h, at) in &self.hosts {
+            let _ = writeln!(s, "host {h} {at}");
+        }
+        for (a, b) in &self.cables {
+            let _ = writeln!(s, "cable {a} {b}");
+        }
+        s
+    }
+
+    /// Parses the [`TopoSpec::to_text`] block format.
+    pub fn parse(text: &str) -> Result<TopoSpec, String> {
+        let mut spec = TopoSpec::default();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let err = |what: &str| format!("topology line {}: {what}: `{line}`", no + 1);
+            match parts.next() {
+                Some("switch") => {
+                    let n = parts.next().ok_or_else(|| err("missing switch name"))?;
+                    spec.switches.push(n.to_string());
+                }
+                Some("host") => {
+                    let h = parts.next().ok_or_else(|| err("missing host name"))?;
+                    let at = parts
+                        .next()
+                        .ok_or_else(|| err("missing attachment switch"))?;
+                    spec.hosts.push((h.to_string(), at.to_string()));
+                }
+                Some("cable") => {
+                    let a = parts.next().ok_or_else(|| err("missing cable endpoint"))?;
+                    let b = parts.next().ok_or_else(|| err("missing cable endpoint"))?;
+                    spec.cables.push((a.to_string(), b.to_string()));
+                }
+                _ => return Err(err("unknown declaration")),
+            }
+            if parts.next().is_some() {
+                return Err(err("trailing tokens"));
+            }
+        }
+        if spec.switches.is_empty() {
+            return Err("topology has no switches".into());
+        }
+        Ok(spec)
+    }
+}
+
+/// Draws a topology: one of the real generator families
+/// ([`generators::random_connected`], [`generators::leaf_spine`],
+/// [`generators::abilene`]) captured as a spec, then 0–2 structural
+/// mutations (cable add/remove, host attach) — so the fuzzer also visits
+/// disconnected and asymmetric shapes the generators never emit.
+pub fn gen_topo(rng: &mut StdRng) -> TopoSpec {
+    let spec = generators::LinkSpec::default();
+    let mut t = match rng.gen_range(0u32..8) {
+        0..=4 => {
+            let n = rng.gen_range(4usize..8);
+            let extra = rng.gen_range(0usize..4);
+            let seed = rng.gen::<u64>();
+            TopoSpec::from_topology(&generators::random_connected(n, extra, spec, seed))
+        }
+        5 | 6 => {
+            let leaves = rng.gen_range(2usize..4);
+            let hosts = rng.gen_range(0usize..3);
+            TopoSpec::from_topology(&generators::leaf_spine(leaves, 2, hosts, spec, spec))
+        }
+        _ => TopoSpec::from_topology(&generators::abilene(40e9)),
+    };
+    for _ in 0..rng.gen_range(0u32..3) {
+        mutate_topo(rng, &mut t);
+    }
+    t
+}
+
+/// Applies one structural mutation in place (may be a no-op when the
+/// drawn mutation does not apply, e.g. removing a cable from a cable-less
+/// spec).
+pub fn mutate_topo(rng: &mut StdRng, t: &mut TopoSpec) {
+    match rng.gen_range(0u32..3) {
+        0 => {
+            if t.switches.len() >= 2 {
+                let a = rng.gen_range(0..t.switches.len());
+                let b = rng.gen_range(0..t.switches.len());
+                if a != b {
+                    let (x, y) = (t.switches[a].clone(), t.switches[b].clone());
+                    let dup = t
+                        .cables
+                        .iter()
+                        .any(|(p, q)| (p == &x && q == &y) || (p == &y && q == &x));
+                    if !dup {
+                        t.cables.push((x, y));
+                    }
+                }
+            }
+        }
+        1 => {
+            if !t.cables.is_empty() {
+                let i = rng.gen_range(0..t.cables.len());
+                t.cables.remove(i);
+            }
+        }
+        _ => {
+            if !t.switches.is_empty() {
+                let i = rng.gen_range(0..t.switches.len());
+                let name = format!("fh{}", t.hosts.len());
+                t.hosts.push((name, t.switches[i].clone()));
+            }
+        }
+    }
+}
+
+fn pick_name(rng: &mut StdRng, names: &[String]) -> String {
+    // A small unknown-name rate exercises the resolver's C0203 path.
+    if names.is_empty() || rng.gen_bool(0.06) {
+        "ghost".to_string()
+    } else {
+        names[rng.gen_range(0..names.len())].clone()
+    }
+}
+
+fn pick_attr(rng: &mut StdRng) -> Attr {
+    match rng.gen_range(0u32..3) {
+        0 => Attr::Util,
+        1 => Attr::Lat,
+        _ => Attr::Len,
+    }
+}
+
+/// Random path regex over the given node names, depth-bounded.
+pub fn gen_regex(rng: &mut StdRng, names: &[String], depth: u32) -> PathRegex {
+    if depth == 0 || rng.gen_bool(0.4) {
+        if rng.gen_bool(0.5) {
+            PathRegex::any()
+        } else {
+            PathRegex::node(pick_name(rng, names))
+        }
+    } else {
+        match rng.gen_range(0u32..3) {
+            0 => PathRegex::concat(
+                gen_regex(rng, names, depth - 1),
+                gen_regex(rng, names, depth - 1),
+            ),
+            1 => PathRegex::alt(
+                gen_regex(rng, names, depth - 1),
+                gen_regex(rng, names, depth - 1),
+            ),
+            _ => PathRegex::star(gen_regex(rng, names, depth - 1)),
+        }
+    }
+}
+
+/// Conditional-free metric expression (guard operand shape).
+fn gen_metric(rng: &mut StdRng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.6) {
+        if rng.gen_bool(0.5) {
+            Expr::attr(pick_attr(rng))
+        } else {
+            Expr::constant(rng.gen_range(0u32..200) as f64 / 10.0)
+        }
+    } else {
+        let op = match rng.gen_range(0u32..4) {
+            0 => BinOp::Add,
+            1 => BinOp::Mul,
+            2 => BinOp::Min,
+            _ => BinOp::Max,
+        };
+        Expr::bin(op, gen_metric(rng, depth - 1), gen_metric(rng, depth - 1))
+    }
+}
+
+/// Random boolean test: regexes, metric comparisons, `not`/`and`/`or`.
+pub fn gen_bool(rng: &mut StdRng, names: &[String], depth: u32) -> BoolExpr {
+    if depth == 0 || rng.gen_bool(0.5) {
+        if rng.gen_bool(0.6) {
+            BoolExpr::regex(gen_regex(rng, names, 2))
+        } else {
+            let op = if rng.gen_bool(0.5) {
+                CmpOp::Lt
+            } else {
+                CmpOp::Le
+            };
+            BoolExpr::cmp(op, gen_metric(rng, 1), gen_metric(rng, 1))
+        }
+    } else {
+        match rng.gen_range(0u32..3) {
+            0 => BoolExpr::not(gen_bool(rng, names, depth - 1)),
+            1 => BoolExpr::and(
+                gen_bool(rng, names, depth - 1),
+                gen_bool(rng, names, depth - 1),
+            ),
+            _ => BoolExpr::or(
+                gen_bool(rng, names, depth - 1),
+                gen_bool(rng, names, depth - 1),
+            ),
+        }
+    }
+}
+
+/// Random rank expression, depth-bounded. `Sub` appears at a low rate so
+/// the monotonicity-analysis rejection path (C0102) stays exercised.
+pub fn gen_expr(rng: &mut StdRng, names: &[String], depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        match rng.gen_range(0u32..4) {
+            0 => Expr::constant(rng.gen_range(0u32..100) as f64 / 10.0),
+            1 => Expr::inf(),
+            2 => Expr::attr(pick_attr(rng)),
+            _ => Expr::constant(rng.gen_range(0u32..10) as f64),
+        }
+    } else {
+        match rng.gen_range(0u32..5) {
+            0 => {
+                let op = match rng.gen_range(0u32..10) {
+                    0 => BinOp::Sub,
+                    1 | 2 => BinOp::Min,
+                    3 | 4 => BinOp::Max,
+                    5 | 6 => BinOp::Mul,
+                    _ => BinOp::Add,
+                };
+                Expr::bin(
+                    op,
+                    gen_expr(rng, names, depth - 1),
+                    gen_expr(rng, names, depth - 1),
+                )
+            }
+            1 => {
+                let n = rng.gen_range(2usize..4);
+                Expr::tuple((0..n).map(|_| gen_expr(rng, names, depth - 1)).collect())
+            }
+            _ => Expr::if_(
+                gen_bool(rng, names, 2),
+                gen_expr(rng, names, depth - 1),
+                gen_expr(rng, names, depth - 1),
+            ),
+        }
+    }
+}
+
+/// Random complete policy AST.
+pub fn gen_policy(rng: &mut StdRng, names: &[String]) -> Policy {
+    Policy {
+        expr: gen_expr(rng, names, 3),
+    }
+}
+
+/// Characters the token-soup mutator inserts/substitutes — every token
+/// head the lexer knows, plus the multi-byte glyphs (`∞`, `≤`, `≥`) that
+/// stress char-boundary handling in spans.
+const MUT_ALPHABET: &[char] = &[
+    '(', ')', '*', '+', '-', '<', '>', '=', '.', ',', ' ', '\n', 'i', 'f', 't', 'h', 'e', 'n', 'l',
+    's', 'm', 'a', 'x', 'p', 'u', '0', '1', '9', '_', '∞', '≤', '≥', 'é',
+];
+
+/// Applies 1–3 random character-level mutations (delete, insert, replace,
+/// duplicate-a-slice, truncate). The result is valid UTF-8 but usually not
+/// a valid policy — the totality oracle's diet.
+pub fn mutate_text(rng: &mut StdRng, src: &str) -> String {
+    let mut chars: Vec<char> = src.chars().collect();
+    for _ in 0..rng.gen_range(1u32..4) {
+        if chars.is_empty() {
+            break;
+        }
+        match rng.gen_range(0u32..5) {
+            0 => {
+                let i = rng.gen_range(0..chars.len());
+                chars.remove(i);
+            }
+            1 => {
+                let i = rng.gen_range(0..chars.len() + 1);
+                let c = MUT_ALPHABET[rng.gen_range(0..MUT_ALPHABET.len())];
+                chars.insert(i, c);
+            }
+            2 => {
+                let i = rng.gen_range(0..chars.len());
+                chars[i] = MUT_ALPHABET[rng.gen_range(0..MUT_ALPHABET.len())];
+            }
+            3 => {
+                let a = rng.gen_range(0..chars.len());
+                let b = (a + rng.gen_range(1usize..8)).min(chars.len());
+                let slice: Vec<char> = chars[a..b].to_vec();
+                for (k, c) in slice.into_iter().enumerate() {
+                    chars.insert(b + k, c);
+                }
+            }
+            _ => {
+                let keep = rng.gen_range(0..chars.len());
+                chars.truncate(keep);
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+/// Rewrites some spaces to newlines, producing multi-line sources whose
+/// spans must still land on line/column boundaries correctly.
+pub fn multiline(rng: &mut StdRng, src: &str) -> String {
+    src.chars()
+        .map(|c| {
+            if c == ' ' && rng.gen_bool(0.3) {
+                '\n'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Generates the complete case for a seed: topology, names-aware policy,
+/// then (with fixed probabilities) multi-line layout and text mutation.
+pub fn gen_case(seed: u64) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = gen_topo(&mut rng);
+    let mut names: Vec<String> = topo.switches.clone();
+    if !topo.hosts.is_empty() && rng.gen_bool(0.15) {
+        // Host names trigger the resolver's not-a-switch rejection.
+        names.push(topo.hosts[0].0.clone());
+    }
+    let policy = gen_policy(&mut rng, &names);
+    let mut text = policy.to_string();
+    if rng.gen_bool(0.2) {
+        text = multiline(&mut rng, &text);
+    }
+    if rng.gen_bool(0.3) {
+        text = mutate_text(&mut rng, &text);
+    }
+    Case {
+        seed,
+        topo,
+        policy: text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topo_spec_round_trips_through_text() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let t = gen_topo(&mut rng);
+            let parsed = TopoSpec::parse(&t.to_text()).unwrap();
+            assert_eq!(t, parsed);
+            parsed.build().unwrap();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(gen_case(seed), gen_case(seed));
+        }
+        assert_ne!(gen_case(1).policy, gen_case(2).policy);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_not_panicked() {
+        let dup = TopoSpec {
+            switches: vec!["a".into(), "a".into()],
+            ..Default::default()
+        };
+        assert!(dup.build().is_err());
+        let selfloop = TopoSpec {
+            switches: vec!["a".into()],
+            cables: vec![("a".into(), "a".into())],
+            ..Default::default()
+        };
+        assert!(selfloop.build().is_err());
+        let unknown = TopoSpec {
+            switches: vec!["a".into()],
+            hosts: vec![("h".into(), "b".into())],
+            ..Default::default()
+        };
+        assert!(unknown.build().is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Deterministic greedy shrinker: repeatedly tries structure-aware
+//! simplifications (topology cable/host/switch removal, AST branch
+//! deletion, regex simplification, raw text chunk deletion) and keeps any
+//! candidate that still trips the *same* oracle. First-improvement with a
+//! fixed candidate order — no randomness — so the same failing case
+//! always minimizes to the same reproducer.
+
+use crate::gen::Case;
+use crate::oracle::{check, OracleKind};
+use contra_core::{
+    parse_policy, BoolExpr, BoolExprKind, Expr, ExprKind, PathRegex, PathRegexKind, Policy,
+};
+
+/// Does this case still produce a finding from `kind`? The deep tier is
+/// only consulted when shrinking a deep finding — it is the slow tier.
+pub fn fails_with(case: &Case, kind: OracleKind) -> bool {
+    let deep = kind == OracleKind::DeepConvergence;
+    check(case, deep).findings.iter().any(|f| f.oracle == kind)
+}
+
+/// One-step topology simplifications, most aggressive first.
+fn topo_candidates(case: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+    let t = &case.topo;
+    for i in 0..t.switches.len() {
+        // Dropping a switch the policy text names would change the case's
+        // meaning, not simplify it.
+        if t.switches.len() > 1 && !case.policy.contains(&t.switches[i]) {
+            let name = &t.switches[i];
+            let mut nt = t.clone();
+            nt.cables.retain(|(a, b)| a != name && b != name);
+            nt.hosts.retain(|(_, at)| at != name);
+            nt.switches.remove(i);
+            out.push(Case {
+                topo: nt,
+                ..case.clone()
+            });
+        }
+    }
+    for i in 0..t.hosts.len() {
+        let mut nt = t.clone();
+        nt.hosts.remove(i);
+        out.push(Case {
+            topo: nt,
+            ..case.clone()
+        });
+    }
+    for i in 0..t.cables.len() {
+        let mut nt = t.clone();
+        nt.cables.remove(i);
+        out.push(Case {
+            topo: nt,
+            ..case.clone()
+        });
+    }
+    out
+}
+
+fn regex_shrinks(r: &PathRegex) -> Vec<PathRegex> {
+    let mut out = Vec::new();
+    match &r.kind {
+        PathRegexKind::Node(_) => out.push(PathRegex::any()),
+        PathRegexKind::Any => {}
+        PathRegexKind::Concat(a, b) | PathRegexKind::Alt(a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            for na in regex_shrinks(a) {
+                out.push(match &r.kind {
+                    PathRegexKind::Concat(_, _) => PathRegex::concat(na, (**b).clone()),
+                    _ => PathRegex::alt(na, (**b).clone()),
+                });
+            }
+            for nb in regex_shrinks(b) {
+                out.push(match &r.kind {
+                    PathRegexKind::Concat(_, _) => PathRegex::concat((**a).clone(), nb),
+                    _ => PathRegex::alt((**a).clone(), nb),
+                });
+            }
+        }
+        PathRegexKind::Star(a) => {
+            out.push((**a).clone());
+            out.push(PathRegex::any());
+            for na in regex_shrinks(a) {
+                out.push(PathRegex::star(na));
+            }
+        }
+    }
+    out
+}
+
+fn bool_shrinks(b: &BoolExpr) -> Vec<BoolExpr> {
+    let mut out = Vec::new();
+    match &b.kind {
+        BoolExprKind::Regex(r) => {
+            for nr in regex_shrinks(r) {
+                out.push(BoolExpr::regex(nr));
+            }
+        }
+        BoolExprKind::Cmp(op, x, y) => {
+            for nx in expr_shrinks(x) {
+                out.push(BoolExpr::cmp(*op, nx, y.clone()));
+            }
+            for ny in expr_shrinks(y) {
+                out.push(BoolExpr::cmp(*op, x.clone(), ny));
+            }
+        }
+        BoolExprKind::Not(inner) => {
+            out.push((**inner).clone());
+            for ni in bool_shrinks(inner) {
+                out.push(BoolExpr::not(ni));
+            }
+        }
+        BoolExprKind::Or(x, y) | BoolExprKind::And(x, y) => {
+            out.push((**x).clone());
+            out.push((**y).clone());
+            let rebuild = |a: BoolExpr, c: BoolExpr| match &b.kind {
+                BoolExprKind::Or(_, _) => BoolExpr::or(a, c),
+                _ => BoolExpr::and(a, c),
+            };
+            for nx in bool_shrinks(x) {
+                out.push(rebuild(nx, (**y).clone()));
+            }
+            for ny in bool_shrinks(y) {
+                out.push(rebuild((**x).clone(), ny));
+            }
+        }
+    }
+    out
+}
+
+/// One-step expression simplifications: replace a node by a child, drop a
+/// tuple element, zero a constant, simplify a subterm.
+fn expr_shrinks(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match &e.kind {
+        ExprKind::Const(c) if *c != 0.0 => out.push(Expr::constant(0.0)),
+        ExprKind::Const(_) | ExprKind::Inf | ExprKind::Attr(_) => {}
+        ExprKind::Bin(op, a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            for na in expr_shrinks(a) {
+                out.push(Expr::bin(*op, na, (**b).clone()));
+            }
+            for nb in expr_shrinks(b) {
+                out.push(Expr::bin(*op, (**a).clone(), nb));
+            }
+        }
+        ExprKind::If(c, t, f) => {
+            out.push((**t).clone());
+            out.push((**f).clone());
+            for nc in bool_shrinks(c) {
+                out.push(Expr::if_(nc, (**t).clone(), (**f).clone()));
+            }
+            for nt in expr_shrinks(t) {
+                out.push(Expr::if_((**c).clone(), nt, (**f).clone()));
+            }
+            for nf in expr_shrinks(f) {
+                out.push(Expr::if_((**c).clone(), (**t).clone(), nf));
+            }
+        }
+        ExprKind::Tuple(parts) => {
+            for i in 0..parts.len() {
+                if parts.len() == 2 {
+                    // A 1-tuple is just parens; collapse to the element.
+                    out.push(parts[1 - i].clone());
+                } else {
+                    let mut np = parts.clone();
+                    np.remove(i);
+                    out.push(Expr::tuple(np));
+                }
+            }
+            for (i, p) in parts.iter().enumerate() {
+                for np in expr_shrinks(p) {
+                    let mut parts = parts.clone();
+                    parts[i] = np;
+                    out.push(Expr::tuple(parts));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Raw text deletions for sources that no longer parse: drop chunks of
+/// halving sizes, then single characters.
+fn text_candidates(case: &Case) -> Vec<Case> {
+    let chars: Vec<char> = case.policy.chars().collect();
+    let mut out = Vec::new();
+    let mut size = chars.len() / 2;
+    while size >= 1 {
+        let mut start = 0;
+        while start < chars.len() {
+            let end = (start + size).min(chars.len());
+            let shorter: String = chars[..start].iter().chain(&chars[end..]).collect();
+            out.push(Case {
+                policy: shorter,
+                ..case.clone()
+            });
+            start += size;
+        }
+        if size == 1 {
+            break;
+        }
+        size /= 2;
+    }
+    out
+}
+
+/// All one-step simplifications of a case, topology first (cheapest to
+/// re-check), then AST-level policy rewrites, then raw text deletion.
+fn candidates(case: &Case) -> Vec<Case> {
+    let mut out = topo_candidates(case);
+    match parse_policy(&case.policy) {
+        Ok(ast) => {
+            for ne in expr_shrinks(&ast.expr) {
+                out.push(Case {
+                    policy: Policy { expr: ne }.to_string(),
+                    ..case.clone()
+                });
+            }
+        }
+        Err(_) => out.extend(text_candidates(case)),
+    }
+    out
+}
+
+/// Greedy first-improvement minimization preserving "still fails `kind`".
+/// `budget` bounds the number of oracle re-checks.
+pub fn shrink(case: &Case, kind: OracleKind, budget: usize) -> Case {
+    let mut best = case.clone();
+    let mut checks = 0usize;
+    'outer: loop {
+        for cand in candidates(&best) {
+            if checks >= budget {
+                break 'outer;
+            }
+            // Only consider strictly simpler candidates, so the loop
+            // terminates even if an oracle is flaky about a rewrite.
+            let simpler = cand.policy.len() < best.policy.len()
+                || cand.topo.switches.len() < best.topo.switches.len()
+                || cand.topo.hosts.len() < best.topo.hosts.len()
+                || cand.topo.cables.len() < best.topo.cables.len();
+            if !simpler {
+                continue;
+            }
+            checks += 1;
+            if fails_with(&cand, kind) {
+                best = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    best
+}

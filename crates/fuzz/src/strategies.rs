@@ -1,0 +1,126 @@
+//! Shared proptest strategies for the property suites in `contra-core`
+//! and `contra-automata`.
+//!
+//! These used to live as near-identical private copies inside
+//! `crates/core/tests/{verify_prop.rs,props.rs}` and
+//! `crates/automata/tests/props.rs`; they are extracted here so the fuzz
+//! driver, the property tests and any future incremental-compiler suite
+//! draw policies from the same grammar. Shapes and arm orders are kept
+//! exactly as the original test-local versions had them.
+
+use contra_core::{Attr, BinOp, BoolExpr, CmpOp, Expr, PathRegex, Policy};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// `prefix0..prefix{n-1}` — the switch-name scheme used by
+/// `generators::random_connected` (`r{i}`) and ad-hoc test topologies
+/// (`N{i}`).
+pub fn names(prefix: &str, n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("{prefix}{i}")).collect()
+}
+
+/// Uniform policy attribute.
+pub fn arb_attr() -> impl Strategy<Value = Attr> {
+    prop_oneof![Just(Attr::Util), Just(Attr::Lat), Just(Attr::Len)]
+}
+
+/// Depth-bounded path regex whose node leaves draw from `names`.
+pub fn arb_path_regex(names: Vec<String>) -> BoxedStrategy<PathRegex> {
+    let leaf = prop_oneof![
+        Just(PathRegex::any()),
+        (0usize..names.len()).prop_map(move |i| PathRegex::node(names[i].clone())),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| PathRegex::concat(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| PathRegex::alt(a, b)),
+            inner.prop_map(PathRegex::star),
+        ]
+    })
+    .boxed()
+}
+
+/// Guard-free routing policies with one or two regex conditions — the
+/// shapes whose black-hole structure is decided purely by path-set
+/// emptiness, which is exactly what a forward path search can re-derive.
+pub fn arb_routing_policy(names: Vec<String>) -> BoxedStrategy<Policy> {
+    (
+        arb_path_regex(names.clone()),
+        arb_path_regex(names),
+        0usize..3,
+    )
+        .prop_map(|(r1, r2, shape)| {
+            let expr = match shape {
+                0 => Expr::if_(BoolExpr::regex(r1), Expr::attr(Attr::Len), Expr::inf()),
+                1 => Expr::if_(
+                    BoolExpr::regex(r1),
+                    Expr::constant(0.0),
+                    Expr::if_(BoolExpr::regex(r2), Expr::attr(Attr::Len), Expr::inf()),
+                ),
+                // No `inf` branch at all: every pair must be routable.
+                _ => Expr::if_(
+                    BoolExpr::not(BoolExpr::regex(r1)),
+                    Expr::attr(Attr::Lat),
+                    Expr::attr(Attr::Len),
+                ),
+            };
+            Policy { expr }
+        })
+        .boxed()
+}
+
+/// Depth-bounded rank expression over the full grammar (constants, `inf`,
+/// attributes, sums, regex- and comparison-guarded conditionals, tuples).
+pub fn arb_expr(names: Vec<String>) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0u32..1000).prop_map(|n| Expr::constant(n as f64 / 10.0)),
+        Just(Expr::inf()),
+        arb_attr().prop_map(Expr::attr),
+    ];
+    leaf.prop_recursive(3, 24, 3, move |inner| {
+        let bool_leaf = prop_oneof![
+            arb_path_regex(names.clone()).prop_map(BoolExpr::regex),
+            (
+                prop_oneof![Just(CmpOp::Le), Just(CmpOp::Lt)],
+                arb_attr(),
+                0u32..20
+            )
+                .prop_map(|(op, a, c)| BoolExpr::cmp(
+                    op,
+                    Expr::attr(a),
+                    Expr::constant(c as f64 / 10.0)
+                )),
+        ];
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Add, a, b)),
+            (bool_leaf, inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::if_(c, t, e)),
+            collection::vec(inner.clone(), 2..4).prop_map(Expr::tuple),
+        ]
+    })
+    .boxed()
+}
+
+/// Depth-bounded symbolic regex over the alphabet `0..num_syms` (the
+/// automata-layer [`contra_automata::Regex`], not the policy-layer
+/// [`PathRegex`]).
+pub fn arb_sym_regex(num_syms: u32) -> BoxedStrategy<contra_automata::Regex> {
+    use contra_automata::Regex;
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        Just(Regex::Any),
+        (0u32..num_syms).prop_map(Regex::Sym),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Regex::concat(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Regex::alt(a, b)),
+            inner.prop_map(Regex::star),
+        ]
+    })
+    .boxed()
+}
+
+/// Random word over `0..num_syms`, length `< max_len`.
+pub fn arb_word(num_syms: u32, max_len: usize) -> BoxedStrategy<Vec<u32>> {
+    collection::vec(0u32..num_syms, 0..max_len).boxed()
+}

@@ -1,0 +1,27 @@
+//! Replays every checked-in minimized reproducer under
+//! `fuzz/regressions/` through the full oracle stack (deep tier
+//! included). Each file pins a front-end bug the fuzzer found — or an
+//! oracle-calibration fact — and must stay finding-free forever.
+
+use contra_fuzz::replay_dir;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/regressions")
+}
+
+#[test]
+fn every_checked_in_regression_replays_green() {
+    let dir = corpus_dir();
+    let files = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("missing corpus dir {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "case"))
+        .count();
+    assert!(
+        files >= 3,
+        "regression corpus shrank to {files} file(s) — reproducers must stay checked in"
+    );
+    let (report, failures) = replay_dir(&dir);
+    assert_eq!(failures, 0, "regression replay failed:\n{report}");
+}

@@ -1,0 +1,74 @@
+//! Satellite coverage: diagnostic span bounds over a 200-case seeded
+//! sample of generated (frequently multi-line, frequently mutated)
+//! policies. Every span a front-end rejection or normalization emits
+//! must lie inside the source text, on character boundaries — the
+//! rendering layer slices the source with them.
+
+use contra_core::{normalize, parse_policy, verify_source};
+use contra_fuzz::oracle::span_problem;
+use contra_fuzz::{case_seed, gen_case};
+
+#[test]
+fn diagnostic_spans_stay_inside_generated_sources() {
+    let mut diags = 0usize;
+    for i in 0..200usize {
+        let case = gen_case(case_seed(0xA5A5, i));
+        let Ok(topo) = case.topo.build() else {
+            panic!("generated topo spec must build (case {i})");
+        };
+        let (_, report) = verify_source(&case.policy, &topo);
+        for d in &report.diagnostics {
+            diags += 1;
+            assert!(
+                span_problem(d.span, &case.policy).is_none(),
+                "case {i} ({:#x}): diagnostic {} has bad span {:?} for source {:?}: {}",
+                case.seed,
+                d.code,
+                d.span,
+                case.policy,
+                span_problem(d.span, &case.policy).unwrap()
+            );
+        }
+    }
+    assert!(
+        diags > 50,
+        "sample produced only {diags} diagnostics — generator drifted too clean"
+    );
+}
+
+#[test]
+fn branch_and_guard_spans_stay_inside_multiline_sources() {
+    let mut checked = 0usize;
+    for i in 0..200usize {
+        let case = gen_case(case_seed(0x51AB, i));
+        // Force a multi-line layout regardless of what the generator drew:
+        // newlines stress line/column bookkeeping without changing spans'
+        // byte math, and parse failures are simply skipped (covered above).
+        let src = case.policy.replace(' ', "\n");
+        let Ok(ast) = parse_policy(&src) else {
+            continue;
+        };
+        let Ok(normal) = normalize(&ast) else {
+            continue;
+        };
+        for br in &normal.branches {
+            checked += 1;
+            assert!(
+                span_problem(br.span, &src).is_none(),
+                "case {i}: branch span {:?} invalid for {src:?}",
+                br.span
+            );
+            for g in &br.guards {
+                assert!(
+                    span_problem(g.span, &src).is_none(),
+                    "case {i}: guard span {:?} invalid for {src:?}",
+                    g.span
+                );
+            }
+        }
+    }
+    assert!(
+        checked > 100,
+        "only {checked} branches checked — multi-line sample too thin"
+    );
+}
