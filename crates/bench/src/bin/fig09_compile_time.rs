@@ -4,19 +4,35 @@
 //! Paper shape to reproduce: roughly linear growth, seconds at 500
 //! switches, WP ≥ CA ≥ MU.
 //!
-//! Output: CSV `fig,series,size,seconds` on stdout.
+//! Output: CSV `fig,series,size,seconds` on stdout — one row per
+//! (policy, size) total, plus one `fig09a-stages`/`fig09b-stages` row
+//! per pipeline stage (`series` becomes `POLICY/stage`), from the
+//! compiler's built-in profiler — so the scalability curve decomposes
+//! into parse/normalize/analyze/resolve/determinize/product/tablegen
+//! instead of one opaque number.
 
 use contra_bench::{compiler_policy_suite, csv_row, fast_mode};
-use contra_core::Compiler;
+use contra_core::{Compiler, PipelineProfile};
 use contra_topology::{generators, Topology};
-use std::time::Instant;
 
-fn time_compile(topo: &Topology, policy: &str) -> f64 {
-    let start = Instant::now();
-    let cp = Compiler::new(topo).compile_str(policy).expect("compiles");
-    let secs = start.elapsed().as_secs_f64();
+fn profiled_compile(topo: &Topology, policy: &str) -> PipelineProfile {
+    let (cp, prof) = Compiler::new(topo)
+        .compile_str_profiled(policy)
+        .expect("compiles");
     std::hint::black_box(cp.total_tags());
-    secs
+    prof
+}
+
+fn emit(fig: &str, name: &str, size: usize, prof: &PipelineProfile) {
+    csv_row(fig, name, size, format!("{:.3}", prof.total.as_secs_f64()));
+    for (stage, d) in &prof.stages {
+        csv_row(
+            &format!("{fig}-stages"),
+            &format!("{name}/{stage}"),
+            size,
+            format!("{:.6}", d.as_secs_f64()),
+        );
+    }
 }
 
 fn main() {
@@ -34,8 +50,8 @@ fn main() {
     for &k in &ks {
         let topo = generators::fat_tree(k, 0, generators::LinkSpec::default());
         for (name, policy) in compiler_policy_suite(&topo) {
-            let secs = time_compile(&topo, &policy);
-            csv_row("fig09a", name, topo.num_switches(), format!("{secs:.3}"));
+            let prof = profiled_compile(&topo, &policy);
+            emit("fig09a", name, topo.num_switches(), &prof);
         }
     }
 
@@ -48,8 +64,8 @@ fn main() {
     for &n in &sizes {
         let topo = generators::random_connected(n, 2 * n, generators::LinkSpec::default(), 42);
         for (name, policy) in compiler_policy_suite(&topo) {
-            let secs = time_compile(&topo, &policy);
-            csv_row("fig09b", name, n, format!("{secs:.3}"));
+            let prof = profiled_compile(&topo, &policy);
+            emit("fig09b", name, n, &prof);
         }
     }
     eprintln!("paper: compilation completes in seconds up to 500 nodes, ~linear in size");

@@ -28,6 +28,11 @@
 //! events under either pipeline, so the two figures share a denominator
 //! and the per-cell event counts are hard-asserted equal.
 //!
+//! Each row also surfaces the engine's previously-hidden mechanism
+//! counters — `sched_peak_pending`, `sched_cascades`, `sched_overflow`,
+//! `txdone_coalesced`, `register_collisions` — so scheduler working-set
+//! and coalescing behavior are tracked alongside throughput.
+//!
 //! With `CONTRA_BENCH_REGRESSION_GATE` set (as CI does), the binary also
 //! measures every cell on the recorded baseline's engine — heap
 //! scheduler + per-packet pipeline, both still in this binary — and
@@ -150,6 +155,17 @@ struct Row {
     /// recorded baseline's engine re-measured on *this* machine. Only
     /// taken in gate mode.
     heap_eps: Option<f64>,
+    /// Peak pending events in the scheduler — the wheel's working-set
+    /// high-water mark, previously only visible in a debugger.
+    sched_peak_pending: u64,
+    /// Timing-wheel re-files from coarse to fine levels.
+    sched_cascades: u64,
+    /// Events parked in the wheel's overflow heap.
+    sched_overflow: u64,
+    /// Serializer completions elided by the drain-train pipeline.
+    txdone_coalesced: u64,
+    /// Flowlet + loop register-array collisions, summed over switches.
+    register_collisions: u64,
 }
 
 /// The whole benchmark matrix as one flat cell list (the per-topology
@@ -208,6 +224,16 @@ fn main() {
         eprintln!(
             "sim_throughput: unset CONTRA_LINK_PIPELINE first — the override \
              would collapse the pipeline columns and corrupt BENCH_sim.json"
+        );
+        std::process::exit(2);
+    }
+    // Same reasoning for the telemetry override: a recorder hooked into
+    // every simulator would tax the hot path and record the instrumented
+    // engine's numbers as the throughput trajectory. Refuse to measure.
+    if contra_sim::recorder::telemetry_from_env() == Some(true) {
+        eprintln!(
+            "sim_throughput: unset CONTRA_TELEM first — recorder overhead \
+             would pollute the events/sec trajectory in BENCH_sim.json"
         );
         std::process::exit(2);
     }
@@ -282,6 +308,11 @@ fn main() {
                 baseline_eps,
                 perpkt_eps,
                 heap_eps,
+                sched_peak_pending: r.stats.sched_peak_pending,
+                sched_cascades: r.stats.sched_cascades,
+                sched_overflow: r.stats.sched_overflow,
+                txdone_coalesced: r.stats.txdone_coalesced,
+                register_collisions: r.stats.flowlet_collisions + r.stats.loop_collisions,
             });
         }
     }
@@ -304,7 +335,10 @@ fn main() {
              \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \
              \"baseline_events_per_sec\": {}, \"speedup\": {}, \
              \"perpkt_events_per_sec\": {:.1}, \"pipeline_speedup\": {:.3}, \
-             \"heap_events_per_sec\": {}}}{}\n",
+             \"heap_events_per_sec\": {}, \
+             \"sched_peak_pending\": {}, \"sched_cascades\": {}, \
+             \"sched_overflow\": {}, \"txdone_coalesced\": {}, \
+             \"register_collisions\": {}}}{}\n",
             r.topology,
             r.system,
             r.events,
@@ -321,6 +355,11 @@ fn main() {
             r.heap_eps
                 .map(|h| format!("{h:.1}"))
                 .unwrap_or_else(|| "null".into()),
+            r.sched_peak_pending,
+            r.sched_cascades,
+            r.sched_overflow,
+            r.txdone_coalesced,
+            r.register_collisions,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -20,6 +20,7 @@ use crate::pg::{ProductGraph, VNodeId};
 use crate::rank::Rank;
 use crate::resolve::{resolve_regexes, ResolveError};
 use contra_automata::{Dfa, Regex};
+use contra_telemetry::{PipelineProfile, Profiler};
 use contra_topology::{NodeId, Topology};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -234,88 +235,122 @@ impl<'t> Compiler<'t> {
 
     /// Compiles a parsed policy.
     pub fn compile(&self, policy: &Policy) -> Result<CompiledPolicy, CompileError> {
-        let normal = normalize(policy)?;
-        let analysis = analyze(&normal)?;
+        self.compile_with(policy, &mut Profiler::new(false))
+    }
+
+    /// Compiles a parsed policy and returns a per-stage wall-clock
+    /// breakdown alongside the result (Fig 9 instrumentation). Stage
+    /// names: `normalize`, `analyze`, `resolve`, `determinize` (which
+    /// covers reversal, subset construction and minimization),
+    /// `product`, and `tablegen`, plus the `other` residual; the
+    /// breakdown sums to the measured total by construction.
+    pub fn compile_profiled(
+        &self,
+        policy: &Policy,
+    ) -> Result<(CompiledPolicy, PipelineProfile), CompileError> {
+        let mut prof = Profiler::new(true);
+        let cp = self.compile_with(policy, &mut prof)?;
+        Ok((cp, prof.finish().expect("profiler enabled")))
+    }
+
+    /// The pipeline behind [`Compiler::compile`] and
+    /// [`Compiler::compile_profiled`]: one code path whether or not a
+    /// profile is being taken (a disabled profiler's spans are free).
+    fn compile_with(
+        &self,
+        policy: &Policy,
+        prof: &mut Profiler,
+    ) -> Result<CompiledPolicy, CompileError> {
+        let normal = prof.span("normalize", || normalize(policy))?;
+        let analysis = prof.span("analyze", || analyze(&normal))?;
         let basis = normal.basis();
-        let traffic_regexes = resolve_regexes(&normal.regexes, self.topo)?;
+        let traffic_regexes =
+            prof.span("resolve", || resolve_regexes(&normal.regexes, self.topo))?;
 
-        let alphabet: Vec<u32> = self.topo.switches().iter().map(|s| s.0).collect();
-        let automata: Vec<Dfa> = traffic_regexes
-            .iter()
-            .map(|r| {
-                let dfa = Dfa::from_regex(&r.reverse(), &alphabet);
-                if self.opts.minimize_automata {
-                    dfa.minimize().0
-                } else {
-                    dfa
+        let automata: Vec<Dfa> = prof.span("determinize", || {
+            let alphabet: Vec<u32> = self.topo.switches().iter().map(|s| s.0).collect();
+            traffic_regexes
+                .iter()
+                .map(|r| {
+                    let dfa = Dfa::from_regex(&r.reverse(), &alphabet);
+                    if self.opts.minimize_automata {
+                        dfa.minimize().0
+                    } else {
+                        dfa
+                    }
+                })
+                .collect()
+        });
+
+        let (destinations, pg) = prof.span("product", || {
+            let destinations: Vec<NodeId> = match &self.opts.destinations {
+                Some(d) => d.clone(),
+                None => {
+                    let with_hosts: Vec<NodeId> = self
+                        .topo
+                        .switches()
+                        .into_iter()
+                        .filter(|&s| !self.topo.hosts_of(s).is_empty())
+                        .collect();
+                    if with_hosts.is_empty() {
+                        self.topo.switches()
+                    } else {
+                        with_hosts
+                    }
                 }
-            })
-            .collect();
-
-        let destinations: Vec<NodeId> = match &self.opts.destinations {
-            Some(d) => d.clone(),
-            None => {
-                let with_hosts: Vec<NodeId> = self
-                    .topo
-                    .switches()
-                    .into_iter()
-                    .filter(|&s| !self.topo.hosts_of(s).is_empty())
-                    .collect();
-                if with_hosts.is_empty() {
-                    self.topo.switches()
-                } else {
-                    with_hosts
-                }
-            }
-        };
-
-        let pg = ProductGraph::build(
-            self.topo,
-            &automata,
-            &normal,
-            &destinations,
-            self.opts.prune_pg,
-        );
+            };
+            let pg = ProductGraph::build(
+                self.topo,
+                &automata,
+                &normal,
+                &destinations,
+                self.opts.prune_pg,
+            );
+            (destinations, pg)
+        });
         if pg.is_empty() || pg.sending.is_empty() {
             return Err(CompileError::NoUsefulPaths);
         }
 
-        // Per-switch programs.
-        let mut programs: BTreeMap<NodeId, SwitchProgram> = BTreeMap::new();
-        for sw in self.topo.switches() {
-            let tags = pg.by_switch.get(&sw).cloned().unwrap_or_default();
-            programs.insert(
-                sw,
-                SwitchProgram {
-                    switch: sw,
-                    tags,
-                    next_pg_node: BTreeMap::new(),
-                    multicast: BTreeMap::new(),
-                    sending_vnode: pg.sending.get(&sw).copied(),
-                },
-            );
-        }
-        // Fill multicast (at the probe's current switch) and next_pg_node
-        // (at the receiving switch) from the PG edges.
-        for (v_idx, succs) in pg.out.iter().enumerate() {
-            let v = VNodeId(v_idx as u32);
-            let x = pg.vnode(v).switch;
-            for &w in succs {
-                let y = pg.vnode(w).switch;
-                programs
-                    .get_mut(&x)
-                    .expect("switch program exists")
-                    .multicast
-                    .entry(v)
-                    .or_default()
-                    .push((y, w));
-                programs
-                    .get_mut(&y)
-                    .expect("switch program exists")
-                    .next_pg_node
-                    .insert(v, w);
+        let programs = prof.span("tablegen", || {
+            // Per-switch programs.
+            let mut programs: BTreeMap<NodeId, SwitchProgram> = BTreeMap::new();
+            for sw in self.topo.switches() {
+                let tags = pg.by_switch.get(&sw).cloned().unwrap_or_default();
+                programs.insert(
+                    sw,
+                    SwitchProgram {
+                        switch: sw,
+                        tags,
+                        next_pg_node: BTreeMap::new(),
+                        multicast: BTreeMap::new(),
+                        sending_vnode: pg.sending.get(&sw).copied(),
+                    },
+                );
             }
-        }
+            // Fill multicast (at the probe's current switch) and
+            // next_pg_node (at the receiving switch) from the PG edges.
+            for (v_idx, succs) in pg.out.iter().enumerate() {
+                let v = VNodeId(v_idx as u32);
+                let x = pg.vnode(v).switch;
+                for &w in succs {
+                    let y = pg.vnode(w).switch;
+                    programs
+                        .get_mut(&x)
+                        .expect("switch program exists")
+                        .multicast
+                        .entry(v)
+                        .or_default()
+                        .push((y, w));
+                    programs
+                        .get_mut(&y)
+                        .expect("switch program exists")
+                        .next_pg_node
+                        .insert(v, w);
+                }
+            }
+            programs
+        });
 
         let warnings = analysis.warnings.clone();
         let min_probe_period_ns = self.topo.max_switch_rtt_ns() / 2;
@@ -338,6 +373,18 @@ impl<'t> Compiler<'t> {
     pub fn compile_str(&self, src: &str) -> Result<CompiledPolicy, CompileError> {
         let policy = crate::parser::parse_policy(src)?;
         self.compile(&policy)
+    }
+
+    /// Parse + compile with the per-stage profile (adds a `parse` stage
+    /// ahead of [`Compiler::compile_profiled`]'s pipeline stages).
+    pub fn compile_str_profiled(
+        &self,
+        src: &str,
+    ) -> Result<(CompiledPolicy, PipelineProfile), CompileError> {
+        let mut prof = Profiler::new(true);
+        let policy = prof.span("parse", || crate::parser::parse_policy(src))?;
+        let cp = self.compile_with(&policy, &mut prof)?;
+        Ok((cp, prof.finish().expect("profiler enabled")))
     }
 }
 
@@ -450,6 +497,40 @@ mod tests {
             c.compile_str("minimize(inf)"),
             Err(CompileError::NoUsefulPaths)
         ));
+    }
+
+    #[test]
+    fn compile_profile_sums_to_total() {
+        let topo = fig6_topo();
+        let (cp, prof) = Compiler::new(&topo)
+            .compile_str_profiled(
+                "minimize(if A B D then 0 else if B .* D then path.util else inf)",
+            )
+            .unwrap();
+        assert_eq!(cp.programs.len(), 4, "profiled output matches compile()");
+        let names: Vec<&str> = prof.stages.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "parse",
+                "normalize",
+                "analyze",
+                "resolve",
+                "determinize",
+                "product",
+                "tablegen",
+                "other"
+            ]
+        );
+        // The residual-stage construction makes the breakdown sum to the
+        // measured total (within 1%, the fig09 acceptance bound).
+        let diff = prof.total.abs_diff(prof.stage_sum());
+        assert!(
+            diff <= prof.total / 100,
+            "stage sum {:?} vs total {:?}",
+            prof.stage_sum(),
+            prof.total
+        );
     }
 
     #[test]

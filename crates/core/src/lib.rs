@@ -57,6 +57,7 @@ pub use ast::{
     Attr, BinOp, BoolExpr, BoolExprKind, CmpOp, Expr, ExprKind, PathRegex, PathRegexKind, Policy,
 };
 pub use compiler::{CompileError, CompiledPolicy, Compiler, CompilerOptions, SwitchProgram};
+pub use contra_telemetry::{PipelineProfile, Profiler};
 pub use diag::{Diagnostic, Severity, Span};
 pub use metric::{MetricBasis, MetricVec};
 pub use normal::{normalize, Branch, BranchRank, Guard, MetricExpr, NormalPolicy};

@@ -103,6 +103,9 @@ pub struct ContraSwitch {
     version: u32,
     /// Probes originated + forwarded (overhead accounting in tests).
     pub probes_sent: u64,
+    /// Forwarding-table writes (accepted probe updates) — control-plane
+    /// churn, sampled by the telemetry recorder.
+    pub table_updates: u64,
 }
 
 impl ContraSwitch {
@@ -124,6 +127,7 @@ impl ContraSwitch {
             last_probe_from: Vec::new(),
             version: 0,
             probes_sent: 0,
+            table_updates: 0,
         }
     }
 
@@ -330,6 +334,7 @@ impl ContraSwitch {
         if !accept {
             return;
         }
+        self.table_updates += 1;
         self.fwdt.insert(
             key,
             FwdEntry {
@@ -469,5 +474,9 @@ impl SwitchLogic for ContraSwitch {
 
     fn register_collisions(&self) -> (u64, u64) {
         (self.flowlets.collisions(), self.loops.collisions())
+    }
+
+    fn control_churn(&self) -> (u64, u64) {
+        (self.probes_sent, self.table_updates)
     }
 }

@@ -118,6 +118,9 @@ pub struct RunResult {
     /// Per-packet switch paths, when the scenario enabled
     /// [`crate::Scenario::trace_paths`].
     pub traces: Option<Vec<(FlowId, Vec<NodeId>)>>,
+    /// The telemetry recorder's report (trace events + metrics), when
+    /// the scenario enabled [`crate::Scenario::telemetry`].
+    pub telemetry: Option<contra_telemetry::TelemetryReport>,
     /// Wall-clock seconds the event loop took (excludes compilation and
     /// installation — this is the engine's own throughput window).
     pub wall_secs: f64,

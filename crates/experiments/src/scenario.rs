@@ -101,6 +101,9 @@ pub struct Scenario {
     chaos: Vec<ChaosSpec>,
     audit: Option<bool>,
     queue_sampling: Option<Time>,
+    telemetry: Option<bool>,
+    telemetry_sampling: Option<Time>,
+    telemetry_ring: Option<usize>,
     trace_paths: bool,
     util_tau: Option<Time>,
     min_rto: Option<Time>,
@@ -134,6 +137,9 @@ impl Scenario {
             chaos: Vec::new(),
             audit: None,
             queue_sampling: None,
+            telemetry: None,
+            telemetry_sampling: None,
+            telemetry_ring: None,
             trace_paths: false,
             util_tau: None,
             min_rto: None,
@@ -352,6 +358,34 @@ impl Scenario {
         self
     }
 
+    /// Forces the telemetry recorder on or off for this scenario
+    /// (default: off; the `CONTRA_TELEM` env var still wins over both).
+    /// When on, the run's trace events and metrics land in
+    /// [`RunResult::telemetry`].
+    pub fn telemetry(mut self, on: bool) -> Scenario {
+        self.telemetry = Some(on);
+        self
+    }
+
+    /// Telemetry metric-sampling cadence (implies [`Scenario::telemetry`]
+    /// on; default cadence: 100 µs).
+    pub fn telemetry_sampling(mut self, every: Time) -> Scenario {
+        self.telemetry = Some(true);
+        self.telemetry_sampling = Some(every);
+        self
+    }
+
+    /// Telemetry trace-ring capacity in events (implies
+    /// [`Scenario::telemetry`] on; default: 2^16). When a run outgrows
+    /// the ring the oldest events are evicted — the report's
+    /// `events_evicted` says how many — so size this up when a test
+    /// needs the complete event history.
+    pub fn telemetry_ring(mut self, capacity: usize) -> Scenario {
+        self.telemetry = Some(true);
+        self.telemetry_ring = Some(capacity);
+        self
+    }
+
     /// Records per-packet switch paths (exact loop accounting, §6.5, and
     /// policy-compliance checks); the traces land in
     /// [`RunResult::traces`].
@@ -547,6 +581,16 @@ impl Scenario {
         if let Some(audit) = self.audit {
             cfg.audit = audit;
         }
+        if self.telemetry == Some(true) {
+            let mut tcfg = contra_sim::TelemetryConfig::default();
+            if let Some(every) = self.telemetry_sampling {
+                tcfg.sample_every = every;
+            }
+            if let Some(cap) = self.telemetry_ring {
+                tcfg.ring_capacity = cap;
+            }
+            cfg.telemetry = Some(tcfg);
+        }
 
         // The simulator shares the scenario's topology (`Arc`): building a
         // cell costs no node/link-table copy.
@@ -615,20 +659,16 @@ impl Scenario {
             knob: None,
         };
         let started = std::time::Instant::now();
-        let (stats, traces) = if self.trace_paths {
-            let (stats, traces) = sim.run_traced();
-            (stats, Some(traces))
-        } else {
-            (sim.run(), None)
-        };
+        let out = sim.run_full();
         let wall_secs = started.elapsed().as_secs_f64();
-        let figures = Figures::derive(&stats, self.warmup);
+        let figures = Figures::derive(&out.stats, self.warmup);
         Ok(RunResult {
             system: system.name(),
             scenario: info,
             figures,
-            stats,
-            traces,
+            stats: out.stats,
+            traces: out.traces,
+            telemetry: out.telemetry,
             wall_secs,
             diagnostics,
         })

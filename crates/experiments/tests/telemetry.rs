@@ -1,0 +1,129 @@
+//! The telemetry layer's contract, at the scenario level:
+//!
+//! 1. **Observational neutrality** — run statistics are byte-identical
+//!    with the recorder on or off (the auditor precedent, PR 7).
+//! 2. **Export schema** — the Chrome trace is valid JSON with monotonic
+//!    timestamps and matched begin/end spans per track.
+//! 3. **Determinism** — the same seed yields byte-identical trace and
+//!    metric exports across runs.
+
+use contra_experiments::{Contra, Scenario, Workload};
+use contra_sim::Time;
+use contra_telemetry::{validate_json, Phase, TelemetryReport};
+use std::collections::BTreeMap;
+
+/// A leaf-spine failure cell small enough for debug-build test runs but
+/// busy enough to exercise every recorder hook: TCP churn (cwnd), a
+/// fault epoch with a down/up flap (spans, LinkDown drops), and probe
+/// traffic (control churn).
+fn cell() -> Scenario {
+    Scenario::leaf_spine(2, 2, 2)
+        .load(0.4)
+        .workload(Workload::Cache)
+        .duration(Time::ms(6))
+        .warmup(Time::ms(1))
+        .drain(Time::ms(10))
+        .fail_link("leaf0", "spine0", Time::ms(2))
+        .recover_link("leaf0", "spine0", Time::ms(4))
+        .seed(7)
+}
+
+fn run_report() -> TelemetryReport {
+    cell()
+        .telemetry(true)
+        // Big enough that this cell's full event history is retained
+        // (the span-matching check below needs every Begin).
+        .telemetry_ring(1 << 18)
+        .run(&Contra::dc())
+        .telemetry
+        .expect("telemetry requested (CONTRA_TELEM=0 would disable it)")
+}
+
+#[test]
+fn stats_identical_with_telemetry_on_and_off() {
+    // `CONTRA_TELEM`, when set, forces both arms to the same state; the
+    // equality still holds, it just stops being a contrast.
+    let off = cell().run(&Contra::dc());
+    let on = cell().telemetry(true).run(&Contra::dc());
+    assert_eq!(
+        format!("{:?}", off.stats),
+        format!("{:?}", on.stats),
+        "telemetry must be pure observation"
+    );
+    assert_eq!(format!("{:?}", off.figures), format!("{:?}", on.figures));
+}
+
+#[test]
+fn trace_export_schema_is_well_formed() {
+    let report = run_report();
+    assert!(!report.events.is_empty(), "a busy cell must record events");
+    assert_eq!(report.events_evicted, 0, "sized ring holds this cell");
+
+    // The Chrome trace document parses as JSON.
+    let doc = report.chrome_trace();
+    validate_json(&doc).expect("chrome trace must be valid JSON");
+    // The JSONL export: every line parses on its own.
+    for line in report.events_jsonl().lines() {
+        validate_json(line).expect("jsonl line must be valid JSON");
+    }
+    validate_json(&report.metrics_json()).expect("metrics JSON");
+
+    // Timestamps are monotonic (events drain from the ring in record
+    // order, and the simulator clock never goes backwards).
+    for w in report.events.windows(2) {
+        assert!(w[0].ts_ns <= w[1].ts_ns, "timestamps must be monotonic");
+    }
+
+    // Begin/End spans match per track: never a close without an open,
+    // never an open left dangling at export.
+    let mut depth: BTreeMap<u64, i64> = BTreeMap::new();
+    for e in &report.events {
+        match e.phase {
+            Phase::Begin => *depth.entry(e.track).or_insert(0) += 1,
+            Phase::End => {
+                let d = depth.entry(e.track).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "End without Begin on track {}", e.track);
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        depth.values().all(|&d| d == 0),
+        "open spans at export: {depth:?}"
+    );
+
+    // The fault flap actually showed up.
+    let counts = report.event_counts();
+    assert!(counts.get("fault").copied().unwrap_or(0) >= 2, "{counts:?}");
+    assert!(counts.contains_key("down"), "{counts:?}");
+    assert!(counts.contains_key("deliver"), "{counts:?}");
+
+    // Metric families the README documents.
+    for (name, key_prefix) in [
+        ("link_util", "leaf"),
+        ("queue_depth_bytes", "leaf"),
+        ("cwnd", "flow"),
+        ("probes_sent", "leaf"),
+        ("table_updates", "leaf"),
+        ("events_processed", "engine"),
+    ] {
+        assert!(
+            report
+                .metrics
+                .points_iter()
+                .any(|(n, k, _)| n == name && k.starts_with(key_prefix)),
+            "missing metric series {name} ({key_prefix}*)"
+        );
+    }
+}
+
+#[test]
+fn same_seed_exports_are_byte_identical() {
+    let a = run_report();
+    let b = run_report();
+    assert_eq!(a.chrome_trace(), b.chrome_trace());
+    assert_eq!(a.events_jsonl(), b.events_jsonl());
+    assert_eq!(a.metrics_csv(), b.metrics_csv());
+    assert_eq!(a.metrics_json(), b.metrics_json());
+}

@@ -2,7 +2,9 @@
 
 use crate::link::LinkPipeline;
 use crate::packet::{HDR_BYTES, MSS};
+use crate::recorder::TelemetryConfig;
 use crate::sched::SchedulerKind;
+use crate::stats::QUEUE_SAMPLE_CAP;
 use crate::time::Time;
 
 /// Engine configuration. Defaults follow §6.3 of the paper where one
@@ -17,6 +19,12 @@ pub struct SimConfig {
     pub stop_at: Time,
     /// Sample fabric queue occupancy this often (Fig 13); `None` disables.
     pub queue_sample_every: Option<Time>,
+    /// Hard cap on retained [`crate::stats::QueueSample`] entries.
+    /// Sampling keeps running past the cap (the schedule — and thus
+    /// `events_processed` — is unchanged); overflow is counted in
+    /// [`crate::SimStats::queue_samples_capped`] instead of growing the
+    /// vec without bound. Default: [`QUEUE_SAMPLE_CAP`].
+    pub queue_sample_cap: usize,
     /// TCP minimum/initial retransmission timeout.
     pub min_rto: Time,
     /// TCP initial congestion window in packets.
@@ -45,6 +53,14 @@ pub struct SimConfig {
     /// debug builds; the `CONTRA_SIM_AUDIT` env var overrides this at
     /// construction (`0`/`off`/`false` forces it off, anything else on).
     pub audit: bool,
+    /// Runs the telemetry recorder ([`crate::recorder::Recorder`]):
+    /// structured trace events into a bounded ring plus cadence-sampled
+    /// time-series metrics. Pure observation like the auditor — stats
+    /// are byte-identical either way. `None` (default) disables it; the
+    /// `CONTRA_TELEM` env var overrides this at construction
+    /// (`0`/`off`/`false` forces it off, anything else enables default
+    /// knobs).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for SimConfig {
@@ -54,6 +70,7 @@ impl Default for SimConfig {
             util_tau: Time::us(512),
             stop_at: Time::ms(100),
             queue_sample_every: None,
+            queue_sample_cap: QUEUE_SAMPLE_CAP,
             min_rto: Time::ms(1),
             init_cwnd: 10.0,
             udp_bucket: Time::ms(1),
@@ -61,6 +78,7 @@ impl Default for SimConfig {
             scheduler: SchedulerKind::default(),
             link_pipeline: LinkPipeline::default(),
             audit: cfg!(debug_assertions),
+            telemetry: None,
         }
     }
 }

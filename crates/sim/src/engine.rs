@@ -22,15 +22,29 @@ use crate::config::SimConfig;
 use crate::fault::{Auditor, FaultError};
 use crate::link::{DropReason, LinkState};
 use crate::packet::{FlowId, Packet, PacketKind, PacketPool, HDR_BYTES};
+use crate::recorder::Recorder;
 use crate::sched::EventQueue;
 use crate::stats::{QueueSample, SimStats};
 use crate::switch::{SwitchCtx, SwitchLogic};
 use crate::time::Time;
 use crate::trace::TraceTable;
 use crate::transport::{FlowSpec, Transport, TransportEffect, TransportFx, TransportTimer};
+use contra_telemetry::TelemetryReport;
 use contra_topology::{LinkId, NodeId, Topology};
 
 mod linkops;
+
+/// Everything one run produced; see [`Simulator::run_full`].
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Aggregated run statistics — byte-identical whether or not traces
+    /// or telemetry were enabled.
+    pub stats: SimStats,
+    /// Delivered packet traces (`Some` iff `cfg.trace_paths`).
+    pub traces: Option<Vec<(FlowId, Vec<NodeId>)>>,
+    /// The telemetry recorder's report (`Some` iff `cfg.telemetry`).
+    pub telemetry: Option<TelemetryReport>,
+}
 
 #[derive(Debug)]
 enum Event {
@@ -107,6 +121,9 @@ pub struct Simulator {
     /// The runtime invariant auditor (`cfg.audit`), `None` when off.
     /// Boxed so the disabled case costs one null check per hop.
     audit: Option<Box<Auditor>>,
+    /// The telemetry recorder (`cfg.telemetry`), `None` when off. Like
+    /// the auditor: pure observation, boxed, one null check when off.
+    telem: Option<Box<Recorder>>,
     /// Run statistics (read after [`Simulator::run`]).
     pub stats: SimStats,
 }
@@ -122,6 +139,13 @@ impl Simulator {
         cfg.link_pipeline = cfg.link_pipeline.or_env();
         if let Some(audit) = crate::config::audit_from_env() {
             cfg.audit = audit;
+        }
+        match crate::recorder::telemetry_from_env() {
+            Some(true) if cfg.telemetry.is_none() => {
+                cfg.telemetry = Some(crate::recorder::TelemetryConfig::default());
+            }
+            Some(false) => cfg.telemetry = None,
+            _ => {}
         }
         let links = topo
             .links()
@@ -152,6 +176,10 @@ impl Simulator {
         let transport = Transport::new(cfg.min_rto, cfg.init_cwnd);
         let traces = TraceTable::new(cfg.trace_paths);
         let audit = cfg.audit.then(|| Box::new(Auditor::default()));
+        let telem = cfg
+            .telemetry
+            .as_ref()
+            .map(|t| Box::new(Recorder::new(t, &topo)));
         let mut sim = Simulator {
             topo,
             cfg,
@@ -169,6 +197,7 @@ impl Simulator {
             debug_ttl: std::env::var_os("CONTRA_SIM_DEBUG_TTL").is_some(),
             traces,
             audit,
+            telem,
             stats,
         };
         if let Some(every) = sim.cfg.queue_sample_every {
@@ -334,6 +363,15 @@ impl Simulator {
             self.now = entry.at;
             self.stats.events_processed += 1;
             self.dispatch(entry.ev);
+            // Lazy telemetry cadence: sample at the first event at or
+            // past each boundary. Piggybacking on dispatched events —
+            // instead of scheduling sampling events — keeps
+            // `events_processed` telemetry-invariant.
+            if let Some(rec) = self.telem.as_deref() {
+                if self.now >= rec.next_sample() {
+                    self.telem_sample();
+                }
+            }
         }
         // Fold end-of-run telemetry into the stats: scheduler occupancy
         // and the dataplane's modeled register collisions.
@@ -347,22 +385,44 @@ impl Simulator {
             self.stats.loop_collisions += hloop;
         }
         self.audit_check("end of run");
+        if self.telem.is_some() {
+            // Final sample at the end-of-run instant, then close any
+            // open spans so the exported trace is well-formed.
+            self.telem_sample();
+            let now = self.now;
+            if let Some(rec) = self.telem.as_deref_mut() {
+                rec.finish(now);
+            }
+        }
     }
 
     /// Runs to completion (queue empty, which includes the stop time
     /// being reached — see [`Simulator::push`]) and returns the
     /// statistics.
-    pub fn run(mut self) -> SimStats {
-        self.run_loop();
-        self.stats
+    pub fn run(self) -> SimStats {
+        self.run_full().stats
     }
 
     /// Runs and also returns delivered packet traces (requires
     /// `trace_paths`).
-    pub fn run_traced(mut self) -> (SimStats, Vec<(FlowId, Vec<NodeId>)>) {
+    pub fn run_traced(self) -> (SimStats, Vec<(FlowId, Vec<NodeId>)>) {
         assert!(self.cfg.trace_paths, "enable cfg.trace_paths first");
+        let out = self.run_full();
+        (out.stats, out.traces.expect("trace_paths checked above"))
+    }
+
+    /// Runs to completion and returns everything the run produced:
+    /// statistics, packet traces (when `cfg.trace_paths`), and the
+    /// telemetry report (when `cfg.telemetry`).
+    pub fn run_full(mut self) -> RunOutput {
         self.run_loop();
-        (self.stats, self.traces.into_delivered())
+        let telemetry = self.telem.take().map(|r| r.into_report());
+        let traces = self.cfg.trace_paths.then(|| self.traces.into_delivered());
+        RunOutput {
+            stats: self.stats,
+            traces,
+            telemetry,
+        }
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -376,12 +436,17 @@ impl Simulator {
             Event::TxDone { link, epoch } => self.on_tx_done(link, epoch),
             Event::Tick { node } => self.on_tick(node),
             Event::FlowStart { flow } => {
+                if let Some(rec) = self.telem.as_deref_mut() {
+                    rec.flow_start(self.now, flow);
+                }
                 self.transport.start_flow(flow, self.now, &mut self.tfx);
                 self.apply_transport_fx();
+                self.telem_cwnd(flow);
             }
             Event::RtoCheck { flow, epoch } => {
                 self.transport.on_rto(flow, epoch, self.now, &mut self.tfx);
                 self.apply_transport_fx();
+                self.telem_cwnd(flow);
             }
             Event::UdpSend { flow } => {
                 self.transport.on_udp_send(flow, self.now, &mut self.tfx);
@@ -396,11 +461,18 @@ impl Simulator {
                 for &i in &self.fabric_links {
                     let link = &mut self.links[i as usize];
                     link.sync(self.now);
-                    self.stats.queue_samples.push(QueueSample {
-                        at: self.now,
-                        link: i,
-                        bytes: link.queued_bytes(),
-                    });
+                    // Bounded retention: sampling (and the event
+                    // schedule) continues past the cap, overflow is
+                    // counted instead of stored.
+                    if self.stats.queue_samples.len() < self.cfg.queue_sample_cap {
+                        self.stats.queue_samples.push(QueueSample {
+                            at: self.now,
+                            link: i,
+                            bytes: link.queued_bytes(),
+                        });
+                    } else {
+                        self.stats.queue_samples_capped += 1;
+                    }
                 }
                 if let Some(every) = self.cfg.queue_sample_every {
                     let at = self.now + every;
@@ -422,6 +494,9 @@ impl Simulator {
             return false;
         }
         self.take_link_down(lid);
+        if let Some(rec) = self.telem.as_deref_mut() {
+            rec.link_down(self.now, lid.0);
+        }
         true
     }
 
@@ -433,6 +508,9 @@ impl Simulator {
             return false;
         }
         link.set_up();
+        if let Some(rec) = self.telem.as_deref_mut() {
+            rec.link_up(self.now, lid.0);
+        }
         true
     }
 
@@ -456,6 +534,9 @@ impl Simulator {
                 self.topo.node(b).name
             );
             self.stats.open_fault_epoch(self.now, label, down);
+            if let Some(rec) = self.telem.as_deref_mut() {
+                rec.fault(self.now, self.stats.fault_epochs.len() as u64 - 1, down);
+            }
         }
         for (x, y) in dirs {
             if let Some(l) = self.topo.link_between(x, y) {
@@ -493,6 +574,9 @@ impl Simulator {
                 self.topo.node(node).name
             );
             self.stats.open_fault_epoch(self.now, label, down);
+            if let Some(rec) = self.telem.as_deref_mut() {
+                rec.fault(self.now, self.stats.fault_epochs.len() as u64 - 1, down);
+            }
         }
         for l in incident {
             if down {
@@ -577,6 +661,9 @@ impl Simulator {
             // No logic installed (test harness omission): drop.
             let probe = matches!(pkt.kind, PacketKind::Probe(_));
             self.stats.on_drop_at(DropReason::NoRoute, self.now, probe);
+            if let Some(rec) = self.telem.as_deref_mut() {
+                rec.drop_event(self.now, DropReason::NoRoute, None);
+            }
             self.traces.forget(pkt.id);
             return;
         };
@@ -637,6 +724,9 @@ impl Simulator {
         self.stats.loop_breaks += loop_breaks;
         for (id, probe) in no_route {
             self.stats.on_drop_at(DropReason::NoRoute, self.now, probe);
+            if let Some(rec) = self.telem.as_deref_mut() {
+                rec.drop_event(self.now, DropReason::NoRoute, None);
+            }
             self.traces.forget(id);
         }
         for (next, p) in outs.drain(..) {
@@ -653,14 +743,18 @@ impl Simulator {
                 debug_assert_eq!(pkt.dst_host, host);
                 self.stats.delivered_packets += 1;
                 self.traces.deliver(&pkt);
+                if let Some(rec) = self.telem.as_deref_mut() {
+                    rec.deliver(self.now, pkt.flow.0, pkt.seq);
+                }
                 self.transport.on_data(&pkt, self.now, &mut self.tfx);
                 self.apply_transport_fx();
             }
             PacketKind::Ack { ack_seq, echo_ts } => {
                 let (ack_seq, echo_ts) = (*ack_seq, *echo_ts);
+                let flow = pkt.flow.0;
                 self.traces.forget(pkt.id);
                 self.transport.on_ack(
-                    pkt.flow.0,
+                    flow,
                     ack_seq,
                     echo_ts,
                     self.now,
@@ -668,11 +762,15 @@ impl Simulator {
                     &mut self.stats,
                 );
                 self.apply_transport_fx();
+                self.telem_cwnd(flow);
             }
             PacketKind::Udp => {
                 debug_assert_eq!(pkt.dst_host, host);
                 self.stats.delivered_packets += 1;
                 self.traces.deliver(&pkt);
+                if let Some(rec) = self.telem.as_deref_mut() {
+                    rec.deliver(self.now, pkt.flow.0, pkt.seq);
+                }
                 let payload = pkt.size_bytes.saturating_sub(HDR_BYTES);
                 self.stats.on_udp_delivered(self.now, payload);
             }
@@ -680,5 +778,44 @@ impl Simulator {
                 debug_assert!(false, "probes must never reach hosts");
             }
         }
+    }
+
+    // ---- telemetry ------------------------------------------------------
+
+    /// Records `flow`'s congestion window after a transport action (the
+    /// recorder drops unchanged values).
+    fn telem_cwnd(&mut self, flow: u32) {
+        let Some(rec) = self.telem.as_deref_mut() else {
+            return;
+        };
+        if let Some(cwnd) = self.transport.cwnd_of(flow) {
+            rec.cwnd(self.now, flow, cwnd);
+        }
+    }
+
+    /// Takes one metric sample at the current instant: fabric-link
+    /// utilization and queue depth, cumulative drops by reason,
+    /// per-switch control-plane churn, and engine counters. Syncing a
+    /// link to `now` is observationally neutral (the lazy train fold is
+    /// idempotent — same argument as [`Simulator::audit_check`]).
+    fn telem_sample(&mut self) {
+        let now = self.now;
+        let Some(rec) = self.telem.as_deref_mut() else {
+            return;
+        };
+        for &i in &self.fabric_links {
+            let link = &mut self.links[i as usize];
+            link.sync(now);
+            rec.sample_link(now, i, link.utilization(now), link.queued_bytes());
+        }
+        rec.sample_drops(now, &self.stats);
+        for (n, logic) in self.logics.iter().enumerate() {
+            if let Some(logic) = logic {
+                let (probes, updates) = logic.control_churn();
+                rec.sample_churn(now, n as u32, probes, updates);
+            }
+        }
+        rec.sample_engine(now, self.stats.events_processed);
+        rec.bump_next(now);
     }
 }

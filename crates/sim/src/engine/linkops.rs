@@ -49,6 +49,9 @@ impl Simulator {
                 self.stats
                     .on_drop_at(DropReason::TtlExpired, self.now, false);
                 self.traces.forget(pkt.id);
+                if let Some(rec) = self.telem.as_deref_mut() {
+                    rec.drop_event(self.now, DropReason::TtlExpired, Some(lid.0));
+                }
                 return;
             }
             pkt.ttl -= 1;
@@ -60,6 +63,10 @@ impl Simulator {
         match link.enqueue(pkt, self.now) {
             EnqueueOutcome::StartTx => {
                 self.stats.on_wire(kind, size);
+                if let Some(rec) = self.telem.as_deref_mut() {
+                    // Idle→busy transition: a fresh serializer busy period.
+                    rec.tx_start(self.now, lid.0);
+                }
                 self.start_tx(lid);
             }
             EnqueueOutcome::Queued => {
@@ -72,6 +79,9 @@ impl Simulator {
                 self.stats
                     .on_drop_at(reason, self.now, kind == TrafficKind::Probe);
                 self.traces.forget(id);
+                if let Some(rec) = self.telem.as_deref_mut() {
+                    rec.drop_event(self.now, reason, Some(lid.0));
+                }
             }
         }
     }
@@ -205,6 +215,9 @@ impl Simulator {
             count += 1;
         }
         debug_assert!(count > 0, "commit_train runs only with a non-empty queue");
+        if let Some(rec) = self.telem.as_deref_mut() {
+            rec.train_commit(self.now, lid.0, count);
+        }
         // The tail's completion is a real event, not an elided one.
         if start <= self.cfg.stop_at {
             elided -= 1;
@@ -232,12 +245,18 @@ impl Simulator {
             let probe = matches!(pkt.kind, PacketKind::Probe(_));
             self.stats.on_drop_at(DropReason::LinkDown, self.now, probe);
             self.traces.forget(pkt.id);
+            if let Some(rec) = self.telem.as_deref_mut() {
+                rec.drop_event(self.now, DropReason::LinkDown, Some(lid.0));
+            }
         }
         for (i, entry) in flush.train.iter().enumerate() {
             let pkt = self.pool.cancel(entry.slot, entry.gen);
             let probe = matches!(pkt.kind, PacketKind::Probe(_));
             self.stats.on_drop_at(DropReason::LinkDown, self.now, probe);
             self.traces.forget(pkt.id);
+            if let Some(rec) = self.telem.as_deref_mut() {
+                rec.drop_event(self.now, DropReason::LinkDown, Some(lid.0));
+            }
             // Under the per-packet pipeline this packet never started, so
             // no completion was ever scheduled for it. Keep
             // `events_processed` pipeline-invariant through failures:

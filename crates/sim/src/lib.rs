@@ -42,6 +42,7 @@ pub mod fault;
 pub mod fx;
 pub mod link;
 pub mod packet;
+pub mod recorder;
 pub mod sched;
 pub mod stats;
 pub mod switch;
@@ -51,16 +52,18 @@ pub mod trace;
 pub mod transport;
 
 pub use config::SimConfig;
-pub use engine::Simulator;
+pub use engine::{RunOutput, Simulator};
 pub use fault::FaultError;
 pub use fx::{fx_mix64, FxBuildHasher, FxHashMap, FxHasher64};
 pub use link::{DropReason, LinkPipeline, LinkState, UtilEstimator};
 pub use packet::{
     flow_hash, FlowId, Packet, PacketKind, Probe, HDR_BYTES, INITIAL_TTL, MSS, PROBE_BASE_BYTES,
 };
+pub use recorder::{Recorder, TelemetryConfig};
 pub use sched::{EventQueue, HeapQueue, SchedCounters, SchedEntry, SchedulerKind, TimingWheel};
 pub use stats::{
     percentile, FaultEpoch, FlowRecord, GoodputDip, QueueSample, SimStats, TrafficKind, WireBytes,
+    QUEUE_SAMPLE_CAP,
 };
 pub use switch::{SwitchCtx, SwitchLogic};
 pub use system::{CompileCache, InstallCtx, InstallError, RoutingSystem};
@@ -393,5 +396,82 @@ mod tests {
         let links: std::collections::BTreeSet<u32> =
             stats.queue_samples.iter().map(|s| s.link).collect();
         assert_eq!(links.len(), 2);
+    }
+
+    /// Queue-sample retention is bounded: past the cap, sampling keeps
+    /// running (so the event schedule — and `events_processed` — is
+    /// unchanged) but samples are counted instead of stored.
+    #[test]
+    fn queue_sampling_is_capped() {
+        let run_with_cap = |cap: usize| {
+            let mut sim = Simulator::new(
+                line(),
+                SimConfig {
+                    stop_at: Time::ms(1),
+                    queue_sample_every: Some(Time::us(100)),
+                    queue_sample_cap: cap,
+                    ..SimConfig::default()
+                },
+            );
+            install_static(&mut sim);
+            sim.run()
+        };
+        let unbounded = run_with_cap(usize::MAX);
+        assert_eq!(unbounded.queue_samples_capped, 0);
+        let capped = run_with_cap(4);
+        assert_eq!(capped.queue_samples.len(), 4);
+        assert_eq!(
+            capped.queue_samples_capped,
+            unbounded.queue_samples.len() as u64 - 4
+        );
+        assert_eq!(
+            capped.events_processed, unbounded.events_processed,
+            "the cap must not perturb the event schedule"
+        );
+    }
+
+    /// Telemetry is pure observation: stats are byte-identical with the
+    /// recorder on or off, and the exported trace is non-trivial.
+    #[test]
+    fn telemetry_recorder_is_observationally_neutral() {
+        let run = |telemetry: Option<TelemetryConfig>| {
+            let topo = line();
+            let h0 = topo.find("h0").unwrap();
+            let h1 = topo.find("h1").unwrap();
+            let mut sim = Simulator::new(
+                topo,
+                SimConfig {
+                    stop_at: Time::ms(10),
+                    telemetry,
+                    ..SimConfig::default()
+                },
+            );
+            install_static(&mut sim);
+            sim.add_flow(FlowSpec::Tcp {
+                src: h0,
+                dst: h1,
+                bytes: 500_000,
+                start: Time::ZERO,
+            });
+            sim.run_full()
+        };
+        // `CONTRA_TELEM`, when set, forces both arms to the same state —
+        // the equality below still holds, it just stops being a contrast.
+        let off = run(None);
+        let on = run(Some(TelemetryConfig::default()));
+        assert_eq!(
+            format!("{:?}", off.stats),
+            format!("{:?}", on.stats),
+            "recorder must not perturb the run"
+        );
+        if let Some(report) = &on.telemetry {
+            assert!(!report.events.is_empty());
+            assert!(report.metrics.total_points() > 0);
+        } else {
+            assert!(
+                crate::recorder::telemetry_from_env() == Some(false),
+                "report must exist unless CONTRA_TELEM forced telemetry off"
+            );
+        }
     }
 }

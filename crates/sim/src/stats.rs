@@ -176,6 +176,15 @@ pub struct GoodputDip {
     pub recovered: bool,
 }
 
+/// Default hard cap on retained queue samples
+/// ([`crate::SimConfig::queue_sample_cap`]). A leaf-spine Fig 13 cell at
+/// 1 µs cadence produces ~16 samples per tick, so 2^20 entries covers
+/// runs three orders of magnitude longer than the paper's before
+/// truncation; beyond that, samples are counted
+/// ([`SimStats::queue_samples_capped`]) instead of retained, keeping
+/// memory bounded without perturbing the event schedule.
+pub const QUEUE_SAMPLE_CAP: usize = 1 << 20;
+
 /// A periodic queue-occupancy sample (Fig 13).
 #[derive(Debug, Clone, Copy)]
 pub struct QueueSample {
@@ -197,8 +206,12 @@ pub struct SimStats {
     pub wire_bytes: WireBytes,
     /// Packet drops by reason (sum over all links/switches).
     pub drops: BTreeMap<DropReason, u64>,
-    /// Queue samples (only when sampling is enabled).
+    /// Queue samples (only when sampling is enabled). Bounded by
+    /// [`crate::SimConfig::queue_sample_cap`].
     pub queue_samples: Vec<QueueSample>,
+    /// Samples discarded after `queue_samples` hit its cap (0 in any
+    /// run short enough to retain them all).
+    pub queue_samples_capped: u64,
     /// Payload packets that traversed a forwarding loop (visited the same
     /// switch twice), as detected by the engine's TTL bookkeeping.
     pub looped_packets: u64,

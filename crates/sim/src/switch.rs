@@ -37,6 +37,14 @@ pub trait SwitchLogic {
     fn register_collisions(&self) -> (u64, u64) {
         (0, 0)
     }
+
+    /// Cumulative control-plane churn of this switch, as
+    /// `(probes_sent, table_updates)`. Sampled on a fixed cadence by the
+    /// telemetry recorder to expose probe/table-update rates per switch;
+    /// logic without a control plane reports zero.
+    fn control_churn(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// The environment a switch sees while handling one event.

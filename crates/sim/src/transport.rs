@@ -160,6 +160,15 @@ impl Transport {
         }
     }
 
+    /// The current congestion window (in packets) of a TCP flow —
+    /// `None` for UDP flows and unknown ids. Read by the telemetry
+    /// recorder after transport actions; never consulted by forwarding
+    /// or transport logic itself.
+    pub fn cwnd_of(&self, flow: u32) -> Option<f64> {
+        let f = self.flows.get(flow as usize)?;
+        matches!(f.kind, FlowKind::Tcp).then_some(f.cwnd)
+    }
+
     /// Registers a flow and its [`FlowRecord`]; returns the id, the
     /// start instant, and whether the flow is TCP (the engine schedules
     /// a flow-start or first-datagram event accordingly).

@@ -1,0 +1,159 @@
+//! [`TraceEvent`]: one recorded observation.
+//!
+//! Events are recorded on simulator hot paths, so the representation is
+//! `Copy`, fixed-size and allocation-free: names, categories and
+//! argument keys are `&'static str`, argument values are a small tagged
+//! union, and each event carries at most [`MAX_ARGS`] arguments.
+
+/// Chrome trace-event phase of a recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A point-in-time occurrence (`ph: "i"`).
+    Instant,
+    /// Opens a duration span on its track (`ph: "B"`).
+    Begin,
+    /// Closes the innermost open span on its track (`ph: "E"`).
+    End,
+    /// A sampled counter value (`ph: "C"`).
+    Counter,
+}
+
+impl Phase {
+    /// The Chrome trace-event `ph` letter.
+    pub fn ph(&self) -> char {
+        match self {
+            Phase::Instant => 'i',
+            Phase::Begin => 'B',
+            Phase::End => 'E',
+            Phase::Counter => 'C',
+        }
+    }
+}
+
+/// One event-argument value. Strings must be `'static` — hot-path
+/// recording never allocates; dynamic context (link names, switch
+/// names) is attached once per run via track-name metadata instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgVal {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// Finite float (rendered with fixed 6-decimal formatting so the
+    /// export is byte-deterministic).
+    F(f64),
+    /// Static string.
+    S(&'static str),
+}
+
+impl ArgVal {
+    /// Appends this value as a JSON literal.
+    pub fn push_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            ArgVal::U(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgVal::I(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgVal::F(v) if v.is_finite() => {
+                let _ = write!(out, "{v:.6}");
+            }
+            // JSON has no NaN/Inf literal; null is the conventional stand-in.
+            ArgVal::F(_) => out.push_str("null"),
+            ArgVal::S(s) => {
+                out.push('"');
+                out.push_str(&crate::chrome::json_escape(s));
+                out.push('"');
+            }
+        }
+    }
+}
+
+/// Maximum arguments one event carries; extra `arg()` calls are ignored.
+pub const MAX_ARGS: usize = 3;
+
+/// One recorded observation: a timestamped, phase-tagged, named event on
+/// a numbered track, with up to [`MAX_ARGS`] key/value arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Nanoseconds since the start of the run.
+    pub ts_ns: u64,
+    /// Chrome trace-event phase.
+    pub phase: Phase,
+    /// Event name (the label Perfetto displays).
+    pub name: &'static str,
+    /// Category (Perfetto filter group), e.g. `"link"`, `"flow"`.
+    pub cat: &'static str,
+    /// Track (rendered as a Chrome `tid`); the producer assigns ranges
+    /// per entity class and names them via track metadata.
+    pub track: u64,
+    args: [(&'static str, ArgVal); MAX_ARGS],
+    nargs: u8,
+}
+
+impl TraceEvent {
+    /// A new event with no arguments.
+    pub fn new(
+        ts_ns: u64,
+        phase: Phase,
+        name: &'static str,
+        cat: &'static str,
+        track: u64,
+    ) -> Self {
+        TraceEvent {
+            ts_ns,
+            phase,
+            name,
+            cat,
+            track,
+            args: [("", ArgVal::U(0)); MAX_ARGS],
+            nargs: 0,
+        }
+    }
+
+    /// Attaches an argument (builder style); silently ignored past
+    /// [`MAX_ARGS`] — truncation beats allocation on the hot path.
+    pub fn arg(mut self, key: &'static str, val: ArgVal) -> Self {
+        if (self.nargs as usize) < MAX_ARGS {
+            self.args[self.nargs as usize] = (key, val);
+            self.nargs += 1;
+        }
+        self
+    }
+
+    /// The attached arguments, in attachment order.
+    pub fn args(&self) -> &[(&'static str, ArgVal)] {
+        &self.args[..self.nargs as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_truncate_at_capacity() {
+        let e = TraceEvent::new(5, Phase::Instant, "drop", "link", 1)
+            .arg("a", ArgVal::U(1))
+            .arg("b", ArgVal::I(-2))
+            .arg("c", ArgVal::S("x"))
+            .arg("d", ArgVal::U(9));
+        assert_eq!(e.args().len(), MAX_ARGS);
+        assert_eq!(e.args()[2].0, "c");
+    }
+
+    #[test]
+    fn argval_json_rendering() {
+        let mut s = String::new();
+        ArgVal::F(0.25).push_json(&mut s);
+        assert_eq!(s, "0.250000");
+        s.clear();
+        ArgVal::F(f64::NAN).push_json(&mut s);
+        assert_eq!(s, "null");
+        s.clear();
+        ArgVal::S("a\"b").push_json(&mut s);
+        assert_eq!(s, "\"a\\\"b\"");
+    }
+}

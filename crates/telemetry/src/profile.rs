@@ -1,0 +1,149 @@
+//! Scoped wall-clock profiling for staged pipelines (the policy
+//! compiler's parse → normalize → … → table-gen chain).
+//!
+//! A [`Profiler`] times named spans; [`Profiler::finish`] closes the
+//! books by measuring the total elapsed time and attributing whatever
+//! the named spans did not cover to an explicit `other` stage — so the
+//! per-stage breakdown always sums to the measured total instead of
+//! silently losing the glue between stages.
+
+use std::time::{Duration, Instant};
+
+/// The residual stage name: total elapsed minus the named spans.
+pub const OTHER_STAGE: &str = "other";
+
+/// Per-stage wall-clock breakdown of one pipeline execution.
+#[derive(Debug, Clone)]
+pub struct PipelineProfile {
+    /// `(stage name, elapsed)` in execution order; the last entry is
+    /// always [`OTHER_STAGE`] (possibly zero).
+    pub stages: Vec<(&'static str, Duration)>,
+    /// Total elapsed from profiler construction to finish.
+    pub total: Duration,
+}
+
+impl PipelineProfile {
+    /// Sum of all stage durations (equals [`PipelineProfile::total`] up
+    /// to the saturating clamp on the residual).
+    pub fn stage_sum(&self) -> Duration {
+        self.stages.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// The elapsed time of one stage, if present.
+    pub fn stage(&self, name: &str) -> Option<Duration> {
+        self.stages
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, d)| *d)
+    }
+
+    /// A fixed-width human-readable table (one line per stage plus the
+    /// total), durations in microseconds.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, d) in &self.stages {
+            let _ = writeln!(out, "  {name:<12} {:>12.1} us", d.as_secs_f64() * 1e6);
+        }
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>12.1} us",
+            "total",
+            self.total.as_secs_f64() * 1e6
+        );
+        out
+    }
+}
+
+/// Times named spans; disabled profilers cost one branch per span.
+#[derive(Debug)]
+pub struct Profiler {
+    enabled: bool,
+    started: Option<Instant>,
+    stages: Vec<(&'static str, Duration)>,
+}
+
+impl Profiler {
+    /// A profiler; when `enabled` is false every span is free and
+    /// [`Profiler::finish`] returns `None`.
+    pub fn new(enabled: bool) -> Profiler {
+        Profiler {
+            enabled,
+            started: enabled.then(Instant::now),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Runs `f`, recording its wall-clock time under `name` (repeated
+    /// names accumulate into one stage).
+    pub fn span<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        if !self.enabled {
+            return f();
+        }
+        let t0 = Instant::now();
+        let out = f();
+        let dt = t0.elapsed();
+        match self.stages.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, d)) => *d += dt,
+            None => self.stages.push((name, dt)),
+        }
+        out
+    }
+
+    /// Closes the profile: measures the total and appends the residual
+    /// `other` stage (clamped at zero).
+    pub fn finish(self) -> Option<PipelineProfile> {
+        let started = self.started?;
+        let total = started.elapsed();
+        let named: Duration = self.stages.iter().map(|(_, d)| *d).sum();
+        let mut stages = self.stages;
+        stages.push((OTHER_STAGE, total.saturating_sub(named)));
+        Some(PipelineProfile { stages, total })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_sum_to_total() {
+        let mut p = Profiler::new(true);
+        let x = p.span("parse", || (0..1000).sum::<u64>());
+        assert_eq!(x, 499_500);
+        p.span("normalize", || {
+            std::thread::sleep(Duration::from_micros(200))
+        });
+        p.span("parse", || {}); // repeated name accumulates
+        let prof = p.finish().expect("enabled");
+        assert_eq!(prof.stages.last().unwrap().0, OTHER_STAGE);
+        assert_eq!(prof.stages.len(), 3, "parse, normalize, other");
+        // The residual construction makes the sum ≈ total exactly.
+        let sum = prof.stage_sum();
+        let diff = prof.total.abs_diff(sum);
+        assert!(
+            diff <= prof.total / 100,
+            "stage sum {sum:?} vs total {:?}",
+            prof.total
+        );
+        assert!(prof.stage("normalize").unwrap() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn disabled_profiler_returns_none() {
+        let mut p = Profiler::new(false);
+        p.span("parse", || {});
+        assert!(p.finish().is_none());
+    }
+
+    #[test]
+    fn render_mentions_every_stage() {
+        let mut p = Profiler::new(true);
+        p.span("parse", || {});
+        let prof = p.finish().unwrap();
+        let table = prof.render();
+        assert!(table.contains("parse"));
+        assert!(table.contains("other"));
+        assert!(table.contains("total"));
+    }
+}
