@@ -69,6 +69,11 @@ impl SwitchLogic for EcmpSwitch {
             .expect("k < n_live");
         ctx.send(pick, pkt);
     }
+
+    // Hashes over live links only — never reads utilization.
+    fn reads_link_util(&self) -> bool {
+        false
+    }
 }
 
 /// Single static shortest path; no load awareness, no failure awareness.
@@ -105,6 +110,11 @@ impl SwitchLogic for SpSwitch {
             Some(nh) => ctx.send(nh, pkt),
             None => ctx.drop_no_route(pkt),
         }
+    }
+
+    // Static paths — never reads utilization.
+    fn reads_link_util(&self) -> bool {
+        false
     }
 }
 

@@ -198,6 +198,11 @@ impl SwitchLogic for SpainSwitch {
             None => ctx.drop_no_route(pkt),
         }
     }
+
+    // VLAN selection is by flow hash — never reads utilization.
+    fn reads_link_util(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

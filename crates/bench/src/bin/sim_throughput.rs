@@ -35,7 +35,8 @@
 //!
 //! With `CONTRA_BENCH_REGRESSION_GATE` set (as CI does), the binary also
 //! measures every cell on the recorded baseline's engine — heap
-//! scheduler + per-packet pipeline, both still in this binary — and
+//! scheduler, per-packet pipeline, boxed switch dispatch and per-send
+//! transport effects, all still in this binary — and
 //! exits nonzero when any cell regresses more than 10% below its
 //! recorded baseline *after rescaling the baseline by the measured
 //! machine speed* (geomean of heap-now / heap-recorded), or when the
@@ -47,15 +48,16 @@
 use contra_baselines::{Ecmp, Hula, Sp};
 use contra_bench::{fast_mode, Scenario};
 use contra_dataplane::Contra;
-use contra_experiments::{run_cells, Jobs, RunResult, SweepCell};
+use contra_experiments::{run_cells, DispatchMode, Jobs, RunResult, SweepCell};
 use contra_sim::{CompileCache, LinkPipeline, RoutingSystem, SchedulerKind, Time};
 use std::time::Instant;
 
 /// Pre-change baseline, events/sec, measured at the flat-hot-path engine
 /// before the timing-wheel event scheduler (PR 2, commit fd51bd8; that
-/// engine — `BinaryHeap` event queue, per-packet link pipeline — is
-/// still runnable via `SimConfig::scheduler = SchedulerKind::Heap` +
-/// `SimConfig::link_pipeline = LinkPipeline::PerPacket`), with the same
+/// engine — `BinaryHeap` event queue, per-packet link pipeline, boxed
+/// switch dispatch, per-segment transport sends — is still runnable via
+/// `SchedulerKind::Heap` + `LinkPipeline::PerPacket` +
+/// `DispatchMode::Dyn` + `burst_sends(false)`), with the same
 /// instrumentation and scenarios: `(mode, topology, system,
 /// events_per_sec)`. History: the PR 1 seed engine measured a 1.62x
 /// geomean *below* these numbers on the same machine class; PR 4
@@ -227,6 +229,17 @@ fn main() {
         );
         std::process::exit(2);
     }
+    // Same reasoning for the dispatch override: it would force every
+    // cell — including the measured rows — onto the boxed oracle and
+    // record the devirtualized engine's trajectory from the wrong
+    // engine. Refuse to measure.
+    if DispatchMode::from_env().is_some() {
+        eprintln!(
+            "sim_throughput: unset CONTRA_DISPATCH first — the override \
+             would collapse the dispatch paths and corrupt BENCH_sim.json"
+        );
+        std::process::exit(2);
+    }
     // Same reasoning for the telemetry override: a recorder hooked into
     // every simulator would tax the hot path and record the instrumented
     // engine's numbers as the throughput trajectory. Refuse to measure.
@@ -264,14 +277,18 @@ fn main() {
             );
             let perpkt_eps = p.stats.events_processed as f64 / p.wall_secs.max(1e-12);
             // Gate mode: re-measure the cell on the in-binary pre-change
-            // engine (heap scheduler + per-packet pipeline) to calibrate
-            // the recorded baseline to this machine's speed.
+            // engine (heap scheduler, per-packet pipeline, boxed switch
+            // dispatch, one Send effect per packet — the stack the
+            // BASELINE constant was recorded on) to calibrate the
+            // recorded baseline to this machine's speed.
             let heap_eps = gate.then(|| {
                 let h = best_of(
                     &scenario
                         .clone()
                         .scheduler(SchedulerKind::Heap)
-                        .link_pipeline(LinkPipeline::PerPacket),
+                        .link_pipeline(LinkPipeline::PerPacket)
+                        .dispatch(DispatchMode::Dyn)
+                        .burst_sends(false),
                     system.as_ref(),
                     &cache,
                     reps,
@@ -335,8 +352,7 @@ fn main() {
              \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \
              \"baseline_events_per_sec\": {}, \"speedup\": {}, \
              \"perpkt_events_per_sec\": {:.1}, \"pipeline_speedup\": {:.3}, \
-             \"heap_events_per_sec\": {}, \
-             \"sched_peak_pending\": {}, \"sched_cascades\": {}, \
+             {}\"sched_peak_pending\": {}, \"sched_cascades\": {}, \
              \"sched_overflow\": {}, \"txdone_coalesced\": {}, \
              \"register_collisions\": {}}}{}\n",
             r.topology,
@@ -352,9 +368,11 @@ fn main() {
                 .unwrap_or_else(|| "null".into()),
             r.perpkt_eps,
             r.events_per_sec / r.perpkt_eps,
+            // The oracle column is measured only in gate mode — the key
+            // is omitted, not recorded as null, when absent.
             r.heap_eps
-                .map(|h| format!("{h:.1}"))
-                .unwrap_or_else(|| "null".into()),
+                .map(|h| format!("\"heap_events_per_sec\": {h:.1}, "))
+                .unwrap_or_default(),
             r.sched_peak_pending,
             r.sched_cascades,
             r.sched_overflow,

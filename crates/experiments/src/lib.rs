@@ -36,12 +36,14 @@
 //! and results come back in exact sweep order, byte-identical to the
 //! serial path. [`Scenario::matrix`] is a thin wrapper over it.
 
+pub mod dispatch;
 pub mod fault;
 pub mod result;
 pub mod scenario;
 pub mod spec;
 pub mod sweep;
 
+pub use dispatch::{DispatchMode, SwitchDispatch};
 pub use fault::{ChaosSpec, FaultCmd, FaultPlan, FaultTarget};
 pub use result::{aggregate_seeds, Band, Figures, RunResult, ScenarioInfo, SeedSummary};
 pub use scenario::{Pairs, Scenario, Traffic, Workload};

@@ -6,6 +6,7 @@
 //! [`RoutingSystem`] is a method call; sweeping the cartesian product of
 //! systems × loads is [`Scenario::matrix`].
 
+use crate::dispatch::{DispatchMode, SwitchDispatch};
 use crate::fault::{ChaosSpec, FaultCmd, FaultPlan, FaultTarget};
 use crate::result::{Figures, RunResult, ScenarioInfo};
 use crate::sweep::{Jobs, SweepSpec};
@@ -110,6 +111,8 @@ pub struct Scenario {
     udp_bucket: Option<Time>,
     scheduler: SchedulerKind,
     link_pipeline: LinkPipeline,
+    dispatch: DispatchMode,
+    burst_sends: Option<bool>,
     extra_flows: Vec<FlowSpec>,
     jobs: Jobs,
     verify_policy: bool,
@@ -146,6 +149,8 @@ impl Scenario {
             udp_bucket: None,
             scheduler: SchedulerKind::default(),
             link_pipeline: LinkPipeline::default(),
+            dispatch: DispatchMode::default(),
+            burst_sends: None,
             extra_flows: Vec::new(),
             jobs: Jobs::Serial,
             verify_policy: false,
@@ -431,6 +436,28 @@ impl Scenario {
         self
     }
 
+    /// Selects the switch-logic dispatch strategy (default:
+    /// [`DispatchMode::Enum`], which repacks the installed boxes into
+    /// [`SwitchDispatch`]'s inline variants). Both modes produce
+    /// byte-identical results; the boxed path remains as a differential
+    /// oracle — see the dispatch-parity test suite. The `CONTRA_DISPATCH`
+    /// env var overrides whatever is set here at run time (mirroring
+    /// `CONTRA_LINK_PIPELINE`).
+    pub fn dispatch(mut self, mode: DispatchMode) -> Scenario {
+        self.dispatch = mode;
+        self
+    }
+
+    /// Toggles batched ACK-clocked sends (default on): each transport
+    /// handler emits one described `SendBurst` effect for a window's
+    /// worth of segments instead of one `Send` per packet. Both settings
+    /// produce byte-identical results — the per-send path remains as a
+    /// differential oracle; see the dispatch-parity suite's burst test.
+    pub fn burst_sends(mut self, on: bool) -> Scenario {
+        self.burst_sends = Some(on);
+        self
+    }
+
     /// Adds an explicit flow on top of (or instead of, with
     /// [`Traffic::None`]) the generated traffic.
     pub fn flow(mut self, flow: FlowSpec) -> Scenario {
@@ -569,6 +596,9 @@ impl Scenario {
             link_pipeline: self.link_pipeline,
             ..SimConfig::default()
         };
+        if let Some(burst) = self.burst_sends {
+            cfg.burst_sends = burst;
+        }
         if let Some(tau) = self.util_tau {
             cfg.util_tau = tau;
         }
@@ -623,6 +653,14 @@ impl Scenario {
             }
             None => Vec::new(),
         };
+
+        // Devirtualize the hot path: repack each installed box into the
+        // static-dispatch enum (or keep everything boxed under
+        // `CONTRA_DISPATCH=dyn` — the differential oracle). From here on
+        // the engine is a `SimCore<SwitchDispatch>`.
+        let mode = self.dispatch.or_env();
+        let mut sim = sim.map_logics(|b| SwitchDispatch::convert(b, mode));
+
         for c in &faults {
             let res = match (&c.target, c.up) {
                 (FaultTarget::Cable(a, b), false) => {

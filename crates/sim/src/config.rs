@@ -45,6 +45,13 @@ pub struct SimConfig {
     /// statistics; the `CONTRA_LINK_PIPELINE` env var overrides this at
     /// construction (mirroring `CONTRA_JOBS`).
     pub link_pipeline: LinkPipeline,
+    /// Emit window-opening TCP sends as one described
+    /// [`crate::transport::TransportEffect::SendBurst`] per handler
+    /// (default) instead of one `Send` effect per packet. Both settings
+    /// produce byte-identical statistics — the burst is the same packets
+    /// with the same ids on the same schedule, minted at effect-apply
+    /// time; the per-send path is kept as the differential oracle.
+    pub burst_sends: bool,
     /// Runs the runtime invariant auditor: packet conservation, pool and
     /// trace-table leak freedom, queue-occupancy bounds, dead-epoch
     /// detection — checked at every fault epoch and at end of run. Pure
@@ -77,6 +84,7 @@ impl Default for SimConfig {
             trace_paths: false,
             scheduler: SchedulerKind::default(),
             link_pipeline: LinkPipeline::default(),
+            burst_sends: true,
             audit: cfg!(debug_assertions),
             telemetry: None,
         }

@@ -34,7 +34,7 @@ use contra_topology::{LinkId, NodeId, Topology};
 
 mod linkops;
 
-/// Everything one run produced; see [`Simulator::run_full`].
+/// Everything one run produced; see [`SimCore::run_full`].
 #[derive(Debug)]
 pub struct RunOutput {
     /// Aggregated run statistics — byte-identical whether or not traces
@@ -66,12 +66,18 @@ enum Event {
     TxDone { link: LinkId, epoch: u64 },
     /// Periodic switch timer.
     Tick { node: NodeId },
-    /// A TCP flow becomes active.
-    FlowStart { flow: u32 },
+    /// A TCP flow becomes active. Flow-scoped events carry the flow
+    /// slot's generation at schedule time: the flow arena reuses retired
+    /// slots, and a stale generation means the event belongs to a
+    /// previous occupant and must be a no-op.
+    FlowStart { flow: u32, gen: u32 },
     /// RTO deadline check.
-    RtoCheck { flow: u32, epoch: u64 },
+    RtoCheck { flow: u32, gen: u32, epoch: u64 },
     /// Next UDP datagram.
-    UdpSend { flow: u32 },
+    UdpSend { flow: u32, gen: u32 },
+    /// Retire a flow: vacate its arena slot (see
+    /// [`SimCore::retire_flow_at`]).
+    FlowRetire { flow: u32, gen: u32 },
     /// Take both directions of a cable down.
     LinkDown { a: NodeId, b: NodeId },
     /// Bring both directions back up.
@@ -85,15 +91,26 @@ enum Event {
     QueueSample,
 }
 
-/// The simulator: topology + links + switch logic + transports + clock.
-pub struct Simulator {
+/// The boxed-dispatch simulator — the installation surface. Routing
+/// systems install `Box<dyn SwitchLogic>` values here (unsize coercion
+/// keeps every `sim.install(sw, Box::new(...))` call site working); the
+/// experiment layer then converts the core to static enum dispatch via
+/// [`SimCore::map_logics`] before running, leaving the boxed path as the
+/// extension seam and differential oracle.
+pub type Simulator = SimCore<Box<dyn SwitchLogic>>;
+
+/// The simulator core: topology + links + switch logic + transports +
+/// clock, generic over the switch-logic type `L` so the per-event
+/// dispatch in the hot loop is a static call (or an enum match) instead
+/// of a mandatory virtual call through `Box<dyn SwitchLogic>`.
+pub struct SimCore<L: SwitchLogic> {
     /// Shared, immutable during a run. `Arc` so parallel sweeps hand the
     /// same topology to every cell's simulator instead of deep-cloning
     /// node/link tables once per cell.
     topo: std::sync::Arc<Topology>,
     cfg: SimConfig,
     links: Vec<LinkState>,
-    logics: Vec<Option<Box<dyn SwitchLogic>>>,
+    logics: Vec<Option<L>>,
     tick_of: Vec<Option<Time>>,
     /// The host endpoints (TCP/UDP state machines).
     transport: Transport,
@@ -124,16 +141,16 @@ pub struct Simulator {
     /// The telemetry recorder (`cfg.telemetry`), `None` when off. Like
     /// the auditor: pure observation, boxed, one null check when off.
     telem: Option<Box<Recorder>>,
-    /// Run statistics (read after [`Simulator::run`]).
+    /// Run statistics (read after [`SimCore::run`]).
     pub stats: SimStats,
 }
 
-impl Simulator {
+impl<L: SwitchLogic> SimCore<L> {
     /// Creates a simulator over a topology. Accepts an owned [`Topology`]
     /// or an `Arc<Topology>`; sweeps pass the latter so every cell shares
     /// one allocation. The `CONTRA_LINK_PIPELINE` env var, when set,
     /// overrides `cfg.link_pipeline` here.
-    pub fn new(topo: impl Into<std::sync::Arc<Topology>>, cfg: SimConfig) -> Simulator {
+    pub fn new(topo: impl Into<std::sync::Arc<Topology>>, cfg: SimConfig) -> SimCore<L> {
         let topo = topo.into();
         let mut cfg = cfg;
         cfg.link_pipeline = cfg.link_pipeline.or_env();
@@ -173,14 +190,14 @@ impl Simulator {
             .map(|(i, _)| i as u32)
             .collect();
         let queue = EventQueue::new(cfg.scheduler);
-        let transport = Transport::new(cfg.min_rto, cfg.init_cwnd);
+        let transport = Transport::new(cfg.min_rto, cfg.init_cwnd, cfg.burst_sends);
         let traces = TraceTable::new(cfg.trace_paths);
         let audit = cfg.audit.then(|| Box::new(Auditor::default()));
         let telem = cfg
             .telemetry
             .as_ref()
             .map(|t| Box::new(Recorder::new(t, &topo)));
-        let mut sim = Simulator {
+        let mut sim = SimCore {
             topo,
             cfg,
             links,
@@ -213,7 +230,12 @@ impl Simulator {
 
     /// Installs dataplane logic on a switch. Ticks are staggered
     /// deterministically per switch so probe rounds do not synchronize.
-    pub fn install(&mut self, node: NodeId, logic: Box<dyn SwitchLogic>) {
+    ///
+    /// On the [`Simulator`] alias `L` is `Box<dyn SwitchLogic>`, so any
+    /// `Box::new(ConcreteSwitch { .. })` coerces at the call site —
+    /// installation stays object-typed even when the run will use static
+    /// dispatch (see [`SimCore::map_logics`]).
+    pub fn install(&mut self, node: NodeId, logic: L) {
         assert!(self.topo.is_switch(node), "{node} is not a switch");
         if let Some(t) = logic.tick_interval() {
             assert!(t.0 > 0, "tick interval must be positive");
@@ -224,16 +246,91 @@ impl Simulator {
         self.logics[node.0 as usize] = Some(logic);
     }
 
+    /// Converts the switch-logic representation in place — the
+    /// devirtualization step. Called after installation (and before the
+    /// run) to repack `Box<dyn SwitchLogic>` values into a static enum;
+    /// everything else (queue contents, tick schedule, flows, links)
+    /// moves across untouched, so the conversion is observationally
+    /// invisible: the event schedule, including the tick stagger
+    /// computed at install time, is already fixed.
+    pub fn map_logics<M: SwitchLogic>(self, mut f: impl FnMut(L) -> M) -> SimCore<M> {
+        let SimCore {
+            topo,
+            cfg,
+            links,
+            logics,
+            tick_of,
+            transport,
+            queue,
+            now,
+            pool,
+            out_buf,
+            tfx,
+            fabric_links,
+            fabric_link,
+            debug_ttl,
+            traces,
+            audit,
+            telem,
+            stats,
+        } = self;
+        SimCore {
+            topo,
+            cfg,
+            links,
+            logics: logics.into_iter().map(|l| l.map(&mut f)).collect(),
+            tick_of,
+            transport,
+            queue,
+            now,
+            pool,
+            out_buf,
+            tfx,
+            fabric_links,
+            fabric_link,
+            debug_ttl,
+            traces,
+            audit,
+            telem,
+            stats,
+        }
+    }
+
     /// Registers a flow; returns its id.
     pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
-        let (id, start, is_tcp) = self.transport.add_flow(spec, &self.topo, &mut self.stats);
+        let (id, gen, start, is_tcp) = self.transport.add_flow(spec, &self.topo, &mut self.stats);
         let ev = if is_tcp {
-            Event::FlowStart { flow: id.0 }
+            Event::FlowStart { flow: id.0, gen }
         } else {
-            Event::UdpSend { flow: id.0 }
+            Event::UdpSend { flow: id.0, gen }
         };
         self.push(start, ev);
         id
+    }
+
+    /// Retires a flow immediately: vacates its arena slot (sender and
+    /// receiver state) and invalidates every timer armed against it via
+    /// the generation bump. The slot becomes reusable by a later
+    /// [`SimCore::add_flow`]; the flow's [`crate::stats::FlowRecord`]
+    /// stays as-is (its `finish` remains `None` unless the flow already
+    /// completed). Returns whether the slot was live.
+    pub fn retire_flow(&mut self, flow: FlowId) -> bool {
+        match self.transport.gen_of(flow.0) {
+            Some(gen) => self.transport.retire(flow.0, gen),
+            None => false,
+        }
+    }
+
+    /// Schedules a retirement at `at`. The slot generation is captured
+    /// now, so if the flow is retired (and its slot possibly reused)
+    /// before the event fires, the event is a no-op instead of killing
+    /// the new occupant. Returns `false` for an already-vacant slot.
+    pub fn retire_flow_at(&mut self, flow: FlowId, at: Time) -> bool {
+        let Some(gen) = self.transport.gen_of(flow.0) else {
+            return false;
+        };
+        self.push(at, Event::FlowRetire { flow: flow.0, gen });
+        true
     }
 
     /// The shared validation behind every cable-fault call: the cable
@@ -359,6 +456,19 @@ impl Simulator {
     /// The shared event loop behind [`Simulator::run`] and
     /// [`Simulator::run_traced`].
     fn run_loop(&mut self) {
+        // Feed the per-link utilization estimators only when something
+        // can observe them: an installed logic that reads utilization,
+        // or a telemetry recorder sampling links. Otherwise the decay
+        // fold on every transmission is dead weight (ECMP/SP/SPAIN).
+        let track_util = self.telem.is_some()
+            || self
+                .logics
+                .iter()
+                .flatten()
+                .any(|logic| logic.reads_link_util());
+        for link in &mut self.links {
+            link.track_util = track_util;
+        }
         while let Some(entry) = self.queue.pop() {
             self.now = entry.at;
             self.stats.events_processed += 1;
@@ -373,8 +483,10 @@ impl Simulator {
                 }
             }
         }
-        // Fold end-of-run telemetry into the stats: scheduler occupancy
-        // and the dataplane's modeled register collisions.
+        // Fold end-of-run telemetry into the stats: the open UDP
+        // delivery bucket, scheduler occupancy and the dataplane's
+        // modeled register collisions.
+        self.stats.flush_udp();
         let sched = self.queue.counters();
         self.stats.sched_peak_pending = sched.peak_pending;
         self.stats.sched_cascades = sched.cascades;
@@ -435,22 +547,30 @@ impl Simulator {
             } => self.on_arrive(node, from, pkt, gen),
             Event::TxDone { link, epoch } => self.on_tx_done(link, epoch),
             Event::Tick { node } => self.on_tick(node),
-            Event::FlowStart { flow } => {
-                if let Some(rec) = self.telem.as_deref_mut() {
-                    rec.flow_start(self.now, flow);
+            Event::FlowStart { flow, gen } => {
+                if self.telem.is_some() && self.transport.live(flow, gen) {
+                    if let Some(rec) = self.telem.as_deref_mut() {
+                        rec.flow_start(self.now, flow);
+                    }
                 }
-                self.transport.start_flow(flow, self.now, &mut self.tfx);
+                self.transport
+                    .start_flow(flow, gen, self.now, &mut self.tfx);
                 self.apply_transport_fx();
                 self.telem_cwnd(flow);
             }
-            Event::RtoCheck { flow, epoch } => {
-                self.transport.on_rto(flow, epoch, self.now, &mut self.tfx);
+            Event::RtoCheck { flow, gen, epoch } => {
+                self.transport
+                    .on_rto(flow, gen, epoch, self.now, &mut self.tfx);
                 self.apply_transport_fx();
                 self.telem_cwnd(flow);
             }
-            Event::UdpSend { flow } => {
-                self.transport.on_udp_send(flow, self.now, &mut self.tfx);
+            Event::UdpSend { flow, gen } => {
+                self.transport
+                    .on_udp_send(flow, gen, self.now, &mut self.tfx);
                 self.apply_transport_fx();
+            }
+            Event::FlowRetire { flow, gen } => {
+                self.transport.retire(flow, gen);
             }
             Event::LinkDown { a, b } => self.on_cable_fault(a, b, true),
             Event::LinkUp { a, b } => self.on_cable_fault(a, b, false),
@@ -621,10 +741,19 @@ impl Simulator {
         for effect in fx.drain(..) {
             match effect {
                 TransportEffect::Send { src, via, pkt } => self.transmit(src, via, pkt),
+                TransportEffect::SendBurst {
+                    flow,
+                    src,
+                    via,
+                    first_seq,
+                    count,
+                } => self.send_burst(flow, src, via, first_seq, count),
                 TransportEffect::Timer { at, timer } => {
                     let ev = match timer {
-                        TransportTimer::Rto { flow, epoch } => Event::RtoCheck { flow, epoch },
-                        TransportTimer::UdpSend { flow } => Event::UdpSend { flow },
+                        TransportTimer::Rto { flow, gen, epoch } => {
+                            Event::RtoCheck { flow, gen, epoch }
+                        }
+                        TransportTimer::UdpSend { flow, gen } => Event::UdpSend { flow, gen },
                     };
                     self.push(at, ev);
                 }
@@ -657,7 +786,7 @@ impl Simulator {
         {
             self.stats.looped_packets += 1;
         }
-        let Some(mut logic) = self.logics[node.0 as usize].take() else {
+        if self.logics[node.0 as usize].is_none() {
             // No logic installed (test harness omission): drop.
             let probe = matches!(pkt.kind, PacketKind::Probe(_));
             self.stats.on_drop_at(DropReason::NoRoute, self.now, probe);
@@ -666,7 +795,10 @@ impl Simulator {
             }
             self.traces.forget(pkt.id);
             return;
-        };
+        }
+        // Borrow the logic in place (disjoint fields, no move): the old
+        // take/put-back dance moved the logic value twice per event,
+        // which a wide enum dispatch type would turn into two memcpys.
         let mut ctx = SwitchCtx::new(
             node,
             self.now,
@@ -674,8 +806,10 @@ impl Simulator {
             &self.links,
             std::mem::take(&mut self.out_buf),
         );
+        let logic = self.logics[node.0 as usize]
+            .as_mut()
+            .expect("presence checked above");
         logic.on_packet(&mut ctx, pkt, from);
-        self.logics[node.0 as usize] = Some(logic);
         let SwitchCtx {
             out,
             loop_breaks,
@@ -686,9 +820,9 @@ impl Simulator {
     }
 
     fn on_tick(&mut self, node: NodeId) {
-        let Some(mut logic) = self.logics[node.0 as usize].take() else {
+        if self.logics[node.0 as usize].is_none() {
             return;
-        };
+        }
         let mut ctx = SwitchCtx::new(
             node,
             self.now,
@@ -696,8 +830,10 @@ impl Simulator {
             &self.links,
             std::mem::take(&mut self.out_buf),
         );
+        let logic = self.logics[node.0 as usize]
+            .as_mut()
+            .expect("presence checked above");
         logic.on_tick(&mut ctx);
-        self.logics[node.0 as usize] = Some(logic);
         let SwitchCtx {
             out,
             loop_breaks,

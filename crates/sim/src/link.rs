@@ -208,6 +208,20 @@ pub struct LinkState {
     /// Bumped on every `set_down`, so in-flight serializer-completion
     /// events from before a failure can be recognized as stale.
     pub epoch: u64,
+    /// Whether the utilization estimator is fed at all. The engine
+    /// clears this before a run when nothing can observe the estimate —
+    /// no installed logic reads utilization
+    /// ([`crate::switch::SwitchLogic::reads_link_util`]) and no
+    /// telemetry recorder samples links — so purely static systems
+    /// (ECMP, SP, SPAIN) skip the per-transmission decay fold.
+    pub(crate) track_util: bool,
+    /// Last `(size, tx_time)` computed for this link. Capacity is fixed
+    /// for a link's lifetime and traffic on one *directed* link is
+    /// near-homogeneous (full segments one way, ACKs the other), so this
+    /// one-entry memo removes the floating-point round from almost every
+    /// serialization. Pure memoization: identical values, byte-identical
+    /// schedules.
+    tx_memo: (u32, Time),
 }
 
 /// What `enqueue` decided.
@@ -238,7 +252,23 @@ impl LinkState {
             bytes_tx: 0,
             drops: 0,
             epoch: 0,
+            track_util: true,
+            // Size 0 never occurs (every packet carries headers), so the
+            // sentinel can never mask a real lookup.
+            tx_memo: (0, Time::ZERO),
         }
+    }
+
+    /// Serialization time of `bytes` on this link, through the one-entry
+    /// memo.
+    #[inline]
+    pub(crate) fn tx_of(&mut self, bytes: u32) -> Time {
+        if self.tx_memo.0 == bytes {
+            return self.tx_memo.1;
+        }
+        let t = tx_time(bytes, self.bandwidth_bps);
+        self.tx_memo = (bytes, t);
+        t
     }
 
     /// Offers a packet to the queue at `now`.
@@ -269,7 +299,7 @@ impl LinkState {
         debug_assert!(self.busy);
         let pkt = self.queue.pop_front()?;
         self.fold_tx(pkt.size_bytes, now);
-        let t = tx_time(pkt.size_bytes, self.bandwidth_bps);
+        let t = self.tx_of(pkt.size_bytes);
         Some((pkt, t))
     }
 
@@ -321,7 +351,9 @@ impl LinkState {
     /// pops.
     pub(crate) fn fold_tx(&mut self, size: u32, at: Time) {
         self.queued_bytes -= size;
-        self.estimator.on_tx(size, at);
+        if self.track_util {
+            self.estimator.on_tx(size, at);
+        }
         self.bytes_tx += size as u64;
     }
 

@@ -246,8 +246,14 @@ pub struct SimStats {
     /// over all switches at the end of a run.
     pub loop_collisions: u64,
     /// UDP bytes delivered, bucketed by [`SimStats::udp_bucket`] for
-    /// throughput-over-time plots (Fig 14).
+    /// throughput-over-time plots (Fig 14). The bucket currently being
+    /// filled is held in `udp_cur` (deliveries arrive in time order, so
+    /// only one bucket is ever open) and folded in by
+    /// [`SimStats::flush_udp`] — a per-delivery map insert was hot
+    /// enough to show up in whole-run profiles.
     pub udp_delivered: BTreeMap<u64, u64>,
+    /// Open `(bucket, bytes)` accumulator behind `udp_delivered`.
+    udp_cur: Option<(u64, u64)>,
     /// Bucket width used for `udp_delivered`.
     pub udp_bucket: Time,
     /// Convergence record per effective fault event, in fault order
@@ -306,10 +312,29 @@ impl SimStats {
         });
     }
 
-    /// Records UDP payload delivery at `now`.
+    /// Records UDP payload delivery at `now`. Deliveries arrive in
+    /// nondecreasing time order (the event loop's clock), so same-bucket
+    /// deliveries — the overwhelmingly common case — fold into the open
+    /// accumulator without touching the map. Call
+    /// [`SimStats::flush_udp`] before reading `udp_delivered`.
+    #[inline]
     pub fn on_udp_delivered(&mut self, now: Time, bytes: u32) {
         let bucket = now.0 / self.udp_bucket.0.max(1);
-        *self.udp_delivered.entry(bucket).or_insert(0) += bytes as u64;
+        match &mut self.udp_cur {
+            Some((b, acc)) if *b == bucket => *acc += bytes as u64,
+            _ => {
+                self.flush_udp();
+                self.udp_cur = Some((bucket, bytes as u64));
+            }
+        }
+    }
+
+    /// Folds the open delivery bucket into `udp_delivered`. The engine
+    /// calls this at end of run; safe to call any number of times.
+    pub fn flush_udp(&mut self) {
+        if let Some((b, acc)) = self.udp_cur.take() {
+            *self.udp_delivered.entry(b).or_insert(0) += acc;
+        }
     }
 
     /// Mean FCT over completed flows, in milliseconds (`None` if no flow
@@ -495,8 +520,10 @@ mod tests {
     #[test]
     fn udp_goodput_buckets() {
         let mut s = SimStats::new(Time::ms(1));
-        s.on_udp_delivered(Time::us(100), 125_000); // bucket 0
+        s.on_udp_delivered(Time::us(100), 100_000); // bucket 0
+        s.on_udp_delivered(Time::us(900), 25_000); // bucket 0, folds in place
         s.on_udp_delivered(Time::us(1_500), 125_000); // bucket 1
+        s.flush_udp();
         let g = s.udp_goodput_gbps();
         assert_eq!(g.len(), 2);
         assert!((g[0].1 - 1.0).abs() < 1e-9, "1 Gb in 1 ms = 1 Gbps");
@@ -550,6 +577,7 @@ mod tests {
         s.on_udp_delivered(Time::ms(3) + Time::us(1), 10_000);
         s.on_udp_delivered(Time::ms(4) + Time::us(1), 10_000);
         s.on_udp_delivered(Time::ms(5) + Time::us(1), 250_000);
+        s.flush_udp();
         let dip = s.goodput_dip(Time::ms(3)).expect("both sides populated");
         assert!((dip.baseline_gbps - 2.0).abs() < 1e-9, "{dip:?}");
         assert!(dip.min_gbps < 0.1, "{dip:?}");

@@ -13,7 +13,13 @@ use crate::time::Time;
 use contra_topology::{NodeId, Topology};
 
 /// Per-switch dataplane logic.
-pub trait SwitchLogic {
+///
+/// The `Any` supertrait is the devirtualization seam: the engine core
+/// ([`crate::engine::SimCore`]) is generic over its logic type, and the
+/// experiment layer downcasts installed `Box<dyn SwitchLogic>` values
+/// into a static-dispatch enum after installation. Implementations are
+/// therefore `'static` — every real switch program owns its tables.
+pub trait SwitchLogic: std::any::Any {
     /// Handles a packet arriving from neighbor `from` (a switch or an
     /// attached host). Forwarding decisions are made by calling
     /// [`SwitchCtx::send`].
@@ -44,6 +50,49 @@ pub trait SwitchLogic {
     /// logic without a control plane reports zero.
     fn control_churn(&self) -> (u64, u64) {
         (0, 0)
+    }
+
+    /// Whether this logic may ever call [`SwitchCtx::util_to`]. When no
+    /// installed logic does (and no telemetry recorder is sampling link
+    /// utilization), the engine skips the per-transmission utilization
+    /// estimator fold entirely — the estimator is then write-only state
+    /// nobody reads, and skipping it changes no observable output.
+    ///
+    /// Contract: return `true` (the default) unless the logic is certain
+    /// never to read utilization; a `false` here with a `util_to` call
+    /// would read a stale estimate.
+    fn reads_link_util(&self) -> bool {
+        true
+    }
+}
+
+/// Forwarding impl so the boxed trait object itself satisfies the bound
+/// the generic engine core takes. `SimCore<Box<dyn SwitchLogic>>` (the
+/// [`crate::Simulator`] alias) dispatches through this impl — one static
+/// hop, then the historical virtual call.
+impl SwitchLogic for Box<dyn SwitchLogic> {
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: Packet, from: NodeId) {
+        (**self).on_packet(ctx, pkt, from)
+    }
+
+    fn on_tick(&mut self, ctx: &mut SwitchCtx<'_>) {
+        (**self).on_tick(ctx)
+    }
+
+    fn tick_interval(&self) -> Option<Time> {
+        (**self).tick_interval()
+    }
+
+    fn register_collisions(&self) -> (u64, u64) {
+        (**self).register_collisions()
+    }
+
+    fn control_churn(&self) -> (u64, u64) {
+        (**self).control_churn()
+    }
+
+    fn reads_link_util(&self) -> bool {
+        (**self).reads_link_util()
     }
 }
 
